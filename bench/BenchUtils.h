@@ -1,0 +1,136 @@
+//===- bench/BenchUtils.h - Shared experiment harness -------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the per-figure benchmark binaries: suite
+/// execution, reduction computation, geometric means and table printing.
+/// Each binary regenerates one table/figure of the paper and prints the
+/// measured series next to the paper's published numbers (EXPERIMENTS.md
+/// records the comparison).
+///
+/// Environment knobs:
+///   SALSSA_BENCH_SCALE  - divide every profile's function count by this
+///                         factor (quick smoke runs); default 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_BENCH_BENCHUTILS_H
+#define SALSSA_BENCH_BENCHUTILS_H
+
+#include "codesize/SizeModel.h"
+#include "ir/Verifier.h"
+#include "merge/MergeDriver.h"
+#include "workloads/Suites.h"
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace salssa {
+namespace bench {
+
+inline unsigned benchScale() {
+  const char *S = std::getenv("SALSSA_BENCH_SCALE");
+  if (!S)
+    return 1;
+  int V = std::atoi(S);
+  return V < 1 ? 1 : static_cast<unsigned>(V);
+}
+
+inline BenchmarkProfile scaled(BenchmarkProfile P) {
+  unsigned S = benchScale();
+  if (S > 1) {
+    P.NumFunctions = std::max(2u, P.NumFunctions / S);
+    P.GiantPairSize /= S;
+  }
+  return P;
+}
+
+/// Result of one (benchmark, configuration) cell.
+struct SuiteResult {
+  std::string Benchmark;
+  uint64_t BaselineSize = 0;
+  uint64_t OptimizedSize = 0;
+  MergeDriverStats Driver;
+
+  double reductionPercent() const {
+    if (BaselineSize == 0)
+      return 0;
+    return 100.0 * (1.0 - double(OptimizedSize) / double(BaselineSize));
+  }
+};
+
+/// Builds the profile's module, runs one merge configuration, returns the
+/// sizes and driver statistics.
+inline SuiteResult runConfiguration(const BenchmarkProfile &Profile,
+                                    MergeTechnique Technique, unsigned T,
+                                    TargetArch Arch,
+                                    bool PhiCoalescing = true) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(Profile, Ctx);
+  SuiteResult R;
+  R.Benchmark = Profile.Name;
+  R.BaselineSize = estimateModuleSize(*M, Arch);
+  MergeDriverOptions DO;
+  DO.Technique = Technique;
+  DO.ExplorationThreshold = T;
+  DO.Arch = Arch;
+  DO.EnablePhiCoalescing = PhiCoalescing;
+  R.Driver = runFunctionMerging(*M, DO);
+  R.OptimizedSize = estimateModuleSize(*M, Arch);
+  VerifierReport VR = verifyModule(*M);
+  if (!VR.ok()) {
+    std::fprintf(stderr, "verifier FAILED on %s:\n%s\n",
+                 Profile.Name.c_str(), VR.str().c_str());
+    std::abort();
+  }
+  return R;
+}
+
+/// Geometric mean of size ratios, reported as a reduction percentage.
+inline double geomeanReduction(const std::vector<SuiteResult> &Results) {
+  double LogSum = 0;
+  unsigned N = 0;
+  for (const SuiteResult &R : Results) {
+    if (R.BaselineSize == 0)
+      continue;
+    double Ratio = double(R.OptimizedSize) / double(R.BaselineSize);
+    LogSum += std::log(std::max(Ratio, 1e-9));
+    ++N;
+  }
+  if (N == 0)
+    return 0;
+  return 100.0 * (1.0 - std::exp(LogSum / N));
+}
+
+/// Geometric mean of arbitrary positive values.
+inline double geomean(const std::vector<double> &Values) {
+  double LogSum = 0;
+  unsigned N = 0;
+  for (double V : Values) {
+    if (V <= 0)
+      continue;
+    LogSum += std::log(V);
+    ++N;
+  }
+  return N == 0 ? 0 : std::exp(LogSum / N);
+}
+
+inline void printHeader(const std::string &Title) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+}
+
+inline void printRule(unsigned Width = 100) {
+  for (unsigned I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace salssa
+
+#endif // SALSSA_BENCH_BENCHUTILS_H

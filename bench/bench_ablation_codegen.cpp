@@ -1,0 +1,115 @@
+//===- bench/bench_ablation_codegen.cpp - Extra ablations ----------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Ablation study for the two §4.2 operand-assignment optimizations the
+// paper describes but does not plot separately: commutative operand
+// reordering (Fig 9) and xor branch fusion (Fig 11). Each is toggled off
+// in turn on SPEC CPU2006 (t=1) and the lost reduction plus the change in
+// select/label-selection counts is reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace salssa;
+using namespace salssa::bench;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  bool Reorder;
+  bool Xor;
+};
+
+SuiteResult runWith(const BenchmarkProfile &P, const Config &C) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  SuiteResult R;
+  R.Benchmark = P.Name;
+  R.BaselineSize = estimateModuleSize(*M, TargetArch::X86Like);
+  MergeDriverOptions DO;
+  DO.Technique = MergeTechnique::SalSSA;
+  DO.ExplorationThreshold = 1;
+  // Re-plumb codegen options through a custom run: the driver reads
+  // technique defaults, so this ablation drives attemptMerge pair-wise on
+  // the same ranking the driver would use. For simplicity the full driver
+  // is used with the flags threaded via MergeCodeGenOptions defaults.
+  MergeDriverStats Stats;
+  {
+    // The driver's technique options cover coalescing only; reordering
+    // and fusion are fixed per technique. Emulate the ablation by running
+    // the pairwise pipeline over the driver's committed pairs.
+    MergeDriverOptions Probe = DO;
+    Context CP;
+    std::unique_ptr<Module> MP = buildBenchmarkModule(P, CP);
+    MergeDriverStats Full = runFunctionMerging(*MP, Probe);
+    MergeCodeGenOptions CG =
+        MergeCodeGenOptions::forTechnique(MergeTechnique::SalSSA);
+    CG.EnableOperandReordering = C.Reorder;
+    CG.EnableXorBranchFusion = C.Xor;
+    for (const MergeRecord &Rec : Full.Records) {
+      if (!Rec.Committed)
+        continue;
+      Function *F1 = M->getFunction(Rec.Name1);
+      Function *F2 = M->getFunction(Rec.Name2);
+      if (!F1 || !F2)
+        continue;
+      MergeAttempt A = attemptMerge(
+          *F1, *F2, CG, TargetArch::X86Like,
+          estimateFunctionSize(*F1, TargetArch::X86Like),
+          estimateFunctionSize(*F2, TargetArch::X86Like));
+      if (!A.Valid)
+        continue;
+      Stats.Attempts++;
+      Stats.Records.push_back({Rec.Name1, Rec.Name2, A.Stats, true});
+      commitMerge(A, Ctx);
+    }
+  }
+  R.Driver = Stats;
+  R.OptimizedSize = estimateModuleSize(*M, TargetArch::X86Like);
+  return R;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablation: operand reordering (Fig 9) and xor branch fusion "
+              "(Fig 11), SPEC CPU2006 subset, SalSSA t=1");
+  const Config Configs[] = {
+      {"full", true, true},
+      {"no-reorder", false, true},
+      {"no-xor", true, false},
+      {"neither", false, false},
+  };
+  std::printf("%-18s", "benchmark");
+  for (const Config &C : Configs)
+    std::printf(" %12s", C.Name);
+  std::printf("   (object size reduction; selects inserted)\n");
+  printRule(96);
+
+  // A representative subset keeps this ablation fast.
+  std::vector<BenchmarkProfile> Suite;
+  for (const BenchmarkProfile &P : spec2006Profiles())
+    if (P.Name == "444.namd" || P.Name == "456.hmmer" ||
+        P.Name == "462.libquantum" || P.Name == "447.dealII" ||
+        P.Name == "482.sphinx3")
+      Suite.push_back(scaled(P));
+
+  for (const BenchmarkProfile &P : Suite) {
+    std::printf("%-18s", P.Name.c_str());
+    for (const Config &C : Configs) {
+      SuiteResult R = runWith(P, C);
+      unsigned Selects = 0;
+      for (const MergeRecord &Rec : R.Driver.Records)
+        Selects += Rec.Stats.SelectsInserted;
+      std::printf(" %6.1f%%/%4u", R.reductionPercent(), Selects);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: disabling either optimization never "
+              "improves reduction and increases select pressure\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/bench_fig19_breakdown.cpp - Figure 19 -----------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Figure 19 of the paper: the isolated contribution of each merge
+// operation SalSSA[t=1] commits on djpeg to the final object size. Each
+// committed pair is re-applied alone to a fresh module and the size delta
+// measured. The paper's point: every contribution is small, and the
+// profitability cost model has false positives — some "profitable" merges
+// actually grow the final object.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include <algorithm>
+
+using namespace salssa;
+using namespace salssa::bench;
+
+int main() {
+  printHeader("Figure 19: per-merge size contribution, SalSSA[t=1] on "
+              "djpeg (Thumb-like)");
+
+  BenchmarkProfile P;
+  for (const BenchmarkProfile &Q : mibenchProfiles())
+    if (Q.Name == "djpeg")
+      P = Q;
+  P = scaled(P);
+
+  // Full run to learn which pairs commit.
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  MergeDriverOptions DO;
+  DO.Technique = MergeTechnique::SalSSA;
+  DO.ExplorationThreshold = 1;
+  DO.Arch = TargetArch::ThumbLike;
+  MergeDriverStats Full = runFunctionMerging(*M, DO);
+
+  std::vector<std::pair<std::string, std::string>> Pairs;
+  for (const MergeRecord &R : Full.Records)
+    if (R.Committed)
+      Pairs.push_back({R.Name1, R.Name2});
+
+  // Re-apply each committed pair in isolation and measure the delta.
+  std::vector<double> Deltas;
+  for (const auto &[N1, N2] : Pairs) {
+    Context C2;
+    std::unique_ptr<Module> M2 = buildBenchmarkModule(P, C2);
+    Function *F1 = M2->getFunction(N1);
+    Function *F2 = M2->getFunction(N2);
+    if (!F1 || !F2)
+      continue; // pair involves an intermediate merged function
+    uint64_t Before = estimateModuleSize(*M2, TargetArch::ThumbLike);
+    MergeAttempt A = attemptMerge(
+        *F1, *F2, MergeCodeGenOptions::forTechnique(MergeTechnique::SalSSA),
+        TargetArch::ThumbLike,
+        estimateFunctionSize(*F1, TargetArch::ThumbLike),
+        estimateFunctionSize(*F2, TargetArch::ThumbLike));
+    if (!A.Valid)
+      continue;
+    commitMerge(A, C2);
+    uint64_t After = estimateModuleSize(*M2, TargetArch::ThumbLike);
+    Deltas.push_back(100.0 * (1.0 - double(After) / double(Before)));
+  }
+  std::sort(Deltas.begin(), Deltas.end());
+
+  std::printf("%zu committed merges; isolated contribution to object size "
+              "(positive = reduction):\n",
+              Deltas.size());
+  unsigned FalsePositives = 0;
+  for (size_t I = 0; I < Deltas.size(); ++I) {
+    std::printf("  merge %2zu: %+6.3f%%%s\n", I, Deltas[I],
+                Deltas[I] < 0 ? "  <- cost-model false positive" : "");
+    if (Deltas[I] < 0)
+      ++FalsePositives;
+  }
+  std::printf("\n%u of %zu merges are cost-model false positives\n",
+              FalsePositives, Deltas.size());
+  std::printf("paper: each contribution is well under 0.5%%; enough false "
+              "positives existed to cause a ~0.3%% overall increase on "
+              "djpeg at t=1\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/bench_fig24_compiletime.cpp - Figure 24 ---------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Figure 24 of the paper: end-to-end compile time with function merging,
+// normalized to the baseline compilation without merging, for t = 1, 5,
+// 10 on SPEC CPU2006. The baseline "compilation" here is the rest of our
+// pipeline (verification, clean-up simplification, size lowering); the
+// merging pass time is measured by the driver. The paper's shape to
+// reproduce: SalSSA's overhead is about 3x smaller than FMSA's at every
+// threshold (paper GMeans: FMSA 14/44/66%, SalSSA 5/12/18%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "transforms/Simplify.h"
+#include <chrono>
+
+using namespace salssa;
+using namespace salssa::bench;
+
+namespace {
+
+/// The non-merging part of the pipeline, timed: what "compilation"
+/// costs without FM. Run over a fresh module.
+double baselineCompileSeconds(const BenchmarkProfile &P) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  auto T0 = std::chrono::steady_clock::now();
+  for (Function *F : M->functions())
+    if (!F->isDeclaration())
+      simplifyFunction(*F, Ctx);
+  verifyModule(*M);
+  volatile uint64_t Sink = estimateModuleSize(*M, TargetArch::X86Like);
+  (void)Sink;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  printHeader("Figure 24: compile time normalized to no-merging baseline, "
+              "SPEC CPU2006");
+  const unsigned Thresholds[] = {1, 5, 10};
+  std::printf("%-18s", "benchmark");
+  for (const char *Tech : {"FMSA", "SalSSA"})
+    for (unsigned T : Thresholds)
+      std::printf(" %6s[%2u]", Tech, T);
+  std::printf("\n");
+  printRule(86);
+
+  std::vector<std::vector<double>> Columns(6);
+  for (const BenchmarkProfile &P : spec2006Profiles()) {
+    BenchmarkProfile SP = scaled(P);
+    double Base = baselineCompileSeconds(SP);
+    std::printf("%-18s", P.Name.c_str());
+    unsigned Col = 0;
+    for (MergeTechnique Tech :
+         {MergeTechnique::FMSA, MergeTechnique::SalSSA}) {
+      for (unsigned T : Thresholds) {
+        SuiteResult R =
+            runConfiguration(SP, Tech, T, TargetArch::X86Like);
+        double Normalized =
+            Base > 0 ? (Base + R.Driver.TotalSeconds) / Base : 1.0;
+        std::printf(" %9.2fx", Normalized);
+        std::fflush(stdout);
+        Columns[Col++].push_back(Normalized);
+      }
+    }
+    std::printf("\n");
+  }
+  printRule(86);
+  std::printf("%-18s", "GMean");
+  for (unsigned C = 0; C < 6; ++C)
+    std::printf(" %9.2fx", geomean(Columns[C]));
+  std::printf("\npaper reports GMean overhead: FMSA +14/+44/+66%%, SalSSA "
+              "+5/+12/+18%% (3-3.7x lower); our thin baseline pipeline "
+              "makes absolute ratios larger, but the FMSA-to-SalSSA "
+              "overhead ratio is the reproduced shape\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/bench_table1_mibench.cpp - Table 1 --------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Table 1 of the paper: per-MiBench-program function counts, function size
+// statistics (just before merging) and the number of merge operations
+// applied by FMSA[t=1] and SalSSA[t=1]. The headline shape: SalSSA commits
+// strictly more merges than FMSA on every program where merging applies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+using namespace salssa;
+using namespace salssa::bench;
+
+int main() {
+  printHeader("Table 1: MiBench functions and merge operations (t=1)");
+  std::printf("%-14s %6s %18s %10s %12s\n", "benchmark", "#fns",
+              "min/avg/max size", "FMSA[t=1]", "SalSSA[t=1]");
+  printRule(66);
+
+  unsigned TotalF = 0, TotalS = 0;
+  for (const BenchmarkProfile &P : mibenchProfiles()) {
+    BenchmarkProfile SP = scaled(P);
+    // Function size statistics before merging.
+    Context Ctx;
+    std::unique_ptr<Module> M = buildBenchmarkModule(SP, Ctx);
+    unsigned N = 0;
+    size_t Min = SIZE_MAX, Max = 0, Sum = 0;
+    for (Function *F : M->functions()) {
+      if (F->isDeclaration())
+        continue;
+      size_t S = F->getInstructionCount();
+      Min = std::min(Min, S);
+      Max = std::max(Max, S);
+      Sum += S;
+      ++N;
+    }
+    SuiteResult RF = runConfiguration(SP, MergeTechnique::FMSA, 1,
+                                      TargetArch::ThumbLike);
+    SuiteResult RS = runConfiguration(SP, MergeTechnique::SalSSA, 1,
+                                      TargetArch::ThumbLike);
+    TotalF += RF.Driver.CommittedMerges;
+    TotalS += RS.Driver.CommittedMerges;
+    char SizeBuf[40];
+    std::snprintf(SizeBuf, sizeof(SizeBuf), "%zu/%.1f/%zu", Min,
+                  N ? double(Sum) / N : 0.0, Max);
+    std::printf("%-14s %6u %18s %10u %12u\n", P.Name.c_str(), N, SizeBuf,
+                RF.Driver.CommittedMerges, RS.Driver.CommittedMerges);
+  }
+  printRule(66);
+  std::printf("%-14s %25s %10u %12u\n", "total", "", TotalF, TotalS);
+  std::printf("\npaper totals: FMSA 279, SalSSA 482 committed merges; "
+              "SalSSA >= FMSA on every program\n");
+  return 0;
+}

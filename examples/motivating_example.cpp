@@ -1,0 +1,144 @@
+//===- examples/motivating_example.cpp - The paper's Figure 2/3 example --------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Reconstructs the motivating example of §3 of the paper (Fig 2): a
+// branchy function and a loopy function that share enough code to merge
+// profitably, but that FMSA wrecks because register demotion creates
+// memory operations whose merged addresses block register promotion.
+//
+// The example runs both pipelines and prints what the paper describes:
+// FMSA's merged function balloons (the paper measured 50 instructions
+// from 19), while SalSSA's stays close to the hand-merged version
+// (Fig 3).
+//
+// Build & run:  ./build/examples/motivating_example
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "merge/FunctionMerger.h"
+#include "transforms/Reg2Mem.h"
+#include <cstdio>
+
+using namespace salssa;
+
+namespace {
+
+struct ExampleModule {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F1 = nullptr;
+  Function *F2 = nullptr;
+
+  ExampleModule() {
+    M = std::make_unique<Module>("motivating", Ctx);
+    Type *I32 = Ctx.int32Ty();
+    Function *Start =
+        M->createFunction("start", Ctx.types().getFunctionTy(I32, {I32}));
+    Function *Body =
+        M->createFunction("body", Ctx.types().getFunctionTy(I32, {I32}));
+    Function *Other =
+        M->createFunction("other", Ctx.types().getFunctionTy(I32, {I32}));
+    Function *End =
+        M->createFunction("end", Ctx.types().getFunctionTy(I32, {I32}));
+
+    // F1 (Fig 2, left): branch between body() and other(), then end().
+    F1 = M->createFunction("f1", Ctx.types().getFunctionTy(I32, {I32}));
+    {
+      BasicBlock *L1 = F1->createBlock("L1");
+      BasicBlock *L2 = F1->createBlock("L2");
+      BasicBlock *L3 = F1->createBlock("L3");
+      BasicBlock *L4 = F1->createBlock("L4");
+      IRBuilder B(Ctx, L1);
+      Value *X1 = B.createCall(Start, {F1->getArg(0)}, "x1");
+      Value *X2 = B.createICmp(CmpPredicate::SLT, X1, Ctx.getInt32(0), "x2");
+      B.createCondBr(X2, L2, L3);
+      B.setInsertPoint(L2);
+      Value *X3 = B.createCall(Body, {X1}, "x3");
+      B.createBr(L4);
+      B.setInsertPoint(L3);
+      Value *X4 = B.createCall(Other, {X1}, "x4");
+      B.createBr(L4);
+      B.setInsertPoint(L4);
+      PhiInst *X5 = B.createPhi(I32, "x5");
+      X5->addIncoming(X3, L2);
+      X5->addIncoming(X4, L3);
+      B.createRet(B.createCall(End, {X5}, "x6"));
+    }
+    // F2 (Fig 2, right): loop body() until the value is zero, then end().
+    F2 = M->createFunction("f2", Ctx.types().getFunctionTy(I32, {I32}));
+    {
+      BasicBlock *L1 = F2->createBlock("L1");
+      BasicBlock *L2 = F2->createBlock("L2");
+      BasicBlock *L3 = F2->createBlock("L3");
+      BasicBlock *L4 = F2->createBlock("L4");
+      IRBuilder B(Ctx, L1);
+      Value *V1 = B.createCall(Start, {F2->getArg(0)}, "v1");
+      B.createBr(L2);
+      B.setInsertPoint(L2);
+      PhiInst *V2 = B.createPhi(I32, "v2");
+      Value *V3 = B.createICmp(CmpPredicate::NE, V2, Ctx.getInt32(0), "v3");
+      B.createCondBr(V3, L3, L4);
+      B.setInsertPoint(L3);
+      Value *V4 = B.createCall(Body, {V2}, "v4");
+      B.createBr(L2);
+      V2->addIncoming(V1, L1);
+      V2->addIncoming(V4, L3);
+      B.setInsertPoint(L4);
+      B.createRet(B.createCall(End, {V2}, "v5"));
+    }
+  }
+};
+
+} // namespace
+
+int main() {
+  std::printf("The motivating example of the paper, Fig 2: 19 input "
+              "instructions total.\n");
+
+  // --- SalSSA: merge directly in SSA form. --------------------------------
+  size_t SalSSASize = 0;
+  {
+    ExampleModule E;
+    MergeAttempt A = attemptMerge(
+        *E.F1, *E.F2,
+        MergeCodeGenOptions::forTechnique(MergeTechnique::SalSSA),
+        TargetArch::X86Like,
+        estimateFunctionSize(*E.F1, TargetArch::X86Like),
+        estimateFunctionSize(*E.F2, TargetArch::X86Like));
+    SalSSASize = A.Gen.Merged->getInstructionCount();
+    std::printf("\n=== SalSSA merged function (%zu instructions) ===\n%s\n",
+                SalSSASize, printFunction(*A.Gen.Merged).c_str());
+  }
+
+  // --- FMSA: register demotion first, like the state of the art. ----------
+  size_t FMSASize = 0;
+  {
+    ExampleModule E;
+    std::printf("=== FMSA pipeline ===\n");
+    Reg2MemStats S1 = demoteRegistersToMemory(*E.F1, E.Ctx);
+    Reg2MemStats S2 = demoteRegistersToMemory(*E.F2, E.Ctx);
+    std::printf("after register demotion: F1 %u -> %u, F2 %u -> %u "
+                "instructions (the Fig 4 bloat)\n",
+                S1.InstructionsBefore, S1.InstructionsAfter,
+                S2.InstructionsBefore, S2.InstructionsAfter);
+    MergeAttempt A = attemptMerge(
+        *E.F1, *E.F2,
+        MergeCodeGenOptions::forTechnique(MergeTechnique::FMSA),
+        TargetArch::X86Like,
+        estimateFunctionSize(*E.F1, TargetArch::X86Like),
+        estimateFunctionSize(*E.F2, TargetArch::X86Like));
+    FMSASize = A.Gen.Merged->getInstructionCount();
+    std::printf("\n=== FMSA merged function (%zu instructions) ===\n%s\n",
+                FMSASize, printFunction(*A.Gen.Merged).c_str());
+  }
+
+  std::printf("summary: SalSSA %zu vs FMSA %zu merged instructions "
+              "(paper: FMSA produced 50 from these 19; an expert produces "
+              "~15, Fig 3)\n",
+              SalSSASize, FMSASize);
+  return 0;
+}

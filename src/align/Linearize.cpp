@@ -1,0 +1,23 @@
+//===- align/Linearize.cpp - Function linearization ----------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Linearize.h"
+
+using namespace salssa;
+
+std::vector<SeqItem> salssa::linearizeFunction(Function &F) {
+  std::vector<SeqItem> Seq;
+  Seq.reserve(F.getInstructionCount() + F.getNumBlocks());
+  for (BasicBlock *BB : F) {
+    Seq.push_back({BB, nullptr});
+    for (Instruction *I : *BB) {
+      if (I->isPhi() || isa<LandingPadInst>(I))
+        continue;
+      Seq.push_back({BB, I});
+    }
+  }
+  return Seq;
+}

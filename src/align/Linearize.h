@@ -1,0 +1,42 @@
+//===- align/Linearize.h - Function linearization ------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a function into the linear sequence of labels and instructions
+/// that sequence alignment operates on (the "Linearization" stage of
+/// Fig 1). Following the paper:
+///
+///  - phi-nodes never appear in the sequence: SalSSA treats them as
+///    attached to their block's label (§4.1.1), and FMSA's input has none
+///    (they were demoted);
+///  - landingpad instructions are excluded as well; both code generators
+///    re-materialize landing blocks during operand assignment (§4.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_ALIGN_LINEARIZE_H
+#define SALSSA_ALIGN_LINEARIZE_H
+
+#include "ir/Function.h"
+#include <vector>
+
+namespace salssa {
+
+/// One element of a linearized function: a block label or an instruction.
+struct SeqItem {
+  BasicBlock *Block = nullptr; ///< the label, or the instruction's parent
+  Instruction *Inst = nullptr; ///< null for label items
+
+  bool isLabel() const { return Inst == nullptr; }
+};
+
+/// Linearizes \p F in block order: Label(B), then B's instructions (phis
+/// and landingpads skipped).
+std::vector<SeqItem> linearizeFunction(Function &F);
+
+} // namespace salssa
+
+#endif // SALSSA_ALIGN_LINEARIZE_H

@@ -1,0 +1,71 @@
+//===- align/Matcher.cpp - Instruction mergeability -------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Matcher.h"
+
+using namespace salssa;
+
+bool salssa::areMergeableInstructions(const Instruction *I1,
+                                      const Instruction *I2) {
+  if (I1->getOpcode() != I2->getOpcode())
+    return false;
+  if (I1->getType() != I2->getType())
+    return false;
+  if (I1->getNumOperands() != I2->getNumOperands())
+    return false;
+  // Operand types must agree position-wise so selects are well-typed.
+  for (unsigned K = 0; K < I1->getNumOperands(); ++K)
+    if (I1->getOperand(K)->getType() != I2->getOperand(K)->getType())
+      return false;
+
+  switch (I1->getOpcode()) {
+  case ValueKind::ICmp:
+  case ValueKind::FCmp:
+    return cast<CmpInst>(I1)->getPredicate() ==
+           cast<CmpInst>(I2)->getPredicate();
+  case ValueKind::Alloca: {
+    const auto *A1 = cast<AllocaInst>(I1);
+    const auto *A2 = cast<AllocaInst>(I2);
+    return A1->getAllocatedType() == A2->getAllocatedType() &&
+           A1->getNumElements() == A2->getNumElements();
+  }
+  case ValueKind::Gep:
+    return cast<GepInst>(I1)->getElementType() ==
+           cast<GepInst>(I2)->getElementType();
+  case ValueKind::Call:
+  case ValueKind::Invoke:
+    // Direct-call IR: merging different callees would need an indirect
+    // call; require identical callees (argument values may still differ).
+    return cast<CallBase>(I1)->getCallee() == cast<CallBase>(I2)->getCallee();
+  case ValueKind::Switch: {
+    // Same case-value table (destinations may differ; they are labels).
+    const auto *S1 = cast<SwitchInst>(I1);
+    const auto *S2 = cast<SwitchInst>(I2);
+    if (S1->getNumCases() != S2->getNumCases())
+      return false;
+    for (unsigned K = 0; K < S1->getNumCases(); ++K)
+      if (S1->getCaseValue(K) != S2->getCaseValue(K))
+        return false;
+    return true;
+  }
+  case ValueKind::Br:
+    // Arity check above already separates conditional from unconditional.
+    return true;
+  case ValueKind::Phi:
+  case ValueKind::LandingPad:
+    return false; // never aligned (handled structurally)
+  default:
+    return true;
+  }
+}
+
+bool salssa::itemsMatch(const SeqItem &A, const SeqItem &B) {
+  if (A.isLabel() != B.isLabel())
+    return false;
+  if (A.isLabel())
+    return true;
+  return areMergeableInstructions(A.Inst, B.Inst);
+}

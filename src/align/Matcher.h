@@ -1,0 +1,33 @@
+//===- align/Matcher.h - Instruction mergeability --------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The match predicate used by sequence alignment: decides whether two
+/// labels/instructions may be merged into one. Mergeable instructions must
+/// agree on opcode, result type and structural attributes (predicate,
+/// callee, accessed type, case values...) but may differ in operands —
+/// those are reconciled later with select instructions and label-selection
+/// blocks (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_ALIGN_MATCHER_H
+#define SALSSA_ALIGN_MATCHER_H
+
+#include "align/Linearize.h"
+
+namespace salssa {
+
+/// True when \p I1 and \p I2 can be merged into a single instruction.
+bool areMergeableInstructions(const Instruction *I1, const Instruction *I2);
+
+/// Match predicate over sequence items: labels match labels, instructions
+/// match per areMergeableInstructions.
+bool itemsMatch(const SeqItem &A, const SeqItem &B);
+
+} // namespace salssa
+
+#endif // SALSSA_ALIGN_MATCHER_H

@@ -1,0 +1,72 @@
+//===- align/NeedlemanWunsch.cpp - Global sequence alignment -------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/NeedlemanWunsch.h"
+#include <algorithm>
+
+using namespace salssa;
+
+AlignmentResult salssa::alignSequences(const std::vector<SeqItem> &Seq1,
+                                       const std::vector<SeqItem> &Seq2,
+                                       const MatchFn &Match) {
+  const size_t N = Seq1.size();
+  const size_t M = Seq2.size();
+  AlignmentResult Result;
+
+  // Direction codes for traceback.
+  enum : uint8_t { DirDiag = 0, DirUp = 1, DirLeft = 2 };
+
+  // Full traceback matrix (1 byte/cell) + two rolling score rows. This is
+  // the quadratic footprint the paper measures (Fig 22).
+  std::vector<uint8_t> Dir((N + 1) * (M + 1), DirLeft);
+  std::vector<int32_t> Prev(M + 1, 0), Cur(M + 1, 0);
+  Result.DPBytes = Dir.capacity() * sizeof(uint8_t) +
+                   (Prev.capacity() + Cur.capacity()) * sizeof(int32_t);
+
+  for (size_t J = 0; J <= M; ++J)
+    Dir[J] = DirLeft;
+  for (size_t I = 1; I <= N; ++I) {
+    Dir[I * (M + 1)] = DirUp;
+    Cur[0] = 0;
+    for (size_t J = 1; J <= M; ++J) {
+      int32_t Best = Prev[J]; // gap in Seq2 (move up)
+      uint8_t D = DirUp;
+      if (Cur[J - 1] > Best) { // gap in Seq1 (move left)
+        Best = Cur[J - 1];
+        D = DirLeft;
+      }
+      if (Match(Seq1[I - 1], Seq2[J - 1]) && Prev[J - 1] + 1 >= Best) {
+        Best = Prev[J - 1] + 1;
+        D = DirDiag;
+      }
+      Cur[J] = Best;
+      Dir[I * (M + 1) + J] = D;
+    }
+    std::swap(Prev, Cur);
+  }
+
+  // Traceback from (N, M).
+  size_t I = N, J = M;
+  std::vector<AlignedEntry> Rev;
+  Rev.reserve(N + M);
+  while (I > 0 || J > 0) {
+    uint8_t D = Dir[I * (M + 1) + J];
+    if (I > 0 && J > 0 && D == DirDiag) {
+      Rev.push_back({static_cast<int>(I - 1), static_cast<int>(J - 1)});
+      ++Result.MatchedPairs;
+      --I;
+      --J;
+    } else if (I > 0 && (D == DirUp || J == 0)) {
+      Rev.push_back({static_cast<int>(I - 1), -1});
+      --I;
+    } else {
+      Rev.push_back({-1, static_cast<int>(J - 1)});
+      --J;
+    }
+  }
+  Result.Entries.assign(Rev.rbegin(), Rev.rend());
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- align/NeedlemanWunsch.h - Global sequence alignment --------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Needleman-Wunsch global alignment (Needleman & Wunsch 1970), the
+/// "Alignment" stage shared by FMSA and SalSSA. The scoring scheme follows
+/// FMSA: +1 for a mergeable pair, gaps are free, and non-mergeable pairs
+/// are never aligned — so the optimizer maximizes the number of merged
+/// items. Both time and memory are quadratic in the sequence lengths,
+/// which is why register demotion (which roughly doubles sequence length)
+/// costs FMSA ~4x in alignment time and memory (§3, §5.5, §5.6 of the
+/// paper). The DP-matrix footprint is reported for the Fig 22 experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_ALIGN_NEEDLEMANWUNSCH_H
+#define SALSSA_ALIGN_NEEDLEMANWUNSCH_H
+
+#include "align/Linearize.h"
+#include <cstdint>
+#include <functional>
+
+namespace salssa {
+
+/// One element of an alignment: indices into the two sequences, or -1 on
+/// the gapped side.
+struct AlignedEntry {
+  int Idx1 = -1;
+  int Idx2 = -1;
+  bool isMatch() const { return Idx1 >= 0 && Idx2 >= 0; }
+};
+
+/// Alignment output plus the resource instrumentation the benchmarks use.
+struct AlignmentResult {
+  std::vector<AlignedEntry> Entries; ///< in sequence order
+  size_t MatchedPairs = 0;
+  size_t DPBytes = 0; ///< bytes of DP state allocated (peak)
+};
+
+using MatchFn = std::function<bool(const SeqItem &, const SeqItem &)>;
+
+/// Aligns \p Seq1 and \p Seq2 maximizing the number of matched pairs under
+/// \p Match.
+AlignmentResult alignSequences(const std::vector<SeqItem> &Seq1,
+                               const std::vector<SeqItem> &Seq2,
+                               const MatchFn &Match);
+
+} // namespace salssa
+
+#endif // SALSSA_ALIGN_NEEDLEMANWUNSCH_H

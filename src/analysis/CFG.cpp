@@ -1,0 +1,60 @@
+//===- analysis/CFG.cpp - CFG utilities ---------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include <algorithm>
+
+using namespace salssa;
+
+CFGInfo::CFGInfo(const Function &F) {
+  if (F.isDeclaration())
+    return;
+  // Iterative DFS computing post-order; RPO is its reverse.
+  std::vector<BasicBlock *> PostOrder;
+  std::set<const BasicBlock *> Visited;
+  // Stack of (block, next successor index).
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  BasicBlock *Entry = F.getEntryBlock();
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, NextIdx] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextIdx < Succs.size()) {
+      BasicBlock *S = Succs[NextIdx++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  Reachable = std::move(Visited);
+
+  // Unique predecessor sets over reachable edges.
+  for (BasicBlock *BB : RPO) {
+    std::vector<BasicBlock *> Succs = BB->successors();
+    std::set<BasicBlock *> Seen;
+    for (BasicBlock *S : Succs)
+      if (Seen.insert(S).second)
+        Preds[S].push_back(BB);
+  }
+}
+
+const std::vector<BasicBlock *> &
+CFGInfo::predecessors(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  return It == Preds.end() ? Empty : It->second;
+}
+
+std::set<const BasicBlock *> salssa::reachableBlocks(const Function &F) {
+  CFGInfo CFG(F);
+  std::set<const BasicBlock *> Result;
+  for (const BasicBlock *BB : CFG.reversePostOrder())
+    Result.insert(BB);
+  return Result;
+}

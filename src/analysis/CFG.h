@@ -1,0 +1,57 @@
+//===- analysis/CFG.h - CFG utilities ----------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graph queries computed from a snapshot of a function:
+/// predecessor maps, traversal orders, reachability. Passes that mutate the
+/// CFG recompute these; nothing here caches across mutations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_ANALYSIS_CFG_H
+#define SALSSA_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+#include <map>
+#include <set>
+#include <vector>
+
+namespace salssa {
+
+/// An immutable snapshot of a function's CFG structure.
+class CFGInfo {
+public:
+  explicit CFGInfo(const Function &F);
+
+  /// Unique predecessor blocks of \p BB (no duplicate entries even when
+  /// multiple edges exist from the same block).
+  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const;
+
+  /// Blocks in reverse post-order from the entry (unreachable blocks are
+  /// excluded).
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  /// Post-order position (higher = earlier in RPO); unreachable blocks are
+  /// absent.
+  bool isReachable(const BasicBlock *BB) const {
+    return Reachable.count(BB) != 0;
+  }
+
+  size_t getNumReachableBlocks() const { return Reachable.size(); }
+
+private:
+  std::map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::vector<BasicBlock *> RPO;
+  std::set<const BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Empty;
+};
+
+/// Blocks of \p F reachable from the entry.
+std::set<const BasicBlock *> reachableBlocks(const Function &F);
+
+} // namespace salssa
+
+#endif // SALSSA_ANALYSIS_CFG_H

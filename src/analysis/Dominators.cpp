@@ -1,0 +1,171 @@
+//===- analysis/Dominators.cpp - Dominator tree --------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Implements the iterative dominance algorithm of Cooper, Harvey & Kennedy,
+// "A Simple, Fast Dominance Algorithm" (2001), and dominance frontiers per
+// Cytron et al. (1991).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace salssa;
+
+DominatorTree::DominatorTree(const Function &F) : F(F), CFG(F) {
+  const std::vector<BasicBlock *> &RPO = CFG.reversePostOrder();
+  if (RPO.empty())
+    return;
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry; // sentinel: entry is its own idom internally
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RPOIndex.at(A) > RPOIndex.at(B))
+        A = IDom.at(A);
+      while (RPOIndex.at(B) > RPOIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I < RPO.size(); ++I) {
+      BasicBlock *BB = RPO[I];
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : CFG.predecessors(BB)) {
+        if (!IDom.count(P))
+          continue; // predecessor not yet processed
+        NewIDom = NewIDom ? Intersect(NewIDom, P) : P;
+      }
+      assert(NewIDom && "reachable block with no processed predecessor");
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned I = 1; I < RPO.size(); ++I)
+    Children[IDom.at(RPO[I])].push_back(RPO[I]);
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::getChildren(const BasicBlock *BB) const {
+  auto It = Children.find(BB);
+  return It == Children.end() ? EmptyChildren : It->second;
+}
+
+std::set<BasicBlock *> DominatorTree::iteratedDominanceFrontier(
+    const std::set<BasicBlock *> &DefBlocks) {
+  std::set<BasicBlock *> Result;
+  std::vector<BasicBlock *> Worklist(DefBlocks.begin(), DefBlocks.end());
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (!CFG.isReachable(BB))
+      continue;
+    for (BasicBlock *FBlock : dominanceFrontier(BB))
+      if (Result.insert(FBlock).second)
+        Worklist.push_back(FBlock);
+  }
+  return Result;
+}
+
+BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end())
+    return nullptr;
+  // Entry's sentinel self-idom is reported as null.
+  return It->second == BB ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!CFG.isReachable(B))
+    return true; // vacuous: nothing executes in B
+  if (!CFG.isReachable(A))
+    return false;
+  if (A == B)
+    return true;
+  const BasicBlock *Runner = B;
+  unsigned AIdx = RPOIndex.at(A);
+  while (true) {
+    auto It = IDom.find(Runner);
+    assert(It != IDom.end() && "reachable block missing from idom map");
+    if (It->second == Runner)
+      return false; // reached the entry without meeting A
+    Runner = It->second;
+    if (Runner == A)
+      return true;
+    // Dominators always have smaller RPO indices; early exit when passed.
+    if (RPOIndex.at(Runner) < AIdx)
+      return false;
+  }
+}
+
+bool DominatorTree::dominates(const Instruction *Def,
+                              const Instruction *User) const {
+  const BasicBlock *DefBB = Def->getParent();
+  const BasicBlock *UserBB = User->getParent();
+  assert(DefBB && UserBB && "dominance query on unlinked instructions");
+  if (DefBB != UserBB)
+    return dominates(DefBB, UserBB);
+  if (Def == User)
+    return false; // an instruction does not dominate itself as a use
+  // Phis at the block head execute "simultaneously on entry": a phi
+  // dominates every non-phi in its block but no other phi.
+  if (Def->isPhi() && !User->isPhi())
+    return true;
+  if (User->isPhi())
+    return false;
+  for (const Instruction *I : *DefBB) {
+    if (I == Def)
+      return true;
+    if (I == User)
+      return false;
+  }
+  assert(false && "instructions not found in their own parent block");
+  return false;
+}
+
+bool DominatorTree::dominatesBlockExit(const Instruction *Def,
+                                       const BasicBlock *BB) const {
+  const BasicBlock *DefBB = Def->getParent();
+  if (DefBB == BB)
+    return true; // any instruction in BB executes before BB's exit edge
+  return dominates(DefBB, BB);
+}
+
+const std::set<BasicBlock *> &
+DominatorTree::dominanceFrontier(const BasicBlock *BB) {
+  if (!FrontiersComputed) {
+    FrontiersComputed = true;
+    for (BasicBlock *B : CFG.reversePostOrder()) {
+      const std::vector<BasicBlock *> &Preds = CFG.predecessors(B);
+      if (Preds.size() < 2)
+        continue;
+      for (BasicBlock *P : Preds) {
+        BasicBlock *Runner = P;
+        BasicBlock *Stop = getIDom(B);
+        while (Runner && Runner != Stop) {
+          Frontiers[Runner].insert(B);
+          Runner = getIDom(Runner);
+        }
+        // The entry has a null idom; if Stop is null the walk above ends
+        // at the entry naturally (its getIDom is null).
+        if (!Stop && Runner == nullptr) {
+          // Walked past entry: nothing else to add.
+        }
+      }
+    }
+  }
+  auto It = Frontiers.find(BB);
+  return It == Frontiers.end() ? EmptyFrontier : It->second;
+}

@@ -1,0 +1,74 @@
+//===- analysis/Dominators.h - Dominator tree --------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree built with the Cooper-Harvey-Kennedy iterative algorithm,
+/// plus dominance frontiers (Cytron et al.) used by SSA construction. The
+/// verifier uses instruction-level dominance to check the SSA dominance
+/// property that SalSSA's code generator must restore (§4.3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_ANALYSIS_DOMINATORS_H
+#define SALSSA_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+namespace salssa {
+
+/// Immediate-dominator tree over the reachable CFG of one function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p BB (null for the entry or unreachable
+  /// blocks).
+  BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  /// Block-level dominance (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by everything (vacuous truth, matching
+  /// LLVM's convention for verifier purposes).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Instruction-level dominance: true when \p Def's value is available at
+  /// \p User. Same-block cases use instruction order; phi uses must be
+  /// checked against the incoming block's terminator by the caller.
+  bool dominates(const Instruction *Def, const Instruction *User) const;
+
+  /// True when the value \p Def is available on exit from block \p BB.
+  bool dominatesBlockExit(const Instruction *Def,
+                          const BasicBlock *BB) const;
+
+  /// Dominance frontier of \p BB (computed lazily on first query).
+  const std::set<BasicBlock *> &dominanceFrontier(const BasicBlock *BB);
+
+  /// Children of \p BB in the dominator tree.
+  const std::vector<BasicBlock *> &getChildren(const BasicBlock *BB) const;
+
+  /// Iterated dominance frontier of \p DefBlocks — the phi placement set
+  /// of Cytron et al.'s SSA construction.
+  std::set<BasicBlock *>
+  iteratedDominanceFrontier(const std::set<BasicBlock *> &DefBlocks);
+
+  const CFGInfo &getCFG() const { return CFG; }
+
+private:
+  unsigned rpoIndexOf(const BasicBlock *BB) const;
+
+  const Function &F;
+  CFGInfo CFG;
+  std::map<const BasicBlock *, BasicBlock *> IDom;
+  std::map<const BasicBlock *, std::vector<BasicBlock *>> Children;
+  std::vector<BasicBlock *> EmptyChildren;
+  std::map<const BasicBlock *, unsigned> RPOIndex;
+  bool FrontiersComputed = false;
+  std::map<const BasicBlock *, std::set<BasicBlock *>> Frontiers;
+  std::set<BasicBlock *> EmptyFrontier;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_ANALYSIS_DOMINATORS_H

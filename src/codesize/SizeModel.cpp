@@ -1,0 +1,103 @@
+//===- codesize/SizeModel.cpp - Target code-size model --------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codesize/SizeModel.h"
+#include "ir/Module.h"
+
+using namespace salssa;
+
+unsigned salssa::estimateInstructionSize(const Instruction &I,
+                                         TargetArch Arch) {
+  const bool X86 = Arch == TargetArch::X86Like;
+  switch (I.getOpcode()) {
+  case ValueKind::Add:
+  case ValueKind::Sub:
+  case ValueKind::And:
+  case ValueKind::Or:
+  case ValueKind::Xor:
+  case ValueKind::Shl:
+  case ValueKind::LShr:
+  case ValueKind::AShr:
+    return X86 ? 3 : 2;
+  case ValueKind::Mul:
+    return X86 ? 4 : 4;
+  case ValueKind::SDiv:
+  case ValueKind::UDiv:
+  case ValueKind::SRem:
+  case ValueKind::URem:
+    return X86 ? 6 : 4; // div sequences / library-ish expansions
+  case ValueKind::FAdd:
+  case ValueKind::FSub:
+  case ValueKind::FMul:
+  case ValueKind::FDiv:
+    return X86 ? 4 : 4;
+  case ValueKind::ICmp:
+  case ValueKind::FCmp:
+    return X86 ? 3 : 2;
+  case ValueKind::Select:
+    // cmov on x86; an IT block + two moves on Thumb.
+    return X86 ? 6 : 6;
+  case ValueKind::ZExt:
+  case ValueKind::SExt:
+  case ValueKind::Trunc:
+    return X86 ? 3 : 2;
+  case ValueKind::SIToFP:
+  case ValueKind::FPToSI:
+    return X86 ? 4 : 4;
+  case ValueKind::Alloca:
+    return 0; // folded into the frame
+  case ValueKind::Load:
+  case ValueKind::Store:
+    return X86 ? 4 : 2;
+  case ValueKind::Gep:
+    return X86 ? 4 : 2; // lea / add
+  case ValueKind::Call:
+    return X86 ? 5 : 4;
+  case ValueKind::Invoke:
+    return X86 ? 5 : 4;
+  case ValueKind::LandingPad:
+    return 8; // EH table entries attributed to the pad
+  case ValueKind::Resume:
+    return X86 ? 5 : 4;
+  case ValueKind::Phi: {
+    // Register copies on incoming edges.
+    const auto &P = *cast<PhiInst>(&I);
+    unsigned PerEdge = X86 ? 2 : 2;
+    return P.getNumIncoming() * PerEdge;
+  }
+  case ValueKind::Br:
+    return cast<BranchInst>(&I)->isConditional() ? (X86 ? 4 : 4)
+                                                 : (X86 ? 2 : 2);
+  case ValueKind::Switch: {
+    const auto &S = *cast<SwitchInst>(&I);
+    return (X86 ? 6 : 4) + S.getNumCases() * (X86 ? 4 : 4);
+  }
+  case ValueKind::Ret:
+    return X86 ? 1 : 2;
+  case ValueKind::Unreachable:
+    return X86 ? 2 : 2; // ud2 / udf
+  default:
+    return 4;
+  }
+}
+
+unsigned salssa::estimateFunctionSize(const Function &F, TargetArch Arch) {
+  if (F.isDeclaration())
+    return 0;
+  // Prologue/epilogue, frame setup and linker alignment padding.
+  unsigned Size = Arch == TargetArch::X86Like ? 12 : 8;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      Size += estimateInstructionSize(*I, Arch);
+  return Size;
+}
+
+uint64_t salssa::estimateModuleSize(const Module &M, TargetArch Arch) {
+  uint64_t Size = 0;
+  for (const Function *F : M.functions())
+    Size += estimateFunctionSize(*F, Arch);
+  return Size;
+}

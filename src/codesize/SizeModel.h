@@ -1,0 +1,53 @@
+//===- codesize/SizeModel.h - Target code-size model ---------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lowering-based code-size model standing in for the paper's measured
+/// linked-object sizes. Each IR instruction is charged the bytes its
+/// lowering would occupy on a CISC x86-like target (Fig 17) or a compact
+/// Thumb-like target (Fig 18); functions carry fixed prologue/epilogue +
+/// alignment overhead. Phi-nodes are charged per incoming edge (the copies
+/// a register allocator places on edges), so phi-node coalescing has a
+/// measurable size effect, as in the paper (Fig 20).
+///
+/// The same model doubles as the profitability cost model shared by FMSA
+/// and SalSSA. The paper notes this model has false positives because it
+/// cannot see later transformations (Fig 19); the same is true here, since
+/// committed merges are followed by further clean-up and the per-function
+/// constant overheads shift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_CODESIZE_SIZEMODEL_H
+#define SALSSA_CODESIZE_SIZEMODEL_H
+
+#include <cstdint>
+
+namespace salssa {
+
+class Function;
+class Instruction;
+class Module;
+
+/// Lowering targets.
+enum class TargetArch : uint8_t {
+  X86Like,   ///< variable-length CISC encodings (SPEC experiments)
+  ThumbLike, ///< compact 16/32-bit RISC encodings (MiBench experiments)
+};
+
+/// Estimated byte size of one lowered instruction.
+unsigned estimateInstructionSize(const Instruction &I, TargetArch Arch);
+
+/// Estimated byte size of a function (instructions + fixed overhead).
+/// Declarations cost nothing.
+unsigned estimateFunctionSize(const Function &F, TargetArch Arch);
+
+/// Estimated linked-object size: the sum over all definitions.
+uint64_t estimateModuleSize(const Module &M, TargetArch Arch);
+
+} // namespace salssa
+
+#endif // SALSSA_CODESIZE_SIZEMODEL_H

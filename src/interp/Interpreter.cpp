@@ -1,0 +1,681 @@
+//===- interp/Interpreter.cpp - IR interpreter ---------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include <algorithm>
+#include <cstring>
+
+using namespace salssa;
+
+namespace {
+
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t hashCombine(uint64_t H, uint64_t V) {
+  return mix64(H ^ (V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2)));
+}
+
+uint64_t truncateToWidth(uint64_t Bits, unsigned Width) {
+  if (Width >= 64)
+    return Bits;
+  return Bits & ((uint64_t(1) << Width) - 1);
+}
+
+int64_t signExtend(uint64_t Bits, unsigned Width) {
+  if (Width >= 64)
+    return static_cast<int64_t>(Bits);
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  if (Bits & SignBit)
+    return static_cast<int64_t>(Bits | ~((uint64_t(1) << Width) - 1));
+  return static_cast<int64_t>(Bits);
+}
+
+} // namespace
+
+Interpreter::Interpreter(Module &M, const ExecOptions &Opts)
+    : M(M), Opts(Opts) {
+  resetMemory();
+}
+
+void Interpreter::resetMemory() {
+  // Layout: one reserved null page, then globals, then the stack region.
+  const size_t NullPage = 64;
+  size_t Total = NullPage;
+  GlobalAddr.clear();
+  for (const auto &G : M.globals()) {
+    GlobalAddr[G.get()] = Total;
+    Total += std::max<size_t>(G->getStorageSize(), 1);
+    Total = (Total + 7) & ~size_t(7);
+  }
+  StackBase = Total;
+  const size_t StackBytes = 1 << 20;
+  Memory.assign(Total + StackBytes, 0);
+  // Deterministic pseudo-random initial contents for globals.
+  for (const auto &G : M.globals()) {
+    uint64_t Addr = GlobalAddr[G.get()];
+    uint64_t H = hashCombine(Opts.EnvSeed, std::hash<std::string>{}(
+                                               G->getName()));
+    for (unsigned I = 0; I < G->getStorageSize(); ++I)
+      Memory[Addr + I] = static_cast<uint8_t>(mix64(H + I));
+  }
+}
+
+void Interpreter::registerNative(const std::string &Name, NativeHandler H) {
+  Natives[Name] = std::move(H);
+}
+
+namespace salssa {
+
+/// Per-run machine state (frames share the interpreter's memory arena).
+class ExecState {
+public:
+  ExecState(Interpreter &Interp, ExecResult &Result)
+      : I(Interp), R(Result), StackTop(Interp.StackBase) {}
+
+  /// Executes \p F; fills R.Return on success. Returns false when
+  /// execution stopped (trap / fuel / unhandled exception propagating).
+  /// \p ExceptionOut is set when the function completed by throwing.
+  bool callFunction(Function *F, const std::vector<RuntimeValue> &Args,
+                    RuntimeValue &RetOut, bool &ThrewOut, unsigned Depth);
+
+private:
+  struct Frame {
+    std::map<const Value *, RuntimeValue> Regs;
+    size_t SavedStackTop;
+  };
+
+  bool trap(const std::string &Why) {
+    R.St = ExecResult::Status::Trap;
+    R.TrapReason = Why;
+    return false;
+  }
+
+  RuntimeValue evalOperand(const Value *V, Frame &Fr);
+  bool execExternalCall(const CallBase *CB, Frame &Fr, RuntimeValue &Out,
+                        bool MayThrow, bool &Threw);
+  bool loadFrom(uint64_t Addr, Type *Ty, RuntimeValue &Out);
+  bool storeTo(uint64_t Addr, Type *Ty, const RuntimeValue &V);
+
+  Interpreter &I;
+  ExecResult &R;
+  size_t StackTop;
+};
+
+} // namespace salssa
+
+RuntimeValue ExecState::evalOperand(const Value *V, Frame &Fr) {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return RuntimeValue::makeInt(C->getZExtValue());
+  if (const auto *C = dyn_cast<ConstantFP>(V))
+    return RuntimeValue::makeFP(C->getValue());
+  if (isa<UndefValue>(V)) {
+    // A deterministic arbitrary value: undef reads must never influence
+    // observable behaviour in well-formed merged code, but keeping it
+    // stable makes accidental dependencies reproducible and testable.
+    RuntimeValue U = RuntimeValue::makeInt(0xDEADDEADDEADDEADULL);
+    if (V->getType()->isFloatingPoint())
+      return RuntimeValue::makeFP(0.0);
+    return U;
+  }
+  if (isa<ConstantPointerNull>(V))
+    return RuntimeValue::makePtr(0);
+  if (const auto *G = dyn_cast<GlobalVariable>(V))
+    return RuntimeValue::makePtr(I.GlobalAddr.at(G));
+  auto It = Fr.Regs.find(V);
+  assert(It != Fr.Regs.end() && "operand evaluated before definition");
+  return It->second;
+}
+
+bool ExecState::loadFrom(uint64_t Addr, Type *Ty, RuntimeValue &Out) {
+  unsigned Size = Ty->getStoreSize();
+  // Overflow-safe bounds check: Addr may be any 64-bit value (wild
+  // pointer arithmetic), so never compute Addr + Size.
+  if (Addr < 64 || Addr >= I.Memory.size() ||
+      Size > I.Memory.size() - Addr)
+    return trap("out-of-bounds or null load");
+  uint64_t Bits = 0;
+  std::memcpy(&Bits, &I.Memory[Addr], Size);
+  if (Ty->isFloat()) {
+    float FV;
+    std::memcpy(&FV, &I.Memory[Addr], 4);
+    Out = RuntimeValue::makeFP(FV);
+  } else if (Ty->isDouble()) {
+    double DV;
+    std::memcpy(&DV, &I.Memory[Addr], 8);
+    Out = RuntimeValue::makeFP(DV);
+  } else if (Ty->isPointer()) {
+    Out = RuntimeValue::makePtr(Bits);
+  } else {
+    Out = RuntimeValue::makeInt(truncateToWidth(Bits, Ty->getIntegerBitWidth()));
+  }
+  return true;
+}
+
+bool ExecState::storeTo(uint64_t Addr, Type *Ty, const RuntimeValue &V) {
+  unsigned Size = Ty->getStoreSize();
+  if (Addr < 64 || Addr >= I.Memory.size() ||
+      Size > I.Memory.size() - Addr)
+    return trap("out-of-bounds or null store");
+  if (Ty->isFloat()) {
+    float FV = static_cast<float>(V.FPVal);
+    std::memcpy(&I.Memory[Addr], &FV, 4);
+  } else if (Ty->isDouble()) {
+    std::memcpy(&I.Memory[Addr], &V.FPVal, 8);
+  } else {
+    uint64_t Bits = V.Bits;
+    std::memcpy(&I.Memory[Addr], &Bits, Size);
+  }
+  return true;
+}
+
+bool ExecState::execExternalCall(const CallBase *CB, Frame &Fr,
+                                 RuntimeValue &Out, bool MayThrow,
+                                 bool &Threw) {
+  Function *Callee = CB->getCallee();
+  CallTraceEntry Entry;
+  Entry.Callee = Callee->getName();
+  std::vector<RuntimeValue> Args;
+  uint64_t H = hashCombine(I.Opts.EnvSeed,
+                           std::hash<std::string>{}(Callee->getName()));
+  for (unsigned K = 0; K < CB->getNumArgs(); ++K) {
+    RuntimeValue AV = evalOperand(CB->getArg(K), Fr);
+    Args.push_back(AV);
+    uint64_t ArgBits =
+        AV.K == RuntimeValue::Kind::FP
+            ? static_cast<uint64_t>(static_cast<int64_t>(AV.FPVal * 4096.0))
+            : AV.Bits;
+    Entry.Args.push_back(ArgBits);
+    H = hashCombine(H, ArgBits);
+  }
+
+  Threw = false;
+  if (MayThrow && I.Opts.ExternalThrowPercent > 0 &&
+      (mix64(H ^ 0x7477726f77ULL) % 100) < I.Opts.ExternalThrowPercent)
+    Threw = true;
+
+  auto NIt = I.Natives.find(Callee->getName());
+  if (NIt != I.Natives.end()) {
+    Out = NIt->second(Args);
+  } else {
+    Type *RetTy = Callee->getReturnType();
+    if (RetTy->isFloatingPoint())
+      Out = RuntimeValue::makeFP(
+          static_cast<double>(mix64(H) % 65536) / 256.0);
+    else if (RetTy->isPointer())
+      Out = RuntimeValue::makePtr(0); // externals hand back null pointers
+    else if (RetTy->isInteger())
+      Out = RuntimeValue::makeInt(
+          truncateToWidth(mix64(H), RetTy->getIntegerBitWidth()));
+    else
+      Out = RuntimeValue::makeUndef();
+  }
+  Entry.Result = Out.Bits;
+  if (Out.K == RuntimeValue::Kind::FP)
+    Entry.Result = static_cast<uint64_t>(
+        static_cast<int64_t>(Out.FPVal * 4096.0));
+  Entry.Threw = Threw;
+  R.Trace.push_back(std::move(Entry));
+  return true;
+}
+
+bool ExecState::callFunction(Function *F,
+                             const std::vector<RuntimeValue> &Args,
+                             RuntimeValue &RetOut, bool &ThrewOut,
+                             unsigned Depth) {
+  ThrewOut = false;
+  if (Depth > I.Opts.MaxCallDepth)
+    return trap("call depth exceeded");
+  assert(!F->isDeclaration() && "callFunction on a declaration");
+  assert(Args.size() == F->getNumArgs() && "argument count mismatch");
+
+  Frame Fr;
+  Fr.SavedStackTop = StackTop;
+  for (unsigned K = 0; K < F->getNumArgs(); ++K)
+    Fr.Regs[F->getArg(K)] = Args[K];
+
+  BasicBlock *BB = F->getEntryBlock();
+  BasicBlock *PrevBB = nullptr;
+
+  while (true) {
+    // Phase 1: evaluate all phis against the edge PrevBB->BB atomically.
+    std::vector<std::pair<const PhiInst *, RuntimeValue>> PhiValues;
+    for (const PhiInst *P : BB->phis()) {
+      int Idx = P->indexOfBlock(PrevBB);
+      if (Idx < 0)
+        return trap("phi without entry for executed edge");
+      PhiValues.push_back(
+          {P, evalOperand(P->getIncomingValue(static_cast<unsigned>(Idx)),
+                          Fr)});
+      ++R.StepCount;
+    }
+    for (auto &[P, V] : PhiValues)
+      Fr.Regs[P] = V;
+
+    // Phase 2: straight-line execution to the terminator.
+    const Instruction *Term = nullptr;
+    bool Transferred = false;
+    for (auto It = BB->begin(); It != BB->end() && !Transferred; ++It) {
+      const Instruction *Ins = *It;
+      if (Ins->isPhi())
+        continue;
+      if (++R.StepCount > I.Opts.MaxSteps) {
+        R.St = ExecResult::Status::OutOfFuel;
+        return false;
+      }
+
+      switch (Ins->getOpcode()) {
+      case ValueKind::Alloca: {
+        const auto *A = cast<AllocaInst>(Ins);
+        StackTop = (StackTop + 7) & ~size_t(7);
+        uint64_t Addr = StackTop;
+        StackTop += std::max(1u, A->getAllocationSize());
+        if (StackTop > I.Memory.size())
+          return trap("stack overflow");
+        Fr.Regs[Ins] = RuntimeValue::makePtr(Addr);
+        break;
+      }
+      case ValueKind::Load: {
+        const auto *L = cast<LoadInst>(Ins);
+        RuntimeValue P = evalOperand(L->getPointerOperand(), Fr);
+        RuntimeValue Out;
+        if (!loadFrom(P.Bits, L->getType(), Out))
+          return false;
+        Fr.Regs[Ins] = Out;
+        break;
+      }
+      case ValueKind::Store: {
+        const auto *S = cast<StoreInst>(Ins);
+        RuntimeValue P = evalOperand(S->getPointerOperand(), Fr);
+        RuntimeValue V = evalOperand(S->getValueOperand(), Fr);
+        if (!storeTo(P.Bits, S->getValueOperand()->getType(), V))
+          return false;
+        break;
+      }
+      case ValueKind::Gep: {
+        const auto *G = cast<GepInst>(Ins);
+        RuntimeValue Base = evalOperand(G->getBaseOperand(), Fr);
+        RuntimeValue Idx = evalOperand(G->getIndexOperand(), Fr);
+        int64_t SIdx = signExtend(
+            Idx.Bits, G->getIndexOperand()->getType()->getIntegerBitWidth());
+        uint64_t Addr =
+            Base.Bits +
+            static_cast<uint64_t>(SIdx *
+                                  static_cast<int64_t>(
+                                      G->getElementType()->getStoreSize()));
+        Fr.Regs[Ins] = RuntimeValue::makePtr(Addr);
+        break;
+      }
+      case ValueKind::Select: {
+        const auto *S = cast<SelectInst>(Ins);
+        RuntimeValue C = evalOperand(S->getCondition(), Fr);
+        Fr.Regs[Ins] = (C.Bits & 1)
+                           ? evalOperand(S->getTrueValue(), Fr)
+                           : evalOperand(S->getFalseValue(), Fr);
+        break;
+      }
+      case ValueKind::ICmp: {
+        const auto *C = cast<ICmpInst>(Ins);
+        RuntimeValue L = evalOperand(C->getLHS(), Fr);
+        RuntimeValue Rv = evalOperand(C->getRHS(), Fr);
+        Type *OpTy = C->getLHS()->getType();
+        unsigned W = OpTy->isPointer() ? 64 : OpTy->getIntegerBitWidth();
+        uint64_t A = truncateToWidth(L.Bits, W);
+        uint64_t B = truncateToWidth(Rv.Bits, W);
+        int64_t SA = signExtend(A, W), SB = signExtend(B, W);
+        bool Res = false;
+        switch (C->getPredicate()) {
+        case CmpPredicate::EQ:
+          Res = A == B;
+          break;
+        case CmpPredicate::NE:
+          Res = A != B;
+          break;
+        case CmpPredicate::SLT:
+          Res = SA < SB;
+          break;
+        case CmpPredicate::SLE:
+          Res = SA <= SB;
+          break;
+        case CmpPredicate::SGT:
+          Res = SA > SB;
+          break;
+        case CmpPredicate::SGE:
+          Res = SA >= SB;
+          break;
+        case CmpPredicate::ULT:
+          Res = A < B;
+          break;
+        case CmpPredicate::ULE:
+          Res = A <= B;
+          break;
+        case CmpPredicate::UGT:
+          Res = A > B;
+          break;
+        case CmpPredicate::UGE:
+          Res = A >= B;
+          break;
+        }
+        Fr.Regs[Ins] = RuntimeValue::makeInt(Res ? 1 : 0);
+        break;
+      }
+      case ValueKind::FCmp: {
+        const auto *C = cast<FCmpInst>(Ins);
+        double A = evalOperand(C->getLHS(), Fr).FPVal;
+        double B = evalOperand(C->getRHS(), Fr).FPVal;
+        bool Res = false;
+        switch (C->getPredicate()) {
+        case CmpPredicate::EQ:
+          Res = A == B;
+          break;
+        case CmpPredicate::NE:
+          Res = A != B;
+          break;
+        case CmpPredicate::SLT:
+          Res = A < B;
+          break;
+        case CmpPredicate::SLE:
+          Res = A <= B;
+          break;
+        case CmpPredicate::SGT:
+          Res = A > B;
+          break;
+        case CmpPredicate::SGE:
+          Res = A >= B;
+          break;
+        default:
+          return trap("bad fcmp predicate");
+        }
+        Fr.Regs[Ins] = RuntimeValue::makeInt(Res ? 1 : 0);
+        break;
+      }
+      case ValueKind::ZExt: {
+        RuntimeValue V = evalOperand(Ins->getOperand(0), Fr);
+        unsigned SrcW = Ins->getOperand(0)->getType()->getIntegerBitWidth();
+        Fr.Regs[Ins] = RuntimeValue::makeInt(truncateToWidth(V.Bits, SrcW));
+        break;
+      }
+      case ValueKind::SExt: {
+        RuntimeValue V = evalOperand(Ins->getOperand(0), Fr);
+        unsigned SrcW = Ins->getOperand(0)->getType()->getIntegerBitWidth();
+        unsigned DstW = Ins->getType()->getIntegerBitWidth();
+        Fr.Regs[Ins] = RuntimeValue::makeInt(truncateToWidth(
+            static_cast<uint64_t>(signExtend(V.Bits, SrcW)), DstW));
+        break;
+      }
+      case ValueKind::Trunc: {
+        RuntimeValue V = evalOperand(Ins->getOperand(0), Fr);
+        Fr.Regs[Ins] = RuntimeValue::makeInt(
+            truncateToWidth(V.Bits, Ins->getType()->getIntegerBitWidth()));
+        break;
+      }
+      case ValueKind::SIToFP: {
+        RuntimeValue V = evalOperand(Ins->getOperand(0), Fr);
+        unsigned SrcW = Ins->getOperand(0)->getType()->getIntegerBitWidth();
+        Fr.Regs[Ins] = RuntimeValue::makeFP(
+            static_cast<double>(signExtend(V.Bits, SrcW)));
+        break;
+      }
+      case ValueKind::FPToSI: {
+        RuntimeValue V = evalOperand(Ins->getOperand(0), Fr);
+        Fr.Regs[Ins] = RuntimeValue::makeInt(truncateToWidth(
+            static_cast<uint64_t>(static_cast<int64_t>(V.FPVal)),
+            Ins->getType()->getIntegerBitWidth()));
+        break;
+      }
+      case ValueKind::LandingPad:
+        // The token is opaque; nothing to compute.
+        Fr.Regs[Ins] = RuntimeValue::makePtr(0);
+        break;
+      case ValueKind::Call: {
+        const auto *CB = cast<CallInst>(Ins);
+        RuntimeValue Out;
+        if (CB->getCallee()->isDeclaration()) {
+          bool Threw = false;
+          if (!execExternalCall(CB, Fr, Out, /*MayThrow=*/false, Threw))
+            return false;
+        } else {
+          std::vector<RuntimeValue> CallArgs;
+          for (unsigned K = 0; K < CB->getNumArgs(); ++K)
+            CallArgs.push_back(evalOperand(CB->getArg(K), Fr));
+          bool CalleeThrew = false;
+          if (!callFunction(CB->getCallee(), CallArgs, Out, CalleeThrew,
+                            Depth + 1))
+            return false;
+          if (CalleeThrew) {
+            // A plain call cannot catch: propagate upward.
+            ThrewOut = true;
+            StackTop = Fr.SavedStackTop;
+            return true;
+          }
+        }
+        if (!Ins->getType()->isVoid())
+          Fr.Regs[Ins] = Out;
+        break;
+      }
+      case ValueKind::Invoke: {
+        const auto *Inv = cast<InvokeInst>(Ins);
+        RuntimeValue Out;
+        bool Threw = false;
+        if (Inv->getCallee()->isDeclaration()) {
+          if (!execExternalCall(Inv, Fr, Out, /*MayThrow=*/true, Threw))
+            return false;
+        } else {
+          std::vector<RuntimeValue> CallArgs;
+          for (unsigned K = 0; K < Inv->getNumArgs(); ++K)
+            CallArgs.push_back(evalOperand(Inv->getArg(K), Fr));
+          if (!callFunction(Inv->getCallee(), CallArgs, Out, Threw,
+                            Depth + 1))
+            return false;
+        }
+        if (!Ins->getType()->isVoid() && !Threw)
+          Fr.Regs[Ins] = Out;
+        PrevBB = BB;
+        BB = Threw ? Inv->getUnwindDest() : Inv->getNormalDest();
+        Transferred = true;
+        break;
+      }
+      case ValueKind::Resume:
+        ThrewOut = true;
+        StackTop = Fr.SavedStackTop;
+        return true;
+      case ValueKind::Br: {
+        const auto *Br = cast<BranchInst>(Ins);
+        PrevBB = BB;
+        if (Br->isConditional()) {
+          RuntimeValue C = evalOperand(Br->getCondition(), Fr);
+          BB = (C.Bits & 1) ? Br->getTrueDest() : Br->getFalseDest();
+        } else {
+          BB = Br->getTrueDest();
+        }
+        Transferred = true;
+        break;
+      }
+      case ValueKind::Switch: {
+        const auto *SW = cast<SwitchInst>(Ins);
+        RuntimeValue C = evalOperand(SW->getCondition(), Fr);
+        unsigned W = SW->getCondition()->getType()->getIntegerBitWidth();
+        uint64_t CV = truncateToWidth(C.Bits, W);
+        BasicBlock *Target = SW->getDefaultDest();
+        for (unsigned K = 0; K < SW->getNumCases(); ++K)
+          if (SW->getCaseValue(K)->getZExtValue() == CV) {
+            Target = SW->getCaseDest(K);
+            break;
+          }
+        PrevBB = BB;
+        BB = Target;
+        Transferred = true;
+        break;
+      }
+      case ValueKind::Ret: {
+        const auto *Rt = cast<RetInst>(Ins);
+        RetOut = Rt->hasReturnValue()
+                     ? evalOperand(Rt->getReturnValue(), Fr)
+                     : RuntimeValue::makeUndef();
+        StackTop = Fr.SavedStackTop;
+        return true;
+      }
+      case ValueKind::Unreachable:
+        return trap("executed unreachable");
+      default: {
+        // Binary operators.
+        const auto *BO = cast<BinaryOperator>(Ins);
+        RuntimeValue L = evalOperand(BO->getLHS(), Fr);
+        RuntimeValue Rv = evalOperand(BO->getRHS(), Fr);
+        Type *Ty = BO->getType();
+        if (Ty->isFloatingPoint()) {
+          double A = L.FPVal, B = Rv.FPVal, Res = 0;
+          switch (BO->getOpcode()) {
+          case ValueKind::FAdd:
+            Res = A + B;
+            break;
+          case ValueKind::FSub:
+            Res = A - B;
+            break;
+          case ValueKind::FMul:
+            Res = A * B;
+            break;
+          case ValueKind::FDiv:
+            Res = B == 0 ? 0 : A / B; // deterministic; avoids inf/nan noise
+            break;
+          default:
+            return trap("fp op on int opcode");
+          }
+          if (Ty->isFloat())
+            Res = static_cast<float>(Res);
+          Fr.Regs[Ins] = RuntimeValue::makeFP(Res);
+          break;
+        }
+        unsigned W = Ty->getIntegerBitWidth();
+        uint64_t A = truncateToWidth(L.Bits, W);
+        uint64_t B = truncateToWidth(Rv.Bits, W);
+        int64_t SA = signExtend(A, W), SB = signExtend(B, W);
+        uint64_t Res = 0;
+        switch (BO->getOpcode()) {
+        case ValueKind::Add:
+          Res = A + B;
+          break;
+        case ValueKind::Sub:
+          Res = A - B;
+          break;
+        case ValueKind::Mul:
+          Res = A * B;
+          break;
+        case ValueKind::SDiv:
+          if (SB == 0)
+            return trap("sdiv by zero");
+          if (SA == INT64_MIN && SB == -1)
+            return trap("sdiv overflow");
+          Res = static_cast<uint64_t>(SA / SB);
+          break;
+        case ValueKind::UDiv:
+          if (B == 0)
+            return trap("udiv by zero");
+          Res = A / B;
+          break;
+        case ValueKind::SRem:
+          if (SB == 0)
+            return trap("srem by zero");
+          if (SA == INT64_MIN && SB == -1)
+            return trap("srem overflow");
+          Res = static_cast<uint64_t>(SA % SB);
+          break;
+        case ValueKind::URem:
+          if (B == 0)
+            return trap("urem by zero");
+          Res = A % B;
+          break;
+        case ValueKind::And:
+          Res = A & B;
+          break;
+        case ValueKind::Or:
+          Res = A | B;
+          break;
+        case ValueKind::Xor:
+          Res = A ^ B;
+          break;
+        case ValueKind::Shl:
+          Res = B >= W ? 0 : A << B;
+          break;
+        case ValueKind::LShr:
+          Res = B >= W ? 0 : A >> B;
+          break;
+        case ValueKind::AShr:
+          Res = B >= W ? (SA < 0 ? ~uint64_t(0) : 0)
+                       : static_cast<uint64_t>(SA >> B);
+          break;
+        default:
+          return trap("unhandled opcode");
+        }
+        Fr.Regs[Ins] = RuntimeValue::makeInt(truncateToWidth(Res, W));
+        break;
+      }
+      }
+      Term = Ins;
+      (void)Term;
+    }
+    if (!Transferred)
+      return trap("fell off the end of a block");
+  }
+}
+
+ExecResult Interpreter::run(Function *F,
+                            const std::vector<RuntimeValue> &Args) {
+  ExecResult R;
+  ExecState State(*this, R);
+  RuntimeValue Ret;
+  bool Threw = false;
+  bool Completed = State.callFunction(F, Args, Ret, Threw, 0);
+  if (Completed) {
+    if (Threw)
+      R.St = ExecResult::Status::UnhandledException;
+    else
+      R.Return = Ret;
+  }
+  R.StepCount = R.StepCount; // already accumulated
+  // Hash of global memory (observable heap state).
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t A = 64; A < StackBase; ++A)
+    H = (H ^ Memory[A]) * 0x100000001b3ULL;
+  R.GlobalMemoryHash = H;
+  return R;
+}
+
+bool salssa::behaviourallyEqual(const ExecResult &A, const ExecResult &B) {
+  // Fuel exhaustion cuts execution at an arbitrary point; two programs with
+  // different per-iteration instruction counts (e.g. original vs merged)
+  // stop mid-loop at different places. Only the common prefix of externally
+  // observable behaviour is comparable then.
+  if (A.St == ExecResult::Status::OutOfFuel ||
+      B.St == ExecResult::Status::OutOfFuel) {
+    size_t N = std::min(A.Trace.size(), B.Trace.size());
+    for (size_t I = 0; I < N; ++I)
+      if (!(A.Trace[I] == B.Trace[I]))
+        return false;
+    return true;
+  }
+  if (A.St != B.St)
+    return false;
+  if (A.Trace.size() != B.Trace.size())
+    return false;
+  for (size_t I = 0; I < A.Trace.size(); ++I)
+    if (!(A.Trace[I] == B.Trace[I]))
+      return false;
+  if (A.GlobalMemoryHash != B.GlobalMemoryHash)
+    return false;
+  if (A.St == ExecResult::Status::Ok) {
+    if (A.Return.K != B.Return.K)
+      return false;
+    if (A.Return.K == RuntimeValue::Kind::FP)
+      return A.Return.FPVal == B.Return.FPVal;
+    if (A.Return.K != RuntimeValue::Kind::Undef)
+      return A.Return.Bits == B.Return.Bits;
+  }
+  return true;
+}

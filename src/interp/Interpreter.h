@@ -1,0 +1,145 @@
+//===- interp/Interpreter.h - IR interpreter ----------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An IR interpreter with three jobs in this reproduction:
+///
+///  1. *Differential testing*: after every merge, the original function and
+///     the merged function (dispatched on the function identifier) are run
+///     on the same inputs; return values and external-call traces must
+///     match. This is the correctness oracle for the FMSA and SalSSA code
+///     generators.
+///  2. *Runtime proxy* (Fig 25): dynamic instruction counts stand in for
+///     wall-clock execution time of the compiled program.
+///  3. Executing the example programs.
+///
+/// External (declared) functions behave deterministically: their result is
+/// a hash of the callee name and arguments, so traces are reproducible and
+/// identical across original/merged executions. Invoked externals can be
+/// configured to "throw" deterministically to exercise the landing-pad
+/// paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_INTERP_INTERPRETER_H
+#define SALSSA_INTERP_INTERPRETER_H
+
+#include "ir/Module.h"
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+/// A dynamic value. Integers and pointers live in Bits; floats in FPVal.
+struct RuntimeValue {
+  enum class Kind : uint8_t { Int, FP, Ptr, Undef };
+  Kind K = Kind::Undef;
+  uint64_t Bits = 0;
+  double FPVal = 0.0;
+
+  static RuntimeValue makeInt(uint64_t B) {
+    RuntimeValue V;
+    V.K = Kind::Int;
+    V.Bits = B;
+    return V;
+  }
+  static RuntimeValue makeFP(double D) {
+    RuntimeValue V;
+    V.K = Kind::FP;
+    V.FPVal = D;
+    return V;
+  }
+  static RuntimeValue makePtr(uint64_t Addr) {
+    RuntimeValue V;
+    V.K = Kind::Ptr;
+    V.Bits = Addr;
+    return V;
+  }
+  static RuntimeValue makeUndef() { return RuntimeValue(); }
+};
+
+/// One external call observed during execution. The sequence of these is
+/// the behavioural fingerprint the differential tests compare.
+struct CallTraceEntry {
+  std::string Callee;
+  std::vector<uint64_t> Args; ///< raw bits of each argument
+  uint64_t Result = 0;
+  bool Threw = false;
+
+  bool operator==(const CallTraceEntry &O) const {
+    return Callee == O.Callee && Args == O.Args && Result == O.Result &&
+           Threw == O.Threw;
+  }
+};
+
+/// Interpreter knobs.
+struct ExecOptions {
+  uint64_t MaxSteps = 10'000'000;
+  unsigned MaxCallDepth = 128;
+  /// Percentage [0,100] of invoked external calls that unwind
+  /// (deterministically chosen per call-site arguments).
+  unsigned ExternalThrowPercent = 0;
+  /// Seed mixed into external results and global initial contents.
+  uint64_t EnvSeed = 0x5a155aULL;
+};
+
+/// Outcome of one execution.
+struct ExecResult {
+  enum class Status : uint8_t {
+    Ok,
+    Trap,               ///< division by zero, bad memory, unreachable...
+    OutOfFuel,          ///< exceeded MaxSteps
+    UnhandledException, ///< exception escaped the entry function
+  };
+  Status St = Status::Ok;
+  RuntimeValue Return;
+  uint64_t StepCount = 0; ///< dynamic instruction count
+  std::vector<CallTraceEntry> Trace;
+  uint64_t GlobalMemoryHash = 0;
+  std::string TrapReason;
+
+  bool ok() const { return St == Status::Ok; }
+};
+
+/// Interprets functions of one module. Construction "loads" the module:
+/// globals receive deterministic pseudo-random initial contents derived
+/// from EnvSeed.
+class Interpreter {
+public:
+  Interpreter(Module &M, const ExecOptions &Opts = ExecOptions());
+
+  /// Runs \p F with \p Args (must match the signature).
+  ExecResult run(Function *F, const std::vector<RuntimeValue> &Args);
+
+  /// Resets globals/heap to the initial deterministic state so that
+  /// repeated runs are independent.
+  void resetMemory();
+
+  /// Registers a native handler for a declared function (overrides the
+  /// hash-based default). The handler sees raw argument bits.
+  using NativeHandler =
+      std::function<RuntimeValue(const std::vector<RuntimeValue> &)>;
+  void registerNative(const std::string &Name, NativeHandler H);
+
+private:
+  friend class ExecState;
+  Module &M;
+  ExecOptions Opts;
+  std::vector<uint8_t> Memory; ///< flat arena: [null page][globals][stack]
+  size_t StackBase = 0;        ///< start of the stack region
+  std::map<const GlobalVariable *, uint64_t> GlobalAddr;
+  std::map<std::string, NativeHandler> Natives;
+};
+
+/// Compares two results for behavioural equivalence: status, return bits,
+/// call traces and final global memory. Used by the merge tests.
+bool behaviourallyEqual(const ExecResult &A, const ExecResult &B);
+
+} // namespace salssa
+
+#endif // SALSSA_INTERP_INTERPRETER_H

@@ -1,0 +1,134 @@
+//===- ir/Constant.h - Constant values ------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constants: integers, floating point, undef, null pointers, and global
+/// variables (whose address is the constant). Constants are interned by the
+/// Context (globals by the Module), so pointer equality is value equality —
+/// the alignment code relies on this when comparing operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_CONSTANT_H
+#define SALSSA_IR_CONSTANT_H
+
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+namespace salssa {
+
+class Context;
+
+/// Common base of all constants.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    ValueKind K = V->getValueKind();
+    return K >= ConstFirstKind && K <= ConstLastKind;
+  }
+
+protected:
+  Constant(ValueKind K, Type *T) : Value(K, T) {}
+};
+
+/// An integer constant of some integer type; the value is stored
+/// sign-agnostically in 64 bits, truncated to the type's width.
+class ConstantInt : public Constant {
+public:
+  /// Raw bits, zero-extended to 64.
+  uint64_t getZExtValue() const { return Bits; }
+  /// Sign-extended interpretation.
+  int64_t getSExtValue() const;
+  bool isZero() const { return Bits == 0; }
+  bool isOne() const { return Bits == 1; }
+  /// For i1 constants.
+  bool isTrue() const { return getType()->isBool() && Bits == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  friend class Context;
+  ConstantInt(Type *T, uint64_t B)
+      : Constant(ValueKind::ConstantInt, T), Bits(B) {}
+  uint64_t Bits;
+};
+
+/// A floating-point constant (float or double type).
+class ConstantFP : public Constant {
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantFP;
+  }
+
+private:
+  friend class Context;
+  ConstantFP(Type *T, double V) : Constant(ValueKind::ConstantFP, T), Val(V) {}
+  double Val;
+};
+
+/// An undefined value of any first-class type. SalSSA's phi generation uses
+/// undef for incoming flows that belong to "the other" input function
+/// (§4.2.3 of the paper); by construction those flows are never taken.
+class UndefValue : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::UndefValue;
+  }
+
+private:
+  friend class Context;
+  explicit UndefValue(Type *T) : Constant(ValueKind::UndefValue, T) {}
+};
+
+/// The null pointer constant.
+class ConstantPointerNull : public Constant {
+public:
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantPointerNull;
+  }
+
+private:
+  friend class Context;
+  explicit ConstantPointerNull(Type *T)
+      : Constant(ValueKind::ConstantPointerNull, T) {}
+};
+
+/// A module-level variable; the Value is its address (pointer type). Used
+/// by workloads to model lookup tables and mutable program state.
+class GlobalVariable : public Constant {
+public:
+  /// Type of the pointee storage.
+  Type *getValueType() const { return ValueTy; }
+  /// Number of elements of getValueType() the storage holds (arrays).
+  unsigned getNumElements() const { return NumElements; }
+  /// Total byte size of the storage.
+  unsigned getStorageSize() const {
+    return ValueTy->getStoreSize() * NumElements;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  friend class Module;
+  GlobalVariable(Type *PtrTy, Type *ValTy, unsigned N,
+                 const std::string &Name)
+      : Constant(ValueKind::GlobalVariable, PtrTy), ValueTy(ValTy),
+        NumElements(N) {
+    setName(Name);
+  }
+  Type *ValueTy;
+  unsigned NumElements;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_IR_CONSTANT_H

@@ -1,0 +1,70 @@
+//===- ir/Context.cpp - IR ownership context -------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include <cstring>
+
+using namespace salssa;
+
+static uint64_t truncateToWidth(uint64_t Bits, unsigned Width) {
+  if (Width >= 64)
+    return Bits;
+  return Bits & ((uint64_t(1) << Width) - 1);
+}
+
+ConstantInt *Context::getInt(Type *Ty, uint64_t Bits) {
+  assert(Ty->isInteger() && "integer constant of non-integer type");
+  Bits = truncateToWidth(Bits, Ty->getIntegerBitWidth());
+  auto Key = std::make_pair(Ty, Bits);
+  auto It = IntPool.find(Key);
+  if (It != IntPool.end())
+    return It->second.get();
+  auto *C = new ConstantInt(Ty, Bits);
+  IntPool.emplace(Key, std::unique_ptr<ConstantInt>(C));
+  return C;
+}
+
+ConstantFP *Context::getFP(Type *Ty, double V) {
+  assert(Ty->isFloatingPoint() && "fp constant of non-fp type");
+  if (Ty->isFloat())
+    V = static_cast<float>(V); // canonicalize to float precision
+  uint64_t Key64;
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  std::memcpy(&Key64, &V, sizeof(V));
+  auto Key = std::make_pair(Ty, Key64);
+  auto It = FPPool.find(Key);
+  if (It != FPPool.end())
+    return It->second.get();
+  auto *C = new ConstantFP(Ty, V);
+  FPPool.emplace(Key, std::unique_ptr<ConstantFP>(C));
+  return C;
+}
+
+UndefValue *Context::getUndef(Type *Ty) {
+  assert(Ty->isFirstClass() && "undef of non-first-class type");
+  auto It = UndefPool.find(Ty);
+  if (It != UndefPool.end())
+    return It->second.get();
+  auto *U = new UndefValue(Ty);
+  UndefPool.emplace(Ty, std::unique_ptr<UndefValue>(U));
+  return U;
+}
+
+ConstantPointerNull *Context::getNullPtr() {
+  if (!NullPtr)
+    NullPtr.reset(new ConstantPointerNull(ptrTy()));
+  return NullPtr.get();
+}
+
+int64_t ConstantInt::getSExtValue() const {
+  unsigned W = getType()->getIntegerBitWidth();
+  if (W >= 64)
+    return static_cast<int64_t>(Bits);
+  uint64_t SignBit = uint64_t(1) << (W - 1);
+  if (Bits & SignBit)
+    return static_cast<int64_t>(Bits | ~((uint64_t(1) << W) - 1));
+  return static_cast<int64_t>(Bits);
+}

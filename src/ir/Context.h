@@ -1,0 +1,72 @@
+//===- ir/Context.h - IR ownership context ---------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Context owns the type system and interns context-wide constants
+/// (integers, fp, undef, null). Modules, functions and instructions all
+/// live against a single Context; the whole pipeline (workload generation,
+/// merging, size modeling, interpretation) shares one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_CONTEXT_H
+#define SALSSA_IR_CONTEXT_H
+
+#include "ir/Constant.h"
+#include "ir/Type.h"
+#include <map>
+#include <memory>
+
+namespace salssa {
+
+/// Owns types and interned constants.
+class Context {
+public:
+  Context() = default;
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  TypeContext &types() { return Types; }
+
+  Type *voidTy() { return Types.getVoidTy(); }
+  Type *int1Ty() { return Types.getInt1Ty(); }
+  Type *int8Ty() { return Types.getInt8Ty(); }
+  Type *int16Ty() { return Types.getInt16Ty(); }
+  Type *int32Ty() { return Types.getInt32Ty(); }
+  Type *int64Ty() { return Types.getInt64Ty(); }
+  Type *floatTy() { return Types.getFloatTy(); }
+  Type *doubleTy() { return Types.getDoubleTy(); }
+  Type *ptrTy() { return Types.getPointerTy(); }
+
+  /// Interned integer constant of type \p Ty; \p Bits is truncated to the
+  /// type's width.
+  ConstantInt *getInt(Type *Ty, uint64_t Bits);
+  ConstantInt *getInt1(bool B) { return getInt(int1Ty(), B ? 1 : 0); }
+  ConstantInt *getInt32(uint64_t V) { return getInt(int32Ty(), V); }
+  ConstantInt *getInt64(uint64_t V) { return getInt(int64Ty(), V); }
+  ConstantInt *getTrue() { return getInt1(true); }
+  ConstantInt *getFalse() { return getInt1(false); }
+
+  /// Interned floating-point constant.
+  ConstantFP *getFP(Type *Ty, double V);
+
+  /// Interned undef of any first-class type.
+  UndefValue *getUndef(Type *Ty);
+
+  /// The null pointer constant.
+  ConstantPointerNull *getNullPtr();
+
+private:
+  TypeContext Types;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantInt>> IntPool;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantFP>> FPPool;
+  std::map<Type *, std::unique_ptr<UndefValue>> UndefPool;
+  std::unique_ptr<ConstantPointerNull> NullPtr;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_IR_CONTEXT_H

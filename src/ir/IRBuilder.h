@@ -1,0 +1,199 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IRBuilder appends instructions to a basic block (or before an
+/// insertion point) with type bookkeeping handled centrally. All examples,
+/// workload generators and code generators build IR through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_IRBUILDER_H
+#define SALSSA_IR_IRBUILDER_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+namespace salssa {
+
+/// Instruction factory with an insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+  IRBuilder(Context &Ctx, BasicBlock *BB) : Ctx(Ctx), InsertBlock(BB) {}
+
+  Context &getContext() { return Ctx; }
+
+  /// Appends at the end of \p BB from now on.
+  void setInsertPoint(BasicBlock *BB) {
+    InsertBlock = BB;
+    InsertBefore = nullptr;
+  }
+
+  /// Inserts before \p I from now on.
+  void setInsertPoint(Instruction *I) {
+    InsertBlock = I->getParent();
+    InsertBefore = I;
+  }
+
+  BasicBlock *getInsertBlock() const { return InsertBlock; }
+
+  /// \name Arithmetic.
+  /// @{
+  Value *createBinOp(ValueKind Op, Value *L, Value *R,
+                     const std::string &Name = "") {
+    return insert(new BinaryOperator(Op, L, R), Name);
+  }
+  Value *createAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(ValueKind::Add, L, R, Name);
+  }
+  Value *createSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(ValueKind::Sub, L, R, Name);
+  }
+  Value *createMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(ValueKind::Mul, L, R, Name);
+  }
+  Value *createAnd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(ValueKind::And, L, R, Name);
+  }
+  Value *createOr(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(ValueKind::Or, L, R, Name);
+  }
+  Value *createXor(Value *L, Value *R, const std::string &Name = "") {
+    return createBinOp(ValueKind::Xor, L, R, Name);
+  }
+  /// @}
+
+  /// \name Comparisons, select, casts.
+  /// @{
+  Value *createICmp(CmpPredicate P, Value *L, Value *R,
+                    const std::string &Name = "") {
+    return insert(new ICmpInst(P, L, R, Ctx.int1Ty()), Name);
+  }
+  Value *createFCmp(CmpPredicate P, Value *L, Value *R,
+                    const std::string &Name = "") {
+    return insert(new FCmpInst(P, L, R, Ctx.int1Ty()), Name);
+  }
+  Value *createSelect(Value *C, Value *T, Value *F,
+                      const std::string &Name = "") {
+    return insert(new SelectInst(C, T, F), Name);
+  }
+  Value *createCast(ValueKind Op, Value *V, Type *DestTy,
+                    const std::string &Name = "") {
+    return insert(new CastInst(Op, V, DestTy), Name);
+  }
+  Value *createZExt(Value *V, Type *DestTy, const std::string &Name = "") {
+    return createCast(ValueKind::ZExt, V, DestTy, Name);
+  }
+  Value *createSExt(Value *V, Type *DestTy, const std::string &Name = "") {
+    return createCast(ValueKind::SExt, V, DestTy, Name);
+  }
+  Value *createTrunc(Value *V, Type *DestTy, const std::string &Name = "") {
+    return createCast(ValueKind::Trunc, V, DestTy, Name);
+  }
+  /// @}
+
+  /// \name Memory.
+  /// @{
+  AllocaInst *createAlloca(Type *AllocTy, unsigned NumElems = 1,
+                           const std::string &Name = "") {
+    auto *A = new AllocaInst(AllocTy, Ctx.ptrTy(), NumElems);
+    insert(A, Name);
+    return A;
+  }
+  Value *createLoad(Type *Ty, Value *Ptr, const std::string &Name = "") {
+    return insert(new LoadInst(Ty, Ptr), Name);
+  }
+  Instruction *createStore(Value *V, Value *Ptr) {
+    return insert(new StoreInst(V, Ptr, Ctx.voidTy()), "");
+  }
+  Value *createGep(Type *ElemTy, Value *Base, Value *Index,
+                   const std::string &Name = "") {
+    return insert(new GepInst(ElemTy, Base, Index, Ctx.ptrTy()), Name);
+  }
+  /// @}
+
+  /// \name Calls and EH.
+  /// @{
+  CallInst *createCall(Function *F, const std::vector<Value *> &Args,
+                       const std::string &Name = "") {
+    auto *C = new CallInst(F, Args, F->getReturnType());
+    insert(C, Name);
+    return C;
+  }
+  InvokeInst *createInvoke(Function *F, const std::vector<Value *> &Args,
+                           BasicBlock *NormalDest, BasicBlock *UnwindDest,
+                           const std::string &Name = "") {
+    auto *I = new InvokeInst(F, Args, F->getReturnType(), NormalDest,
+                             UnwindDest);
+    insert(I, Name);
+    return I;
+  }
+  LandingPadInst *createLandingPad(const std::string &Name = "") {
+    auto *L = new LandingPadInst(Ctx.ptrTy());
+    insert(L, Name);
+    return L;
+  }
+  Instruction *createResume(Value *Token) {
+    return insert(new ResumeInst(Token, Ctx.voidTy()), "");
+  }
+  /// @}
+
+  /// \name Phi and terminators.
+  /// @{
+  PhiInst *createPhi(Type *Ty, const std::string &Name = "") {
+    auto *P = new PhiInst(Ty);
+    insert(P, Name);
+    return P;
+  }
+  BranchInst *createBr(BasicBlock *Dest) {
+    auto *B = new BranchInst(Dest, Ctx.voidTy());
+    insert(B, "");
+    return B;
+  }
+  BranchInst *createCondBr(Value *Cond, BasicBlock *TrueDest,
+                           BasicBlock *FalseDest) {
+    auto *B = new BranchInst(Cond, TrueDest, FalseDest, Ctx.voidTy());
+    insert(B, "");
+    return B;
+  }
+  SwitchInst *createSwitch(Value *Cond, BasicBlock *DefaultDest) {
+    auto *S = new SwitchInst(Cond, DefaultDest, Ctx.voidTy());
+    insert(S, "");
+    return S;
+  }
+  Instruction *createRet(Value *V) {
+    return insert(new RetInst(V, Ctx.voidTy()), "");
+  }
+  Instruction *createRetVoid() {
+    return insert(new RetInst(Ctx.voidTy()), "");
+  }
+  Instruction *createUnreachable() {
+    return insert(new UnreachableInst(Ctx.voidTy()), "");
+  }
+  /// @}
+
+private:
+  template <typename InstT> InstT *insert(InstT *I, const std::string &Name) {
+    assert(InsertBlock && "no insertion point set");
+    if (!Name.empty())
+      I->setName(Name);
+    if (InsertBefore)
+      I->insertBefore(InsertBefore);
+    else
+      InsertBlock->push_back(I);
+    return I;
+  }
+
+  Context &Ctx;
+  BasicBlock *InsertBlock = nullptr;
+  Instruction *InsertBefore = nullptr;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_IR_IRBUILDER_H

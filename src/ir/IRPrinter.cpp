@@ -1,0 +1,274 @@
+//===- ir/IRPrinter.cpp - Textual IR printing --------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include <map>
+#include <sstream>
+
+using namespace salssa;
+
+namespace {
+
+/// Assigns stable local names (%0, %1, ... and ^bb0, ...) to anonymous
+/// values and blocks within one function.
+class SlotTracker {
+public:
+  explicit SlotTracker(const Function &F) {
+    for (const auto &A : F.args())
+      nameOf(A.get());
+    for (const BasicBlock *BB : F) {
+      blockNameOf(BB);
+      for (const Instruction *I : *BB)
+        if (!I->getType()->isVoid())
+          nameOf(I);
+    }
+  }
+
+  std::string nameOf(const Value *V) {
+    if (V->hasName())
+      return "%" + V->getName();
+    auto It = ValueSlots.find(V);
+    if (It != ValueSlots.end())
+      return "%" + std::to_string(It->second);
+    unsigned Slot = NextValue++;
+    ValueSlots.emplace(V, Slot);
+    return "%" + std::to_string(Slot);
+  }
+
+  std::string blockNameOf(const BasicBlock *BB) {
+    if (!BB)
+      return "<null-block>";
+    if (!BB->getName().empty())
+      return BB->getName();
+    auto It = BlockSlots.find(BB);
+    if (It != BlockSlots.end())
+      return "bb" + std::to_string(It->second);
+    unsigned Slot = NextBlock++;
+    BlockSlots.emplace(BB, Slot);
+    return "bb" + std::to_string(Slot);
+  }
+
+private:
+  std::map<const Value *, unsigned> ValueSlots;
+  std::map<const BasicBlock *, unsigned> BlockSlots;
+  unsigned NextValue = 0;
+  unsigned NextBlock = 0;
+};
+
+std::string renderOperand(const Value *V, SlotTracker *Slots) {
+  if (!V)
+    return "<null>";
+  if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+    if (CI->getType()->isBool())
+      return CI->isTrue() ? "true" : "false";
+    return std::to_string(CI->getSExtValue());
+  }
+  if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+    std::ostringstream OS;
+    OS << CF->getValue();
+    return OS.str();
+  }
+  if (isa<UndefValue>(V))
+    return "undef";
+  if (isa<ConstantPointerNull>(V))
+    return "null";
+  if (const auto *G = dyn_cast<GlobalVariable>(V))
+    return "@" + G->getName();
+  if (Slots)
+    return Slots->nameOf(V);
+  return V->hasName() ? "%" + V->getName() : "<badref>";
+}
+
+void renderInstruction(const Instruction &I, SlotTracker *Slots,
+                       std::ostringstream &OS) {
+  auto Op = [&](const Value *V) { return renderOperand(V, Slots); };
+  auto Blk = [&](const BasicBlock *BB) {
+    return Slots ? Slots->blockNameOf(BB)
+                 : (BB && !BB->getName().empty() ? BB->getName() : "<bb>");
+  };
+
+  if (!I.getType()->isVoid())
+    OS << Op(&I) << " = ";
+
+  switch (I.getOpcode()) {
+  case ValueKind::ICmp:
+  case ValueKind::FCmp: {
+    const auto &C = *cast<CmpInst>(&I);
+    OS << I.getOpcodeName() << " " << cmpPredicateName(C.getPredicate())
+       << " " << C.getLHS()->getType()->getName() << " " << Op(C.getLHS())
+       << ", " << Op(C.getRHS());
+    return;
+  }
+  case ValueKind::Select: {
+    const auto &S = *cast<SelectInst>(&I);
+    OS << "select i1 " << Op(S.getCondition()) << ", "
+       << S.getType()->getName() << " " << Op(S.getTrueValue()) << ", "
+       << Op(S.getFalseValue());
+    return;
+  }
+  case ValueKind::Alloca: {
+    const auto &A = *cast<AllocaInst>(&I);
+    OS << "alloca " << A.getAllocatedType()->getName();
+    if (A.getNumElements() != 1)
+      OS << ", " << A.getNumElements();
+    return;
+  }
+  case ValueKind::Load: {
+    const auto &L = *cast<LoadInst>(&I);
+    OS << "load " << L.getType()->getName() << ", ptr "
+       << Op(L.getPointerOperand());
+    return;
+  }
+  case ValueKind::Store: {
+    const auto &S = *cast<StoreInst>(&I);
+    OS << "store " << S.getValueOperand()->getType()->getName() << " "
+       << Op(S.getValueOperand()) << ", ptr " << Op(S.getPointerOperand());
+    return;
+  }
+  case ValueKind::Gep: {
+    const auto &G = *cast<GepInst>(&I);
+    OS << "gep " << G.getElementType()->getName() << ", ptr "
+       << Op(G.getBaseOperand()) << ", " << Op(G.getIndexOperand());
+    return;
+  }
+  case ValueKind::Call:
+  case ValueKind::Invoke: {
+    const auto &C = *cast<CallBase>(&I);
+    OS << I.getOpcodeName() << " " << I.getType()->getName() << " @"
+       << (C.getCallee() ? C.getCallee()->getName() : "<null>") << "(";
+    for (unsigned A = 0; A != C.getNumArgs(); ++A) {
+      if (A)
+        OS << ", ";
+      OS << Op(C.getArg(A));
+    }
+    OS << ")";
+    if (const auto *Inv = dyn_cast<InvokeInst>(&I))
+      OS << " to " << Blk(Inv->getNormalDest()) << " unwind "
+         << Blk(Inv->getUnwindDest());
+    return;
+  }
+  case ValueKind::LandingPad:
+    OS << "landingpad";
+    return;
+  case ValueKind::Resume:
+    OS << "resume " << Op(cast<ResumeInst>(&I)->getToken());
+    return;
+  case ValueKind::Phi: {
+    const auto &P = *cast<PhiInst>(&I);
+    OS << "phi " << P.getType()->getName() << " ";
+    for (unsigned K = 0; K != P.getNumIncoming(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << "[" << Op(P.getIncomingValue(K)) << ", "
+         << Blk(P.getIncomingBlock(K)) << "]";
+    }
+    return;
+  }
+  case ValueKind::Br: {
+    const auto &B = *cast<BranchInst>(&I);
+    if (B.isConditional())
+      OS << "br i1 " << Op(B.getCondition()) << ", " << Blk(B.getTrueDest())
+         << ", " << Blk(B.getFalseDest());
+    else
+      OS << "br " << Blk(B.getTrueDest());
+    return;
+  }
+  case ValueKind::Switch: {
+    const auto &S = *cast<SwitchInst>(&I);
+    OS << "switch " << S.getCondition()->getType()->getName() << " "
+       << Op(S.getCondition()) << ", default " << Blk(S.getDefaultDest())
+       << " [";
+    for (unsigned C = 0; C != S.getNumCases(); ++C) {
+      if (C)
+        OS << " ";
+      OS << Op(S.getCaseValue(C)) << ":" << Blk(S.getCaseDest(C));
+    }
+    OS << "]";
+    return;
+  }
+  case ValueKind::Ret: {
+    const auto &R = *cast<RetInst>(&I);
+    if (R.hasReturnValue())
+      OS << "ret " << R.getReturnValue()->getType()->getName() << " "
+         << Op(R.getReturnValue());
+    else
+      OS << "ret void";
+    return;
+  }
+  case ValueKind::Unreachable:
+    OS << "unreachable";
+    return;
+  default:
+    break;
+  }
+
+  // Binary operators and casts share a generic form.
+  OS << I.getOpcodeName() << " ";
+  if (I.isCast())
+    OS << Op(I.getOperand(0)) << " to " << I.getType()->getName();
+  else {
+    OS << I.getType()->getName() << " ";
+    for (unsigned K = 0; K != I.getNumOperands(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << Op(I.getOperand(K));
+    }
+  }
+}
+
+} // namespace
+
+std::string salssa::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << (F.isDeclaration() ? "declare " : "define ")
+     << F.getReturnType()->getName() << " @" << F.getName() << "(";
+  for (unsigned I = 0; I != F.getNumArgs(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.getArg(I)->getType()->getName() << " %"
+       << F.getArg(I)->getName();
+  }
+  OS << ")";
+  if (F.isDeclaration()) {
+    OS << "\n";
+    return OS.str();
+  }
+  SlotTracker Slots(F);
+  OS << " {\n";
+  for (const BasicBlock *BB : F) {
+    OS << Slots.blockNameOf(BB) << ":\n";
+    for (const Instruction *I : *BB) {
+      OS << "  ";
+      renderInstruction(*I, &Slots, OS);
+      OS << "\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string salssa::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "; module " << M.getName() << "\n";
+  for (const auto &G : M.globals())
+    OS << "@" << G->getName() << " = global " << G->getValueType()->getName()
+       << " x " << G->getNumElements() << "\n";
+  for (const Function *F : M.functions())
+    OS << "\n" << printFunction(*F);
+  return OS.str();
+}
+
+std::string salssa::printInstruction(const Instruction &I) {
+  std::ostringstream OS;
+  if (const Function *F = I.getFunction()) {
+    SlotTracker Slots(*F);
+    renderInstruction(I, &Slots, OS);
+  } else {
+    renderInstruction(I, nullptr, OS);
+  }
+  return OS.str();
+}

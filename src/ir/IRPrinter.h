@@ -1,0 +1,38 @@
+//===- ir/IRPrinter.h - Textual IR printing ---------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR in an LLVM-like textual form, mainly for debugging, golden
+/// tests and the examples. Unnamed values get sequential %N numbers; block
+/// labels likewise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_IRPRINTER_H
+#define SALSSA_IR_IRPRINTER_H
+
+#include <string>
+
+namespace salssa {
+
+class Function;
+class Module;
+class Instruction;
+class Value;
+
+/// Renders a whole function as text.
+std::string printFunction(const Function &F);
+
+/// Renders every function of \p M.
+std::string printModule(const Module &M);
+
+/// One-line rendering of a single instruction (names resolved within its
+/// parent function when linked; otherwise operands print as <badref>).
+std::string printInstruction(const Instruction &I);
+
+} // namespace salssa
+
+#endif // SALSSA_IR_IRPRINTER_H

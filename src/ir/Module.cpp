@@ -1,0 +1,62 @@
+//===- ir/Module.cpp - Module implementation ---------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include <algorithm>
+
+using namespace salssa;
+
+Module::~Module() {
+  // Drop-then-delete across the whole module: member destruction order
+  // would otherwise destroy Globals while function bodies still hold
+  // use-list edges into them.
+  for (auto &Entry : FunctionMap)
+    Entry.second->clearBody();
+}
+
+Function *Module::createFunction(const std::string &Name, Type *FnTy) {
+  assert(!FunctionMap.count(Name) && "duplicate function name");
+  auto *F = new Function(Name, FnTy, this, NextFunctionNumber++);
+  FunctionMap.emplace(Name, std::unique_ptr<Function>(F));
+  FunctionOrder.push_back(F);
+  return F;
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  auto It = FunctionMap.find(Name);
+  return It == FunctionMap.end() ? nullptr : It->second.get();
+}
+
+void Module::eraseFunction(Function *F) {
+  auto It = FunctionMap.find(F->getName());
+  assert(It != FunctionMap.end() && It->second.get() == F &&
+         "function is not owned by this module");
+  FunctionOrder.erase(
+      std::find(FunctionOrder.begin(), FunctionOrder.end(), F));
+  FunctionMap.erase(It);
+}
+
+GlobalVariable *Module::createGlobal(const std::string &Name, Type *ValTy,
+                                     unsigned NumElements) {
+  auto *G = new GlobalVariable(Ctx.ptrTy(), ValTy, NumElements, Name);
+  Globals.emplace_back(G);
+  return G;
+}
+
+size_t Module::getInstructionCount() const {
+  size_t N = 0;
+  for (const Function *F : FunctionOrder)
+    N += F->getInstructionCount();
+  return N;
+}
+
+std::string Module::makeUniqueName(const std::string &Prefix) {
+  std::string Candidate;
+  do {
+    Candidate = Prefix + "." + std::to_string(NextUniqueId++);
+  } while (FunctionMap.count(Candidate));
+  return Candidate;
+}

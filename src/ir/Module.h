@@ -1,0 +1,78 @@
+//===- ir/Module.h - Module -------------------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A module: the unit of "link-time optimization" in this reproduction. It
+/// owns functions and global variables. The merging pass operates over a
+/// whole module, mirroring the paper's LTO pipeline (Fig 16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_MODULE_H
+#define SALSSA_IR_MODULE_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include <map>
+#include <memory>
+
+namespace salssa {
+
+/// Owns functions and globals; belongs to a Context.
+class Module {
+public:
+  Module(const std::string &Name, Context &Ctx) : Name(Name), Ctx(Ctx) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+  /// Tears down all function bodies before members destruct, so no
+  /// instruction outlives the globals (or other values) it references.
+  ~Module();
+
+  const std::string &getName() const { return Name; }
+  Context &getContext() { return Ctx; }
+
+  /// Creates a function with fresh arguments from \p FnTy. The name must
+  /// be unique within the module.
+  Function *createFunction(const std::string &Name, Type *FnTy);
+
+  /// Returns the named function or null.
+  Function *getFunction(const std::string &Name) const;
+
+  /// Removes and deletes \p F. The caller guarantees no call sites
+  /// reference it.
+  void eraseFunction(Function *F);
+
+  /// Creates a module-level variable of \p ValTy x \p NumElements and
+  /// returns its address constant.
+  GlobalVariable *createGlobal(const std::string &Name, Type *ValTy,
+                               unsigned NumElements = 1);
+
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  /// Functions in creation order.
+  const std::vector<Function *> &functions() const { return FunctionOrder; }
+
+  /// Total instruction count of all definitions.
+  size_t getInstructionCount() const;
+
+  /// Fresh name with the given prefix, unique within the module.
+  std::string makeUniqueName(const std::string &Prefix);
+
+private:
+  std::string Name;
+  Context &Ctx;
+  std::map<std::string, std::unique_ptr<Function>> FunctionMap;
+  std::vector<Function *> FunctionOrder;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  unsigned NextFunctionNumber = 0;
+  unsigned NextUniqueId = 0;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_IR_MODULE_H

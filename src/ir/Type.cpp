@@ -1,0 +1,96 @@
+//===- ir/Type.cpp - IR type system ---------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+using namespace salssa;
+
+unsigned Type::getStoreSize() const {
+  switch (TheKind) {
+  case Kind::Void:
+  case Kind::FunctionTy:
+    return 0;
+  case Kind::Integer:
+    return BitWidth <= 8 ? 1 : BitWidth / 8;
+  case Kind::Float:
+    return 4;
+  case Kind::Double:
+    return 8;
+  case Kind::Pointer:
+    return 8;
+  }
+  return 0;
+}
+
+std::string Type::getName() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Integer:
+    return "i" + std::to_string(BitWidth);
+  case Kind::Float:
+    return "float";
+  case Kind::Double:
+    return "double";
+  case Kind::Pointer:
+    return "ptr";
+  case Kind::FunctionTy: {
+    std::string S = RetTy->getName() + " (";
+    for (size_t I = 0; I < ParamTys.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += ParamTys[I]->getName();
+    }
+    S += ")";
+    return S;
+  }
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext() {
+  VoidTy = makeSimple(Type::Kind::Void);
+  Int1Ty = makeSimple(Type::Kind::Integer, 1);
+  Int8Ty = makeSimple(Type::Kind::Integer, 8);
+  Int16Ty = makeSimple(Type::Kind::Integer, 16);
+  Int32Ty = makeSimple(Type::Kind::Integer, 32);
+  Int64Ty = makeSimple(Type::Kind::Integer, 64);
+  FloatTy = makeSimple(Type::Kind::Float);
+  DoubleTy = makeSimple(Type::Kind::Double);
+  PointerTy = makeSimple(Type::Kind::Pointer);
+}
+
+Type *TypeContext::getIntegerTy(unsigned Bits) {
+  switch (Bits) {
+  case 1:
+    return getInt1Ty();
+  case 8:
+    return getInt8Ty();
+  case 16:
+    return getInt16Ty();
+  case 32:
+    return getInt32Ty();
+  case 64:
+    return getInt64Ty();
+  default:
+    assert(false && "unsupported integer width");
+    return nullptr;
+  }
+}
+
+Type *TypeContext::getFunctionTy(Type *Ret,
+                                 const std::vector<Type *> &Params) {
+  auto Key = std::make_pair(Ret, Params);
+  auto It = FunctionTys.find(Key);
+  if (It != FunctionTys.end())
+    return It->second.get();
+  std::unique_ptr<Type> Ty(new Type(Type::Kind::FunctionTy, 0));
+  Ty->RetTy = Ret;
+  Ty->ParamTys = Params;
+  Type *Raw = Ty.get();
+  FunctionTys.emplace(std::move(Key), std::move(Ty));
+  return Raw;
+}

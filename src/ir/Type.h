@@ -1,0 +1,131 @@
+//===- ir/Type.h - IR type system -----------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR type system: void, integers (i1..i64), float, double, an opaque
+/// pointer type, and function types. All types are interned in a
+/// TypeContext, so type equality is pointer equality — the property the
+/// merging code relies on when deciding whether two instructions or two
+/// disjoint definitions are type-compatible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_TYPE_H
+#define SALSSA_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+class TypeContext;
+
+/// A node in the interned type graph. Never constructed directly; obtain
+/// instances through TypeContext.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    Integer,
+    Float,
+    Double,
+    Pointer, // opaque, as in modern LLVM
+    FunctionTy,
+  };
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isInteger() const { return TheKind == Kind::Integer; }
+  bool isIntegerWidth(unsigned W) const {
+    return isInteger() && BitWidth == W;
+  }
+  bool isBool() const { return isIntegerWidth(1); }
+  bool isFloat() const { return TheKind == Kind::Float; }
+  bool isDouble() const { return TheKind == Kind::Double; }
+  bool isFloatingPoint() const { return isFloat() || isDouble(); }
+  bool isPointer() const { return TheKind == Kind::Pointer; }
+  bool isFunction() const { return TheKind == Kind::FunctionTy; }
+  /// True for types a value of which can be produced/consumed by
+  /// instructions (everything except void and function types).
+  bool isFirstClass() const { return !isVoid() && !isFunction(); }
+
+  /// Bit width of an integer type.
+  unsigned getIntegerBitWidth() const {
+    assert(isInteger() && "not an integer type");
+    return BitWidth;
+  }
+
+  /// Return type of a function type.
+  Type *getReturnType() const {
+    assert(isFunction() && "not a function type");
+    return RetTy;
+  }
+
+  /// Parameter types of a function type.
+  const std::vector<Type *> &getParamTypes() const {
+    assert(isFunction() && "not a function type");
+    return ParamTys;
+  }
+
+  /// Size in bytes a value of this type occupies in the interpreter's
+  /// memory model (also used by the Gep/Alloca sizing and the size model).
+  unsigned getStoreSize() const;
+
+  /// Renders the type in LLVM-like syntax, e.g. "i32", "ptr", "double".
+  std::string getName() const;
+
+private:
+  friend class TypeContext;
+  Type(Kind K, unsigned Width) : TheKind(K), BitWidth(Width) {}
+
+  Kind TheKind;
+  unsigned BitWidth = 0;           // integers only
+  Type *RetTy = nullptr;           // function types only
+  std::vector<Type *> ParamTys;    // function types only
+};
+
+/// Owns and interns all types. One per Context.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  Type *getVoidTy() { return VoidTy.get(); }
+  Type *getInt1Ty() { return Int1Ty.get(); }
+  Type *getInt8Ty() { return Int8Ty.get(); }
+  Type *getInt16Ty() { return Int16Ty.get(); }
+  Type *getInt32Ty() { return Int32Ty.get(); }
+  Type *getInt64Ty() { return Int64Ty.get(); }
+  Type *getFloatTy() { return FloatTy.get(); }
+  Type *getDoubleTy() { return DoubleTy.get(); }
+  Type *getPointerTy() { return PointerTy.get(); }
+
+  /// Integer type of width \p Bits (must be one of 1/8/16/32/64).
+  Type *getIntegerTy(unsigned Bits);
+
+  /// Interned function type.
+  Type *getFunctionTy(Type *Ret, const std::vector<Type *> &Params);
+
+private:
+  std::unique_ptr<Type> makeSimple(Type::Kind K, unsigned Width = 0) {
+    return std::unique_ptr<Type>(new Type(K, Width));
+  }
+
+  std::unique_ptr<Type> VoidTy, Int1Ty, Int8Ty, Int16Ty, Int32Ty, Int64Ty,
+      FloatTy, DoubleTy, PointerTy;
+  std::map<std::pair<Type *, std::vector<Type *>>, std::unique_ptr<Type>>
+      FunctionTys;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_IR_TYPE_H

@@ -1,0 +1,174 @@
+//===- ir/Value.cpp - Value and User implementation -----------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+#include "ir/Type.h"
+#include <algorithm>
+
+using namespace salssa;
+
+Value::~Value() {
+  assert(UserList.empty() &&
+         "deleting a value that still has users; fix the teardown order");
+}
+
+void Value::removeUser(User *U) {
+  // One occurrence per operand slot; remove exactly one, searching from the
+  // back (recently added uses are removed most often).
+  for (size_t I = UserList.size(); I > 0; --I) {
+    if (UserList[I - 1] == U) {
+      UserList.erase(UserList.begin() + static_cast<ptrdiff_t>(I - 1));
+      return;
+    }
+  }
+  assert(false && "removeUser: user not found");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self would loop forever");
+  assert(New->getType() == getType() && "RAUW across different types");
+  // Snapshot: setOperand mutates UserList.
+  std::vector<User *> Snapshot = UserList;
+  for (User *U : Snapshot) {
+    for (unsigned I = 0, E = U->getNumOperands(); I != E; ++I)
+      if (U->getOperand(I) == this)
+        U->setOperand(I, New);
+  }
+  assert(UserList.empty() && "RAUW left stale uses behind");
+}
+
+void User::setOperand(unsigned I, Value *V) {
+  assert(I < getNumOperands() && "setOperand index out of range");
+  Value *Old = getOperand(I);
+  if (Old == V)
+    return;
+  if (Old)
+    Old->removeUser(this);
+  const_cast<std::vector<Value *> &>(operands())[I] = V;
+  if (V)
+    V->addUser(this);
+}
+
+int User::findOperand(const Value *V) const {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    if (getOperand(I) == V)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void User::dropAllReferences() {
+  for (Value *Op : Operands)
+    if (Op)
+      Op->removeUser(this);
+  Operands.clear();
+}
+
+void User::appendOperand(Value *V) {
+  Operands.push_back(V);
+  if (V)
+    V->addUser(this);
+}
+
+void User::eraseOperand(unsigned I) {
+  assert(I < Operands.size() && "eraseOperand index out of range");
+  if (Operands[I])
+    Operands[I]->removeUser(this);
+  Operands.erase(Operands.begin() + I);
+}
+
+const char *salssa::valueKindName(ValueKind K) {
+  switch (K) {
+  case ValueKind::Argument:
+    return "argument";
+  case ValueKind::GlobalVariable:
+    return "global";
+  case ValueKind::ConstantInt:
+    return "constint";
+  case ValueKind::ConstantFP:
+    return "constfp";
+  case ValueKind::UndefValue:
+    return "undef";
+  case ValueKind::ConstantPointerNull:
+    return "null";
+  case ValueKind::Add:
+    return "add";
+  case ValueKind::Sub:
+    return "sub";
+  case ValueKind::Mul:
+    return "mul";
+  case ValueKind::SDiv:
+    return "sdiv";
+  case ValueKind::UDiv:
+    return "udiv";
+  case ValueKind::SRem:
+    return "srem";
+  case ValueKind::URem:
+    return "urem";
+  case ValueKind::And:
+    return "and";
+  case ValueKind::Or:
+    return "or";
+  case ValueKind::Xor:
+    return "xor";
+  case ValueKind::Shl:
+    return "shl";
+  case ValueKind::LShr:
+    return "lshr";
+  case ValueKind::AShr:
+    return "ashr";
+  case ValueKind::FAdd:
+    return "fadd";
+  case ValueKind::FSub:
+    return "fsub";
+  case ValueKind::FMul:
+    return "fmul";
+  case ValueKind::FDiv:
+    return "fdiv";
+  case ValueKind::ICmp:
+    return "icmp";
+  case ValueKind::FCmp:
+    return "fcmp";
+  case ValueKind::Select:
+    return "select";
+  case ValueKind::ZExt:
+    return "zext";
+  case ValueKind::SExt:
+    return "sext";
+  case ValueKind::Trunc:
+    return "trunc";
+  case ValueKind::SIToFP:
+    return "sitofp";
+  case ValueKind::FPToSI:
+    return "fptosi";
+  case ValueKind::Alloca:
+    return "alloca";
+  case ValueKind::Load:
+    return "load";
+  case ValueKind::Store:
+    return "store";
+  case ValueKind::Gep:
+    return "gep";
+  case ValueKind::Call:
+    return "call";
+  case ValueKind::Invoke:
+    return "invoke";
+  case ValueKind::LandingPad:
+    return "landingpad";
+  case ValueKind::Phi:
+    return "phi";
+  case ValueKind::Br:
+    return "br";
+  case ValueKind::Switch:
+    return "switch";
+  case ValueKind::Ret:
+    return "ret";
+  case ValueKind::Resume:
+    return "resume";
+  case ValueKind::Unreachable:
+    return "unreachable";
+  }
+  return "<unknown>";
+}

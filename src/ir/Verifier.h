@@ -1,0 +1,42 @@
+//===- ir/Verifier.h - IR structural and SSA verification --------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verifier checks everything the merge code generators can break:
+/// terminator discipline, phi/predecessor consistency, the landing-pad
+/// model (§4.2.2), use-list integrity, operand typing and — the property
+/// at the heart of the paper's §4.3 — SSA dominance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_VERIFIER_H
+#define SALSSA_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+class Function;
+class Module;
+
+/// Result of a verification run; empty Errors means the IR is well-formed.
+struct VerifierReport {
+  std::vector<std::string> Errors;
+  bool ok() const { return Errors.empty(); }
+  /// All errors joined with newlines (for test failure messages).
+  std::string str() const;
+};
+
+/// Verifies a single function definition.
+VerifierReport verifyFunction(const Function &F);
+
+/// Verifies every definition in the module.
+VerifierReport verifyModule(const Module &M);
+
+} // namespace salssa
+
+#endif // SALSSA_IR_VERIFIER_H

@@ -1,0 +1,34 @@
+//===- merge/Fingerprint.cpp - Candidate ranking -------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/Fingerprint.h"
+#include <limits>
+
+using namespace salssa;
+
+Fingerprint Fingerprint::compute(const Function &F) {
+  Fingerprint FP;
+  FP.RetTy = F.getReturnType();
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB) {
+      ++FP.OpcodeCount[static_cast<size_t>(I->getOpcode())];
+      ++FP.Size;
+    }
+  return FP;
+}
+
+uint64_t salssa::fingerprintDistance(const Fingerprint &A,
+                                     const Fingerprint &B) {
+  if (A.RetTy != B.RetTy)
+    return std::numeric_limits<uint64_t>::max();
+  uint64_t D = 0;
+  for (size_t I = 0; I < Fingerprint::NumBuckets; ++I) {
+    uint32_t X = A.OpcodeCount[I];
+    uint32_t Y = B.OpcodeCount[I];
+    D += X > Y ? X - Y : Y - X;
+  }
+  return D;
+}

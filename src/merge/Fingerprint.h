@@ -1,0 +1,42 @@
+//===- merge/Fingerprint.h - Candidate ranking -------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fingerprint-based ranking mechanism shared by FMSA and SalSSA
+/// (§5.1): each function is summarized as an opcode-frequency vector, and
+/// candidate pairs are ranked by Manhattan distance. The exploration
+/// threshold t bounds how many top-ranked candidates each function tries
+/// before giving up, trading code-size reduction for compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_FINGERPRINT_H
+#define SALSSA_MERGE_FINGERPRINT_H
+
+#include "ir/Function.h"
+#include <array>
+#include <cstdint>
+
+namespace salssa {
+
+/// Opcode-frequency summary of a function.
+struct Fingerprint {
+  static constexpr size_t NumBuckets =
+      static_cast<size_t>(InstLastKind) + 1;
+  std::array<uint32_t, NumBuckets> OpcodeCount{};
+  uint32_t Size = 0;     ///< instruction count
+  Type *RetTy = nullptr; ///< merging requires equal return types
+
+  static Fingerprint compute(const Function &F);
+};
+
+/// Manhattan distance between opcode vectors; lower = more similar.
+/// Pairs with different return types are unmergeable and rank at +inf.
+uint64_t fingerprintDistance(const Fingerprint &A, const Fingerprint &B);
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_FINGERPRINT_H

@@ -1,0 +1,122 @@
+//===- merge/FunctionMerger.cpp - Pairwise merge pipeline ----------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/FunctionMerger.h"
+#include "align/Matcher.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include <chrono>
+
+using namespace salssa;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
+                                  const MergeCodeGenOptions &Options,
+                                  TargetArch Arch, unsigned SizeF1,
+                                  unsigned SizeF2) {
+  MergeAttempt Attempt;
+  Attempt.F1 = &F1;
+  Attempt.F2 = &F2;
+  if (F1.getReturnType() != F2.getReturnType())
+    return Attempt;
+
+  // Linearization + alignment (instrumented).
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<SeqItem> Seq1 = linearizeFunction(F1);
+  std::vector<SeqItem> Seq2 = linearizeFunction(F2);
+  AlignmentResult Alignment = alignSequences(Seq1, Seq2, itemsMatch);
+  Attempt.Stats.AlignmentSeconds = secondsSince(T0);
+  Attempt.Stats.SeqLen1 = Seq1.size();
+  Attempt.Stats.SeqLen2 = Seq2.size();
+  Attempt.Stats.MatchedPairs = Alignment.MatchedPairs;
+  Attempt.Stats.AlignmentBytes = Alignment.DPBytes;
+
+  // Code generation + clean-up (instrumented).
+  auto T1 = std::chrono::steady_clock::now();
+  Attempt.Gen = generateMergedFunction(F1, F2, Seq1, Seq2, Alignment,
+                                       Options, F1.getName() + ".m");
+  Attempt.Stats.CodeGenSeconds = secondsSince(T1);
+  Attempt.Stats.SelectsInserted = Attempt.Gen.SelectsInserted;
+  Attempt.Stats.LabelSelectionBlocks = Attempt.Gen.LabelSelectionBlocks;
+  Attempt.Stats.XorFusions = Attempt.Gen.XorFusions;
+  Attempt.Stats.RepairSlots = Attempt.Gen.RepairSlots;
+  Attempt.Stats.CoalescedPairs = Attempt.Gen.CoalescedPairs;
+
+  // Profitability: merged function + the two thunk bodies must undercut
+  // the two original bodies.
+  Attempt.Stats.SizeF1 = SizeF1;
+  Attempt.Stats.SizeF2 = SizeF2;
+  unsigned ThunkCost = 0;
+  {
+    // A thunk is a call + ret + argument shuffling, plus the function
+    // overhead; estimate it from the signature without materializing it.
+    unsigned PerThunk = (Arch == TargetArch::X86Like ? 12 : 8) /*overhead*/ +
+                        (Arch == TargetArch::X86Like ? 5 : 4) /*call*/ +
+                        (Arch == TargetArch::X86Like ? 1 : 2) /*ret*/;
+    PerThunk += 2 * static_cast<unsigned>(
+                        Attempt.Gen.Signature.FnTy->getParamTypes().size());
+    ThunkCost = 2 * PerThunk;
+  }
+  Attempt.Stats.SizeMerged =
+      estimateFunctionSize(*Attempt.Gen.Merged, Arch) + ThunkCost;
+  Attempt.Stats.Profitable = Attempt.profit() > 0;
+  Attempt.Valid = true;
+  return Attempt;
+}
+
+namespace {
+
+/// Builds one thunk body: F(args...) { return Merged(fid, mapped args); }
+void buildThunkBody(Function &F, Function &Merged, bool IsF1,
+                    const MergedSignature &Sig, Context &Ctx) {
+  F.clearBody();
+  BasicBlock *Entry = F.createBlock("entry");
+  IRBuilder B(Ctx, Entry);
+
+  const std::vector<Type *> &Params = Merged.getFunctionType()->getParamTypes();
+  std::vector<Value *> Args(Params.size(), nullptr);
+  Args[0] = IsF1 ? Ctx.getTrue() : Ctx.getFalse();
+  const std::vector<unsigned> &Map = IsF1 ? Sig.ArgIndex1 : Sig.ArgIndex2;
+  for (unsigned I = 0; I < Map.size(); ++I)
+    Args[Map[I]] = F.getArg(I);
+  for (unsigned S = 1; S < Args.size(); ++S)
+    if (!Args[S])
+      Args[S] = Ctx.getUndef(Params[S]);
+
+  CallInst *Call = B.createCall(&Merged, Args);
+  if (F.getReturnType()->isVoid())
+    B.createRetVoid();
+  else
+    B.createRet(Call);
+}
+
+} // namespace
+
+void salssa::commitMerge(MergeAttempt &Attempt, Context &Ctx) {
+  assert(Attempt.Valid && "committing an invalid attempt");
+  buildThunkBody(*Attempt.F1, *Attempt.Gen.Merged, /*IsF1=*/true,
+                 Attempt.Gen.Signature, Ctx);
+  buildThunkBody(*Attempt.F2, *Attempt.Gen.Merged, /*IsF1=*/false,
+                 Attempt.Gen.Signature, Ctx);
+}
+
+void salssa::discardMerge(MergeAttempt &Attempt) {
+  if (!Attempt.Valid || !Attempt.Gen.Merged)
+    return;
+  Module *M = Attempt.Gen.Merged->getParent();
+  M->eraseFunction(Attempt.Gen.Merged);
+  Attempt.Gen.Merged = nullptr;
+  Attempt.Valid = false;
+}

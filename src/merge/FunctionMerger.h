@@ -1,0 +1,57 @@
+//===- merge/FunctionMerger.h - Pairwise merge pipeline ------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end pairwise pipeline of Fig 1: linearization, alignment,
+/// code generation, clean-up, and the profitability decision, with
+/// instrumentation for the time/memory experiments. Also provides thunk
+/// creation for committing a merge (the original functions' bodies are
+/// replaced with tail-call dispatchers into the merged function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_FUNCTIONMERGER_H
+#define SALSSA_MERGE_FUNCTIONMERGER_H
+
+#include "codesize/SizeModel.h"
+#include "merge/MergedFunctionGenerator.h"
+
+namespace salssa {
+
+/// Result of one pairwise merge attempt. When Valid, the merged function
+/// exists in the module (uncommitted — call commitMerge or discardMerge).
+struct MergeAttempt {
+  bool Valid = false;
+  GeneratedMerge Gen;
+  MergeAttemptStats Stats;
+  Function *F1 = nullptr;
+  Function *F2 = nullptr;
+
+  /// Estimated profit in bytes (positive = smaller after merging).
+  int profit() const {
+    return static_cast<int>(Stats.SizeF1) + static_cast<int>(Stats.SizeF2) -
+           static_cast<int>(Stats.SizeMerged);
+  }
+};
+
+/// Runs the full pipeline on \p F1 and \p F2 (which must share a return
+/// type). \p SizeF1 / \p SizeF2 are the pre-pipeline sizes used by the
+/// profitability model (for FMSA: sizes before register demotion).
+/// The inputs are not modified.
+MergeAttempt attemptMerge(Function &F1, Function &F2,
+                          const MergeCodeGenOptions &Options,
+                          TargetArch Arch, unsigned SizeF1, unsigned SizeF2);
+
+/// Replaces the bodies of both input functions with thunks into
+/// \p Attempt's merged function.
+void commitMerge(MergeAttempt &Attempt, Context &Ctx);
+
+/// Deletes the merged function of a rejected attempt.
+void discardMerge(MergeAttempt &Attempt);
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_FUNCTIONMERGER_H

@@ -1,0 +1,180 @@
+//===- merge/MergeDriver.cpp - Module-level function merging pass --------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/MergeDriver.h"
+#include "ir/Module.h"
+#include "merge/Fingerprint.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/Reg2Mem.h"
+#include "transforms/Simplify.h"
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+using namespace salssa;
+
+namespace {
+
+struct PoolEntry {
+  Function *F = nullptr;
+  Fingerprint FP;
+  unsigned CostSize = 0; ///< profitability baseline (pre-demotion size)
+  bool Consumed = false;
+};
+
+} // namespace
+
+MergeDriverStats salssa::runFunctionMerging(Module &M,
+                                            const MergeDriverOptions &Options) {
+  MergeDriverStats Stats;
+  Context &Ctx = M.getContext();
+  auto T0 = std::chrono::steady_clock::now();
+  const bool IsFMSA = Options.Technique == MergeTechnique::FMSA;
+  MergeCodeGenOptions CGOpts = MergeCodeGenOptions::forTechnique(
+      Options.Technique, Options.EnablePhiCoalescing);
+
+  // Snapshot profitability baselines before any preprocessing.
+  std::map<Function *, unsigned> BaselineSize;
+  for (Function *F : M.functions())
+    if (!F->isDeclaration())
+      BaselineSize[F] = estimateFunctionSize(*F, Options.Arch);
+
+  // FMSA preprocessing: demote every definition in place.
+  if (IsFMSA)
+    for (Function *F : M.functions())
+      if (!F->isDeclaration())
+        demoteRegistersToMemory(*F, Ctx);
+
+  // Build the candidate pool. Like the paper, merging proceeds from the
+  // largest functions to the smallest.
+  std::vector<PoolEntry> Pool;
+  for (Function *F : M.functions()) {
+    if (!F->isMergeable())
+      continue;
+    PoolEntry E;
+    E.F = F;
+    E.FP = Fingerprint::compute(*F);
+    E.CostSize = BaselineSize.at(F);
+    Pool.push_back(E);
+  }
+  std::stable_sort(Pool.begin(), Pool.end(),
+                   [](const PoolEntry &A, const PoolEntry &B) {
+                     return A.FP.Size > B.FP.Size;
+                   });
+
+  // Main loop. Iterating by index: committed merges append the merged
+  // function to the pool so it can merge again.
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    if (Pool[I].Consumed)
+      continue;
+    Function *F1 = Pool[I].F;
+
+    // Rank the other live candidates by fingerprint distance.
+    struct Ranked {
+      uint64_t Distance;
+      size_t Index;
+    };
+    std::vector<Ranked> Candidates;
+    for (size_t J = 0; J < Pool.size(); ++J) {
+      if (J == I || Pool[J].Consumed)
+        continue;
+      uint64_t D = fingerprintDistance(Pool[I].FP, Pool[J].FP);
+      if (D == UINT64_MAX)
+        continue; // incompatible return types
+      Candidates.push_back({D, J});
+    }
+    std::stable_sort(Candidates.begin(), Candidates.end(),
+                     [](const Ranked &A, const Ranked &B) {
+                       return A.Distance < B.Distance;
+                     });
+    if (Candidates.size() > Options.ExplorationThreshold)
+      Candidates.resize(Options.ExplorationThreshold);
+
+    // Try the top-t candidates; keep the most profitable attempt.
+    MergeAttempt Best;
+    size_t BestIdx = 0;
+    for (const Ranked &R : Candidates) {
+      Function *F2 = Pool[R.Index].F;
+      MergeAttempt A =
+          attemptMerge(*F1, *F2, CGOpts, Options.Arch, Pool[I].CostSize,
+                       Pool[R.Index].CostSize);
+      ++Stats.Attempts;
+      Stats.AlignmentSeconds += A.Stats.AlignmentSeconds;
+      Stats.CodeGenSeconds += A.Stats.CodeGenSeconds;
+      Stats.PeakAlignmentBytes =
+          std::max(Stats.PeakAlignmentBytes, A.Stats.AlignmentBytes);
+      MergeRecord Rec;
+      Rec.Name1 = F1->getName();
+      Rec.Name2 = F2->getName();
+      Rec.Stats = A.Stats;
+      if (!A.Valid) {
+        Stats.Records.push_back(Rec);
+        continue;
+      }
+      if (A.Stats.Profitable)
+        ++Stats.ProfitableMerges;
+      if (A.Stats.Profitable && (!Best.Valid || A.profit() > Best.profit())) {
+        if (Best.Valid)
+          discardMerge(Best);
+        Best = A;
+        BestIdx = R.Index;
+      } else {
+        discardMerge(A);
+      }
+      Stats.Records.push_back(Rec);
+    }
+
+    if (!Best.Valid)
+      continue;
+
+    // Commit: thunk both inputs, retire them from the pool, and offer the
+    // merged function for further merging.
+    commitMerge(Best, Ctx);
+    ++Stats.CommittedMerges;
+    // Mark the committed record (it may not be the last one pushed).
+    for (MergeRecord &Rec : Stats.Records)
+      if (Rec.Name1 == F1->getName() &&
+          Rec.Name2 == Pool[BestIdx].F->getName())
+        Rec.Committed = true;
+    Pool[I].Consumed = true;
+    Pool[BestIdx].Consumed = true;
+    if (Options.AllowRemerge) {
+      PoolEntry E;
+      E.F = Best.Gen.Merged;
+      E.FP = Fingerprint::compute(*E.F);
+      E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
+      Pool.push_back(E);
+    }
+  }
+
+  // FMSA post-pass: the late pipeline re-promotes what demotion left
+  // behind in unmerged functions (usually restoring them, hence the tiny
+  // residue the paper measures).
+  if (IsFMSA) {
+    for (Function *F : M.functions()) {
+      if (F->isDeclaration())
+        continue;
+      promoteAllocasToRegisters(*F, Ctx);
+      simplifyFunction(*F, Ctx);
+    }
+  }
+
+  Stats.TotalSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - T0)
+                           .count();
+  return Stats;
+}
+
+void salssa::runFMSAResidueOnly(Module &M) {
+  Context &Ctx = M.getContext();
+  for (Function *F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    demoteRegistersToMemory(*F, Ctx);
+    promoteAllocasToRegisters(*F, Ctx);
+    simplifyFunction(*F, Ctx);
+  }
+}

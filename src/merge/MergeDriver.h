@@ -1,0 +1,74 @@
+//===- merge/MergeDriver.h - Module-level function merging pass ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module-level pass (the "FM" box of Fig 16): ranks candidate pairs
+/// with fingerprints, attempts up to t merges per function, commits the
+/// most profitable one, and feeds merged functions back into the pool.
+///
+/// For FMSA the driver reproduces the paper's pipeline faithfully:
+/// register demotion is applied to *every* function up front (merged or
+/// not — the source of "FMSA Residue", Fig 18), alignment operates on the
+/// inflated bodies, and a final promotion/simplification round models the
+/// late clean-up passes that mostly undo the residue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_MERGEDRIVER_H
+#define SALSSA_MERGE_MERGEDRIVER_H
+
+#include "merge/FunctionMerger.h"
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+class Module;
+
+/// Pass configuration.
+struct MergeDriverOptions {
+  MergeTechnique Technique = MergeTechnique::SalSSA;
+  /// The exploration threshold t of §5.1 (paper evaluates 1, 5, 10).
+  unsigned ExplorationThreshold = 1;
+  /// SalSSA-NoPC when false (Fig 20 ablation); ignored for FMSA.
+  bool EnablePhiCoalescing = true;
+  /// Target whose size model drives profitability.
+  TargetArch Arch = TargetArch::X86Like;
+  /// Allow merged functions to be merged again (as in the paper).
+  bool AllowRemerge = true;
+};
+
+/// One committed/attempted merge record (drives Fig 19/21/22/23).
+struct MergeRecord {
+  std::string Name1;
+  std::string Name2;
+  MergeAttemptStats Stats;
+  bool Committed = false;
+};
+
+/// Aggregate results of one pass execution.
+struct MergeDriverStats {
+  unsigned Attempts = 0;
+  unsigned ProfitableMerges = 0; ///< the Fig 21 metric
+  unsigned CommittedMerges = 0;
+  double AlignmentSeconds = 0;
+  double CodeGenSeconds = 0;
+  double TotalSeconds = 0;     ///< whole-pass wall time (Fig 24 numerator)
+  size_t PeakAlignmentBytes = 0; ///< Fig 22 metric
+  std::vector<MergeRecord> Records;
+};
+
+/// Runs function merging over \p M, mutating it in place.
+MergeDriverStats runFunctionMerging(Module &M,
+                                    const MergeDriverOptions &Options);
+
+/// Runs only FMSA's preprocessing over \p M without merging anything —
+/// the "FMSA Residue" series of Fig 18.
+void runFMSAResidueOnly(Module &M);
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_MERGEDRIVER_H

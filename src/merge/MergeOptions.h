@@ -1,0 +1,78 @@
+//===- merge/MergeOptions.h - Merge configuration and statistics --------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration knobs and statistics shared by the FMSA baseline and
+/// SalSSA. The knobs correspond to the design choices the paper ablates:
+/// phi-node coalescing (§4.4 / Fig 20), commutative operand reordering
+/// (Fig 9) and the xor branch fusion (Fig 11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_MERGEOPTIONS_H
+#define SALSSA_MERGE_MERGEOPTIONS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace salssa {
+
+/// Which merging technique a pipeline run uses.
+enum class MergeTechnique : uint8_t {
+  FMSA,   ///< state of the art: register demotion + alignment (CGO'19)
+  SalSSA, ///< this paper: direct SSA-form merging
+};
+
+/// Code-generator options.
+struct MergeCodeGenOptions {
+  /// §4.4: coalesce disjoint definitions into one slot before SSA
+  /// reconstruction (SalSSA-NoPC disables this; FMSA never has it).
+  bool EnablePhiCoalescing = true;
+  /// Fig 9: reorder commutative operands to avoid selects.
+  bool EnableOperandReordering = true;
+  /// Fig 11: merge crossed conditional branches with one xor instead of
+  /// two label-selection blocks.
+  bool EnableXorBranchFusion = true;
+
+  static MergeCodeGenOptions forTechnique(MergeTechnique T,
+                                          bool PhiCoalescing = true) {
+    MergeCodeGenOptions O;
+    if (T == MergeTechnique::FMSA) {
+      O.EnablePhiCoalescing = false; // the paper's novel optimization
+      O.EnableXorBranchFusion = false;
+    } else {
+      O.EnablePhiCoalescing = PhiCoalescing;
+    }
+    return O;
+  }
+};
+
+/// Statistics of one pairwise merge attempt.
+struct MergeAttemptStats {
+  // Alignment.
+  size_t SeqLen1 = 0;
+  size_t SeqLen2 = 0;
+  size_t MatchedPairs = 0;
+  size_t AlignmentBytes = 0;   ///< DP footprint (Fig 22)
+  double AlignmentSeconds = 0; ///< Fig 23
+  // Code generation.
+  double CodeGenSeconds = 0; ///< Fig 23 (includes repair + clean-up)
+  unsigned SelectsInserted = 0;
+  unsigned LabelSelectionBlocks = 0;
+  unsigned XorFusions = 0;
+  unsigned RepairSlots = 0;
+  unsigned CoalescedPairs = 0;
+  // Profitability.
+  unsigned SizeF1 = 0;
+  unsigned SizeF2 = 0;
+  unsigned SizeMerged = 0; ///< merged fn + thunks, in cost-model units
+  bool Profitable = false;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_MERGEOPTIONS_H

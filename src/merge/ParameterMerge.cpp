@@ -1,0 +1,51 @@
+//===- merge/ParameterMerge.cpp - Merged signature construction ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/ParameterMerge.h"
+
+using namespace salssa;
+
+MergedSignature salssa::mergeSignatures(const Function &F1,
+                                        const Function &F2, Context &Ctx) {
+  assert(F1.getReturnType() == F2.getReturnType() &&
+         "candidate filtering guarantees equal return types");
+  MergedSignature Sig;
+  std::vector<Type *> Params;
+  Params.push_back(Ctx.int1Ty()); // %fid
+
+  Sig.ArgIndex1.resize(F1.getNumArgs());
+  Sig.ArgIndex2.resize(F2.getNumArgs());
+
+  // F1's parameters claim slots 1..n in order.
+  for (unsigned I = 0; I < F1.getNumArgs(); ++I) {
+    Params.push_back(F1.getArg(I)->getType());
+    Sig.ArgIndex1[I] = static_cast<unsigned>(Params.size() - 1);
+  }
+  // F2's parameters greedily reuse the first unclaimed slot of the same
+  // type, otherwise append.
+  std::vector<bool> Claimed(Params.size(), false);
+  Claimed[0] = true;
+  for (unsigned I = 0; I < F2.getNumArgs(); ++I) {
+    Type *Ty = F2.getArg(I)->getType();
+    bool Found = false;
+    for (unsigned S = 1; S < Params.size(); ++S) {
+      if (!Claimed[S] && Params[S] == Ty) {
+        Claimed[S] = true;
+        Sig.ArgIndex2[I] = S;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found) {
+      Params.push_back(Ty);
+      Claimed.push_back(true);
+      Sig.ArgIndex2[I] = static_cast<unsigned>(Params.size() - 1);
+    }
+  }
+
+  Sig.FnTy = Ctx.types().getFunctionTy(F1.getReturnType(), Params);
+  return Sig;
+}

@@ -1,0 +1,41 @@
+//===- merge/ParameterMerge.h - Merged signature construction ----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the merged function's signature: a leading i1 function
+/// identifier (%fid, true = executing F1) followed by the union of both
+/// parameter lists, where parameters of equal type share one slot (greedy,
+/// in order) — the scheme inherited from FMSA. Also records, per input
+/// function, which merged argument carries each original argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_PARAMETERMERGE_H
+#define SALSSA_MERGE_PARAMETERMERGE_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+#include <vector>
+
+namespace salssa {
+
+/// Result of signature merging.
+struct MergedSignature {
+  Type *FnTy = nullptr;
+  /// Merged-argument index (into the merged function's args, where index 0
+  /// is %fid) for each original argument of F1 / F2.
+  std::vector<unsigned> ArgIndex1;
+  std::vector<unsigned> ArgIndex2;
+};
+
+/// Computes the merged signature of \p F1 and \p F2 (their return types
+/// must match).
+MergedSignature mergeSignatures(const Function &F1, const Function &F2,
+                                Context &Ctx);
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_PARAMETERMERGE_H

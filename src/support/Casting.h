@@ -1,0 +1,67 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight reimplementation of LLVM's opt-in RTTI templates. A class
+/// hierarchy participates by providing `static bool classof(const Base *)`
+/// on each derived class; `isa<>`, `cast<>` and `dyn_cast<>` then work as
+/// they do in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_SUPPORT_CASTING_H
+#define SALSSA_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace salssa {
+
+/// Returns true if \p Val is an instance of \p To (or a subclass of it).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variadic form: true if \p Val is any of the listed classes.
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Null-tolerant variants.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace salssa
+
+#endif // SALSSA_SUPPORT_CASTING_H

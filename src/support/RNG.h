@@ -1,0 +1,79 @@
+//===- support/RNG.h - Deterministic random number generation ------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64) used by the workload generators
+/// and the property-based tests. We avoid <random> distributions because
+/// their outputs are not guaranteed to be identical across standard library
+/// implementations; experiment reproducibility requires bit-exact streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_SUPPORT_RNG_H
+#define SALSSA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace salssa {
+
+/// Deterministic 64-bit RNG with a tiny state, suitable for seeding many
+/// independent streams (one per generated function/benchmark).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value (SplitMix64).
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) is meaningless");
+    // Modulo bias is irrelevant for workload generation purposes.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Derives an independent child stream; children with distinct salts are
+  /// decorrelated from each other and from the parent.
+  RNG fork(uint64_t Salt) {
+    uint64_t Mixed = next() ^ (Salt * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+    return RNG(Mixed);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_SUPPORT_RNG_H

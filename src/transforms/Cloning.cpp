@@ -1,0 +1,155 @@
+//===- transforms/Cloning.cpp - IR cloning utilities ---------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Cloning.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+using namespace salssa;
+
+Value *CloneMaps::lookup(Value *V) const {
+  auto It = Values.find(V);
+  return It == Values.end() ? V : It->second;
+}
+
+BasicBlock *CloneMaps::lookup(BasicBlock *BB) const {
+  auto It = Blocks.find(BB);
+  return It == Blocks.end() ? BB : It->second;
+}
+
+Instruction *salssa::cloneInstruction(const Instruction *I, Context &Ctx) {
+  auto Operand = [&](unsigned K) {
+    return const_cast<Value *>(static_cast<const Value *>(I->getOperand(K)));
+  };
+  switch (I->getOpcode()) {
+  case ValueKind::ICmp: {
+    const auto *C = cast<ICmpInst>(I);
+    return new ICmpInst(C->getPredicate(), Operand(0), Operand(1),
+                        Ctx.int1Ty());
+  }
+  case ValueKind::FCmp: {
+    const auto *C = cast<FCmpInst>(I);
+    return new FCmpInst(C->getPredicate(), Operand(0), Operand(1),
+                        Ctx.int1Ty());
+  }
+  case ValueKind::Select:
+    return new SelectInst(Operand(0), Operand(1), Operand(2));
+  case ValueKind::ZExt:
+  case ValueKind::SExt:
+  case ValueKind::Trunc:
+  case ValueKind::SIToFP:
+  case ValueKind::FPToSI:
+    return new CastInst(I->getOpcode(), Operand(0), I->getType());
+  case ValueKind::Alloca: {
+    const auto *A = cast<AllocaInst>(I);
+    return new AllocaInst(A->getAllocatedType(), A->getType(),
+                          A->getNumElements());
+  }
+  case ValueKind::Load:
+    return new LoadInst(I->getType(), Operand(0));
+  case ValueKind::Store:
+    return new StoreInst(Operand(0), Operand(1), Ctx.voidTy());
+  case ValueKind::Gep: {
+    const auto *G = cast<GepInst>(I);
+    return new GepInst(G->getElementType(), Operand(0), Operand(1),
+                       G->getType());
+  }
+  case ValueKind::Call: {
+    const auto *C = cast<CallInst>(I);
+    std::vector<Value *> Args;
+    for (unsigned K = 0; K < C->getNumArgs(); ++K)
+      Args.push_back(Operand(K));
+    return new CallInst(C->getCallee(), Args, I->getType());
+  }
+  case ValueKind::Invoke: {
+    const auto *C = cast<InvokeInst>(I);
+    std::vector<Value *> Args;
+    for (unsigned K = 0; K < C->getNumArgs(); ++K)
+      Args.push_back(Operand(K));
+    return new InvokeInst(C->getCallee(), Args, I->getType(),
+                          C->getNormalDest(), C->getUnwindDest());
+  }
+  case ValueKind::LandingPad:
+    return new LandingPadInst(I->getType(),
+                              cast<LandingPadInst>(I)->isCleanup());
+  case ValueKind::Resume:
+    return new ResumeInst(Operand(0), Ctx.voidTy());
+  case ValueKind::Phi: {
+    const auto *P = cast<PhiInst>(I);
+    auto *NewP = new PhiInst(P->getType());
+    for (unsigned K = 0; K < P->getNumIncoming(); ++K)
+      NewP->addIncoming(
+          const_cast<Value *>(
+              static_cast<const Value *>(P->getIncomingValue(K))),
+          P->getIncomingBlock(K));
+    return NewP;
+  }
+  case ValueKind::Br: {
+    const auto *B = cast<BranchInst>(I);
+    if (B->isConditional())
+      return new BranchInst(Operand(0), B->getTrueDest(), B->getFalseDest(),
+                            Ctx.voidTy());
+    return new BranchInst(B->getTrueDest(), Ctx.voidTy());
+  }
+  case ValueKind::Switch: {
+    const auto *S = cast<SwitchInst>(I);
+    auto *NewS = new SwitchInst(Operand(0), S->getDefaultDest(), Ctx.voidTy());
+    for (unsigned K = 0; K < S->getNumCases(); ++K)
+      NewS->addCase(S->getCaseValue(K), S->getCaseDest(K));
+    return NewS;
+  }
+  case ValueKind::Ret: {
+    const auto *R = cast<RetInst>(I);
+    if (R->hasReturnValue())
+      return new RetInst(Operand(0), Ctx.voidTy());
+    return new RetInst(Ctx.voidTy());
+  }
+  case ValueKind::Unreachable:
+    return new UnreachableInst(Ctx.voidTy());
+  default:
+    assert(isa<BinaryOperator>(I) && "unhandled opcode in cloneInstruction");
+    return new BinaryOperator(I->getOpcode(), Operand(0), Operand(1));
+  }
+}
+
+void salssa::remapInstruction(Instruction *I, const CloneMaps &Maps) {
+  for (unsigned K = 0; K < I->getNumOperands(); ++K)
+    I->setOperand(K, Maps.lookup(I->getOperand(K)));
+  for (unsigned K = 0; K < I->getNumSuccessors(); ++K)
+    I->setSuccessor(K, Maps.lookup(I->getSuccessor(K)));
+  if (auto *P = dyn_cast<PhiInst>(I))
+    for (unsigned K = 0; K < P->getNumIncoming(); ++K)
+      P->setIncomingBlock(K, Maps.lookup(P->getIncomingBlock(K)));
+}
+
+Function *salssa::cloneFunction(const Function *F,
+                                const std::string &NewName) {
+  Module *M = F->getParent();
+  Context &Ctx = M->getContext();
+  Function *NewF = M->createFunction(NewName, F->getFunctionType());
+
+  CloneMaps Maps;
+  for (unsigned I = 0; I < F->getNumArgs(); ++I) {
+    Maps.Values[F->getArg(I)] = NewF->getArg(I);
+    NewF->getArg(I)->setName(F->getArg(I)->getName());
+  }
+  for (const BasicBlock *BB : *F)
+    Maps.Blocks[BB] = NewF->createBlock(BB->getName());
+  for (const BasicBlock *BB : *F) {
+    BasicBlock *NewBB = Maps.Blocks.at(BB);
+    for (const Instruction *I : *BB) {
+      Instruction *NewI = cloneInstruction(I, Ctx);
+      NewI->setName(I->getName());
+      NewBB->push_back(NewI);
+      Maps.Values[I] = NewI;
+    }
+  }
+  for (BasicBlock *BB : *NewF)
+    for (Instruction *I : *BB)
+      remapInstruction(I, Maps);
+  return NewF;
+}

@@ -1,0 +1,56 @@
+//===- transforms/Cloning.h - IR cloning utilities ----------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction and function cloning with value/block remapping. The merge
+/// code generators clone instructions from the two input functions into the
+/// merged function and then remap operands through their value maps; the
+/// driver clones whole functions for rollback when a merge turns out to be
+/// unprofitable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_TRANSFORMS_CLONING_H
+#define SALSSA_TRANSFORMS_CLONING_H
+
+#include <map>
+#include <string>
+
+namespace salssa {
+
+class BasicBlock;
+class Context;
+class Function;
+class Instruction;
+class Module;
+class Value;
+
+/// Maps original values/blocks to their clones.
+struct CloneMaps {
+  std::map<const Value *, Value *> Values;
+  std::map<const BasicBlock *, BasicBlock *> Blocks;
+
+  /// Lookup with identity fallback (constants and globals map to
+  /// themselves).
+  Value *lookup(Value *V) const;
+  BasicBlock *lookup(BasicBlock *BB) const;
+};
+
+/// Creates an unlinked copy of \p I referencing the *original* operands,
+/// successors and incoming blocks; call remapInstruction afterwards. The
+/// clone does not inherit the name.
+Instruction *cloneInstruction(const Instruction *I, Context &Ctx);
+
+/// Rewrites operands, successors and phi incoming blocks of \p I through
+/// \p Maps (identity for unmapped entries).
+void remapInstruction(Instruction *I, const CloneMaps &Maps);
+
+/// Deep-copies \p F into a new function \p NewName in the same module.
+Function *cloneFunction(const Function *F, const std::string &NewName);
+
+} // namespace salssa
+
+#endif // SALSSA_TRANSFORMS_CLONING_H

@@ -1,0 +1,54 @@
+//===- transforms/Mem2Reg.h - SSA construction (register promotion) ----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register promotion: rewrites promotable stack slots into SSA values,
+/// placing phi-nodes at iterated dominance frontiers (Cytron et al. 1991).
+/// This is "the standard SSA construction algorithm provided by LLVM for
+/// register promotion" that the paper relies on twice: FMSA uses it to
+/// undo register demotion after merging, and SalSSA uses it to restore the
+/// SSA dominance property (§4.3) — with phi-node coalescing implemented as
+/// slot sharing before promotion (§4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_TRANSFORMS_MEM2REG_H
+#define SALSSA_TRANSFORMS_MEM2REG_H
+
+#include <vector>
+
+namespace salssa {
+
+class AllocaInst;
+class Context;
+class Function;
+
+/// True when every use of \p A is a direct load from it or a store *to* it
+/// (the address never escapes), i.e. the slot can be rewritten into SSA
+/// form. Merged code whose store address is chosen by a select fails this
+/// test — the exact failure mode of FMSA the paper describes in §3.
+bool isPromotableAlloca(const AllocaInst *A);
+
+/// Statistics from one promotion run.
+struct Mem2RegStats {
+  unsigned PromotedAllocas = 0;
+  unsigned PhisInserted = 0;
+  unsigned LoadsRemoved = 0;
+  unsigned StoresRemoved = 0;
+};
+
+/// Promotes every promotable alloca in \p F. Returns statistics. Reads of
+/// slots before any store yield undef (the "pseudo-definition at the entry
+/// block" of §4.3).
+Mem2RegStats promoteAllocasToRegisters(Function &F, Context &Ctx);
+
+/// Promotes exactly \p Allocas (each must satisfy isPromotableAlloca).
+Mem2RegStats promoteAllocas(Function &F, Context &Ctx,
+                            const std::vector<AllocaInst *> &Allocas);
+
+} // namespace salssa
+
+#endif // SALSSA_TRANSFORMS_MEM2REG_H

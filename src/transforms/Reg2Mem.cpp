@@ -1,0 +1,166 @@
+//===- transforms/Reg2Mem.cpp - Register demotion ------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Reg2Mem.h"
+#include "ir/Context.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include <algorithm>
+
+using namespace salssa;
+
+namespace {
+
+/// True when \p I's value is referenced outside its own basic block (or by
+/// a phi, whose use site semantically sits on the incoming edge).
+bool isUsedOutsideDefiningBlock(const Instruction *I) {
+  for (const User *U : I->users()) {
+    const auto *UI = cast<Instruction>(U);
+    if (UI->getParent() != I->getParent() || UI->isPhi())
+      return true;
+  }
+  return false;
+}
+
+/// Splits the edge Invoke->NormalDest by interposing a fresh block, so a
+/// spill store for the invoke's result has a place to live that the invoke
+/// dominates. Returns the new block.
+BasicBlock *splitInvokeNormalEdge(InvokeInst *Inv, Context &Ctx) {
+  BasicBlock *From = Inv->getParent();
+  BasicBlock *To = Inv->getNormalDest();
+  Function *F = From->getParent();
+  BasicBlock *Mid = F->createBlock(From->getName() + ".spill", To);
+  IRBuilder B(Ctx, Mid);
+  B.createBr(To);
+  Inv->setNormalDest(Mid);
+  To->replacePhiUsesWith(From, Mid);
+  return Mid;
+}
+
+/// Spills \p I to a fresh stack slot: a store after the definition and a
+/// load in front of every user (for phi users: at the end of the incoming
+/// block). Mirrors LLVM's DemoteRegToStack.
+void demoteRegToStack(Instruction *I, Context &Ctx) {
+  Function *F = I->getFunction();
+  IRBuilder B(Ctx);
+  // Slot lives in the entry block.
+  B.setInsertPoint(F->getEntryBlock()->getFirstNonPhi());
+  AllocaInst *Slot =
+      B.createAlloca(I->getType(), 1,
+                     I->hasName() ? I->getName() + ".slot" : "r2m.slot");
+
+  // Snapshot users before placing the spill store (which is itself a user
+  // of I and must not be rewritten).
+  std::vector<User *> Users(I->users().begin(), I->users().end());
+
+  // Spill store directly after the definition. For invokes the result is
+  // only valid on the normal edge, so interpose a block there first; any
+  // phi that consumed the invoke along that edge is retargeted to the new
+  // block, and the edge loads below then land after this store.
+  if (auto *Inv = dyn_cast<InvokeInst>(I)) {
+    BasicBlock *Mid = splitInvokeNormalEdge(Inv, Ctx);
+    B.setInsertPoint(Mid->getTerminator());
+  } else {
+    assert(!I->isTerminator() &&
+           "only invokes among terminators produce values");
+    // Insert after I (a next instruction exists: I is not a terminator).
+    auto Next = std::next(std::find(I->getParent()->begin(),
+                                    I->getParent()->end(), I));
+    B.setInsertPoint(*Next);
+  }
+  B.createStore(I, Slot);
+
+  for (User *U : Users) {
+    auto *UI = cast<Instruction>(U);
+    if (auto *P = dyn_cast<PhiInst>(UI)) {
+      // One load per incoming edge that carries I.
+      for (unsigned K = 0; K < P->getNumIncoming(); ++K) {
+        if (P->getIncomingValue(K) != I)
+          continue;
+        BasicBlock *Pred = P->getIncomingBlock(K);
+        B.setInsertPoint(Pred->getTerminator());
+        Value *L = B.createLoad(I->getType(), Slot);
+        P->setIncomingValue(K, L);
+      }
+      continue;
+    }
+    B.setInsertPoint(UI);
+    Value *L = B.createLoad(I->getType(), Slot);
+    for (unsigned K = 0; K < UI->getNumOperands(); ++K)
+      if (UI->getOperand(K) == I)
+        UI->setOperand(K, L);
+  }
+}
+
+/// Replaces \p P with a stack slot: a store at the end of each incoming
+/// block and a single load at the phi position. Mirrors LLVM's
+/// DemotePHIToStack. All loads of all demoted phis sit above all edge
+/// stores of the block, so mutually-referencing phis (swap/lost-copy
+/// patterns) remain correct.
+void demotePhiToStack(PhiInst *P, Context &Ctx) {
+  Function *F = P->getFunction();
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->getEntryBlock()->getFirstNonPhi());
+  AllocaInst *Slot = B.createAlloca(
+      P->getType(), 1, P->hasName() ? P->getName() + ".slot" : "phi.slot");
+
+  for (unsigned K = 0; K < P->getNumIncoming(); ++K) {
+    BasicBlock *Pred = P->getIncomingBlock(K);
+    Instruction *T = Pred->getTerminator();
+    assert(T && "unterminated predecessor");
+    assert(P->getIncomingValue(K) != T && "phi of its own edge terminator");
+    B.setInsertPoint(T);
+    B.createStore(P->getIncomingValue(K), Slot);
+  }
+
+  // The replacement load goes right after the phi section of the block.
+  Instruction *FirstNonPhi = P->getParent()->getFirstNonPhi();
+  assert(FirstNonPhi && "block with only phis");
+  B.setInsertPoint(FirstNonPhi);
+  Value *L = B.createLoad(P->getType(), Slot);
+  if (P->hasName())
+    cast<Instruction>(L)->setName(P->getName() + ".reload");
+  P->replaceAllUsesWith(L);
+  P->eraseFromParent();
+}
+
+} // namespace
+
+Reg2MemStats salssa::demoteRegistersToMemory(Function &F, Context &Ctx) {
+  Reg2MemStats Stats;
+  Stats.InstructionsBefore = static_cast<unsigned>(F.getInstructionCount());
+
+  // Pass 1: spill every value that crosses a block boundary. Snapshot
+  // first; the pass inserts loads/stores while iterating.
+  std::vector<Instruction *> CrossBlock;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB) {
+      if (I->isPhi() || I->getType()->isVoid())
+        continue;
+      if (isa<AllocaInst>(I))
+        continue; // slots stay slots
+      if (isUsedOutsideDefiningBlock(I))
+        CrossBlock.push_back(I);
+    }
+  for (Instruction *I : CrossBlock) {
+    demoteRegToStack(I, Ctx);
+    ++Stats.DemotedValues;
+  }
+
+  // Pass 2: eliminate every phi.
+  std::vector<PhiInst *> Phis;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (auto *P = dyn_cast<PhiInst>(I))
+        Phis.push_back(P);
+  for (PhiInst *P : Phis) {
+    demotePhiToStack(P, Ctx);
+    ++Stats.DemotedPhis;
+  }
+
+  Stats.InstructionsAfter = static_cast<unsigned>(F.getInstructionCount());
+  return Stats;
+}

@@ -1,0 +1,46 @@
+//===- transforms/Reg2Mem.h - Register demotion -------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register demotion: eliminates phi-nodes and cross-block SSA values by
+/// spilling them through stack slots (LLVM's -reg2mem). FMSA must run this
+/// before its core algorithm because its code generator cannot handle
+/// phi-nodes; the paper shows it inflates functions by ~75% on average
+/// (Fig 5) and is the root cause of FMSA's lost merging opportunities and
+/// compile-time/memory overheads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_TRANSFORMS_REG2MEM_H
+#define SALSSA_TRANSFORMS_REG2MEM_H
+
+namespace salssa {
+
+class Context;
+class Function;
+
+/// Statistics from one demotion run.
+struct Reg2MemStats {
+  unsigned DemotedValues = 0; ///< cross-block values spilled
+  unsigned DemotedPhis = 0;   ///< phi-nodes eliminated
+  unsigned InstructionsBefore = 0;
+  unsigned InstructionsAfter = 0;
+
+  /// Size inflation factor (the Fig 5 metric).
+  double inflation() const {
+    return InstructionsBefore == 0
+               ? 1.0
+               : static_cast<double>(InstructionsAfter) / InstructionsBefore;
+  }
+};
+
+/// Demotes every phi-node and every value used outside its defining block
+/// in \p F. After this pass the function contains no phi-nodes.
+Reg2MemStats demoteRegistersToMemory(Function &F, Context &Ctx);
+
+} // namespace salssa
+
+#endif // SALSSA_TRANSFORMS_REG2MEM_H

@@ -1,0 +1,55 @@
+//===- transforms/Simplify.h - Cleanup passes ---------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clean-up stage of the merging pipeline (Fig 1 of the paper):
+/// constant folding, algebraic simplification, select/phi folding (the
+/// "existing optimizations from LLVM" that merge identical phi-nodes and
+/// dissolve redundant selects), CFG simplification (unreachable block
+/// removal, branch folding, block merging/threading) and dead code
+/// elimination. Both FMSA and SalSSA run this after code generation; the
+/// quality of merged code is measured after clean-up, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_TRANSFORMS_SIMPLIFY_H
+#define SALSSA_TRANSFORMS_SIMPLIFY_H
+
+namespace salssa {
+
+class Context;
+class Function;
+class Instruction;
+class Module;
+class Value;
+
+/// Statistics from a simplification run.
+struct SimplifyStats {
+  unsigned InstructionsRemoved = 0;
+  unsigned BlocksRemoved = 0;
+  unsigned BranchesFolded = 0;
+  unsigned PhisMerged = 0;
+  unsigned Iterations = 0;
+};
+
+/// Returns a simpler value equivalent to \p I (constant folding and
+/// algebraic identities), or null when no simplification applies. Does not
+/// mutate the IR.
+Value *simplifyInstructionValue(Instruction *I, Context &Ctx);
+
+/// Removes blocks unreachable from the entry (fixing phis on the way).
+unsigned removeUnreachableBlocks(Function &F);
+
+/// Runs the full clean-up pipeline to a fixpoint (bounded).
+SimplifyStats simplifyFunction(Function &F, Context &Ctx);
+
+/// Dead code elimination only: erases unused side-effect-free
+/// instructions. Returns the number erased.
+unsigned eliminateDeadCode(Function &F);
+
+} // namespace salssa
+
+#endif // SALSSA_TRANSFORMS_SIMPLIFY_H

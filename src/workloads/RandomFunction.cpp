@@ -1,0 +1,373 @@
+//===- workloads/RandomFunction.cpp - Random SSA function generation -----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomFunction.h"
+#include "ir/IRBuilder.h"
+#include "transforms/Cloning.h"
+#include <algorithm>
+
+using namespace salssa;
+
+WorkloadEnvironment::WorkloadEnvironment(Module &M, RNG &Rng,
+                                         unsigned NumLibFunctions,
+                                         unsigned NumGlobals)
+    : Mod(M) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.int32Ty();
+  // Library declarations come in a handful of signatures so that drifted
+  // clones can retarget calls without changing types.
+  std::vector<Type *> Sigs[3] = {{I32}, {I32, I32}, {I32, I32, I32}};
+  for (unsigned I = 0; I < NumLibFunctions; ++I) {
+    Type *FnTy = Ctx.types().getFunctionTy(
+        I32, Sigs[Rng.nextBelow(3)]);
+    LibFns.push_back(
+        M.createFunction("lib" + std::to_string(I) + "_" + M.getName(),
+                         FnTy));
+  }
+  for (unsigned I = 0; I < NumGlobals; ++I)
+    Globals.push_back(M.createGlobal(
+        "tbl" + std::to_string(I) + "_" + M.getName(), I32, 16));
+}
+
+namespace {
+
+/// Structured random code emitter with a scope stack of available values,
+/// guaranteeing dominance by construction.
+class FunctionSynthesizer {
+public:
+  FunctionSynthesizer(WorkloadEnvironment &Env, RNG &Rng,
+                      const RandomFunctionOptions &Options)
+      : Env(Env), Rng(Rng), Options(Options),
+        Ctx(Env.getModule().getContext()), B(Ctx) {}
+
+  Function *build(const std::string &Name) {
+    Context &C = Ctx;
+    Type *I32 = C.int32Ty();
+    // 1-3 i32 params.
+    std::vector<Type *> Params(1 + Rng.nextBelow(3), I32);
+    Function *F = Env.getModule().createFunction(
+        Name, C.types().getFunctionTy(I32, Params));
+    BasicBlock *Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+    for (const auto &A : F->args())
+      Pool.push_back(A.get());
+    Pool.push_back(C.getInt32(1));
+    Pool.push_back(C.getInt32(7));
+
+    unsigned Budget = Options.TargetSize;
+    emitRegion(Budget, /*Depth=*/0);
+    B.createRet(pickValue());
+    return F;
+  }
+
+private:
+  Value *pickValue() {
+    // Bias toward recent definitions for realistic dependence chains.
+    if (Pool.size() > 4 && Rng.chancePercent(60))
+      return Pool[Pool.size() - 1 - Rng.nextBelow(4)];
+    return Rng.pick(Pool);
+  }
+
+  void define(Value *V) { Pool.push_back(V); }
+
+  /// Emits roughly \p Budget instructions into the current block (and
+  /// nested structures), leaving the builder in a block that all emitted
+  /// values' scopes have exited correctly.
+  void emitRegion(unsigned &Budget, unsigned Depth) {
+    while (Budget > 0) {
+      bool Structured = Depth < Options.MaxDepth && Budget > 8 &&
+                        Rng.chancePercent(Options.ControlFlowPercent);
+      if (!Structured) {
+        emitSimpleStatement(Budget);
+        continue;
+      }
+      if (Rng.chancePercent(Options.LoopPercent))
+        emitLoop(Budget, Depth);
+      else
+        emitIfElse(Budget, Depth);
+    }
+  }
+
+  void emitSimpleStatement(unsigned &Budget) {
+    unsigned Kind = static_cast<unsigned>(Rng.nextBelow(100));
+    if (Kind < 55)
+      emitArith(Budget);
+    else if (Kind < 75)
+      emitCall(Budget);
+    else if (Kind < 90)
+      emitGlobalAccess(Budget);
+    else
+      emitCompareSelect(Budget);
+  }
+
+  void emitArith(unsigned &Budget) {
+    static const ValueKind Ops[] = {
+        ValueKind::Add, ValueKind::Sub,  ValueKind::Mul, ValueKind::And,
+        ValueKind::Or,  ValueKind::Xor,  ValueKind::Shl, ValueKind::LShr,
+        ValueKind::AShr};
+    ValueKind Op = Ops[Rng.nextBelow(std::size(Ops))];
+    Value *L = pickValue();
+    Value *R = Rng.chancePercent(40)
+                   ? static_cast<Value *>(
+                         Ctx.getInt32(Rng.nextBelow(64) + 1))
+                   : pickValue();
+    // Shift amounts must stay in range to keep semantics stable.
+    if (Op == ValueKind::Shl || Op == ValueKind::LShr ||
+        Op == ValueKind::AShr)
+      R = Ctx.getInt32(Rng.nextBelow(31) + 1);
+    define(B.createBinOp(Op, L, R));
+    Budget -= std::min(Budget, 1u);
+  }
+
+  void emitCall(unsigned &Budget) {
+    Function *Callee = Rng.pick(Env.libFunctions());
+    std::vector<Value *> Args;
+    for (size_t K = 0; K < Callee->getFunctionType()->getParamTypes().size();
+         ++K)
+      Args.push_back(pickValue());
+    if (Rng.chancePercent(Options.InvokePercent)) {
+      emitInvoke(Callee, Args, Budget);
+      return;
+    }
+    define(B.createCall(Callee, Args));
+    Budget -= std::min(Budget, 1u);
+  }
+
+  void emitInvoke(Function *Callee, const std::vector<Value *> &Args,
+                  unsigned &Budget) {
+    Function *F = B.getInsertBlock()->getParent();
+    BasicBlock *Normal = F->createBlock("inv.cont");
+    BasicBlock *Unwind = F->createBlock("inv.lpad");
+    Value *Res = B.createInvoke(Callee, Args, Normal, Unwind);
+    B.setInsertPoint(Unwind);
+    Value *Token = B.createLandingPad();
+    B.createResume(Token);
+    B.setInsertPoint(Normal);
+    define(Res);
+    Budget -= std::min(Budget, 4u);
+  }
+
+  void emitGlobalAccess(unsigned &Budget) {
+    GlobalVariable *G = Rng.pick(Env.globals());
+    // Bounded index: idx = value & 15.
+    Value *Idx = B.createAnd(pickValue(), Ctx.getInt32(15));
+    Value *Ptr = B.createGep(Ctx.int32Ty(), G, Idx);
+    if (Rng.chancePercent(50)) {
+      define(B.createLoad(Ctx.int32Ty(), Ptr));
+    } else {
+      B.createStore(pickValue(), Ptr);
+    }
+    Budget -= std::min(Budget, 3u);
+  }
+
+  void emitCompareSelect(unsigned &Budget) {
+    static const CmpPredicate Preds[] = {
+        CmpPredicate::EQ,  CmpPredicate::NE,  CmpPredicate::SLT,
+        CmpPredicate::SLE, CmpPredicate::SGT, CmpPredicate::SGE,
+        CmpPredicate::ULT, CmpPredicate::UGT};
+    Value *C = B.createICmp(Preds[Rng.nextBelow(std::size(Preds))],
+                            pickValue(), pickValue());
+    define(B.createSelect(C, pickValue(), pickValue()));
+    Budget -= std::min(Budget, 2u);
+  }
+
+  void emitIfElse(unsigned &Budget, unsigned Depth) {
+    Function *F = B.getInsertBlock()->getParent();
+    BasicBlock *Then = F->createBlock("then");
+    BasicBlock *Else = F->createBlock("else");
+    BasicBlock *Join = F->createBlock("join");
+    Value *Cond = B.createICmp(CmpPredicate::SLT, pickValue(), pickValue());
+    B.createCondBr(Cond, Then, Else);
+    Budget -= std::min(Budget, 2u);
+
+    size_t Scope = Pool.size();
+    unsigned ThenBudget = std::min(Budget, 3 + static_cast<unsigned>(
+                                                   Rng.nextBelow(8)));
+    Budget -= ThenBudget;
+    B.setInsertPoint(Then);
+    emitRegion(ThenBudget, Depth + 1);
+    Value *ThenVal = pickValue();
+    BasicBlock *ThenExit = B.getInsertBlock();
+    B.createBr(Join);
+    Pool.resize(Scope); // branch-local values fall out of scope
+
+    unsigned ElseBudget = std::min(Budget, 3 + static_cast<unsigned>(
+                                                   Rng.nextBelow(8)));
+    Budget -= ElseBudget;
+    B.setInsertPoint(Else);
+    emitRegion(ElseBudget, Depth + 1);
+    Value *ElseVal = pickValue();
+    BasicBlock *ElseExit = B.getInsertBlock();
+    B.createBr(Join);
+    Pool.resize(Scope);
+
+    B.setInsertPoint(Join);
+    if (Rng.chancePercent(Options.JoinPhiPercent) &&
+        ThenVal->getType() == ElseVal->getType()) {
+      PhiInst *P = B.createPhi(ThenVal->getType());
+      P->addIncoming(ThenVal, ThenExit);
+      P->addIncoming(ElseVal, ElseExit);
+      define(P);
+    }
+  }
+
+  void emitLoop(unsigned &Budget, unsigned Depth) {
+    Function *F = B.getInsertBlock()->getParent();
+    BasicBlock *Header = F->createBlock("loop.h");
+    BasicBlock *Body = F->createBlock("loop.b");
+    BasicBlock *Exit = F->createBlock("loop.e");
+    BasicBlock *Pre = B.getInsertBlock();
+
+    Value *AccSeed = pickValue();
+    B.createBr(Header);
+    B.setInsertPoint(Header);
+    PhiInst *IV = B.createPhi(Ctx.int32Ty(), "iv");
+    PhiInst *Acc = B.createPhi(Ctx.int32Ty(), "acc");
+    unsigned Trip = 2 + static_cast<unsigned>(Rng.nextBelow(11));
+    Value *Cond = B.createICmp(CmpPredicate::SLT, IV,
+                               Ctx.getInt32(Trip));
+    B.createCondBr(Cond, Body, Exit);
+    Budget -= std::min(Budget, 4u);
+
+    size_t Scope = Pool.size();
+    Pool.push_back(IV);
+    Pool.push_back(Acc);
+    unsigned BodyBudget = std::min(Budget, 4 + static_cast<unsigned>(
+                                                   Rng.nextBelow(10)));
+    Budget -= BodyBudget;
+    B.setInsertPoint(Body);
+    emitRegion(BodyBudget, Depth + 1);
+    Value *AccNext = B.createAdd(Acc, pickValue());
+    Value *IVNext = B.createAdd(IV, Ctx.getInt32(1));
+    BasicBlock *Latch = B.getInsertBlock();
+    B.createBr(Header);
+    Pool.resize(Scope);
+
+    IV->addIncoming(Ctx.getInt32(0), Pre);
+    IV->addIncoming(IVNext, Latch);
+    Acc->addIncoming(AccSeed, Pre);
+    Acc->addIncoming(AccNext, Latch);
+
+    B.setInsertPoint(Exit);
+    // Header phis dominate the exit.
+    Pool.push_back(Acc);
+  }
+
+  WorkloadEnvironment &Env;
+  RNG &Rng;
+  RandomFunctionOptions Options;
+  Context &Ctx;
+  IRBuilder B;
+  std::vector<Value *> Pool;
+};
+
+} // namespace
+
+Function *salssa::generateRandomFunction(WorkloadEnvironment &Env, RNG &Rng,
+                                         const std::string &Name,
+                                         const RandomFunctionOptions &Options) {
+  FunctionSynthesizer S(Env, Rng, Options);
+  return S.build(Name);
+}
+
+Function *salssa::cloneWithDrift(Function *Base, const std::string &Name,
+                                 WorkloadEnvironment &Env, RNG &Rng,
+                                 const DriftOptions &Options) {
+  Function *F = cloneFunction(Base, Name);
+  Context &Ctx = Env.getModule().getContext();
+
+  for (BasicBlock *BB : *F) {
+    // Snapshot: insertions must not be revisited.
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      if (Rng.chancePercent(Options.InsertPercent) && !I->isTerminator() &&
+          !I->isPhi() && I->getType()->isIntegerWidth(32) && I->hasUses()) {
+        // Structural drift: interpose v' = v + c on one use of v.
+        User *U = I->users().front();
+        auto *UI = cast<Instruction>(U);
+        if (!UI->isPhi()) {
+          auto *Extra = new BinaryOperator(
+              ValueKind::Add, I,
+              Ctx.getInt32(Rng.nextBelow(32) + 1));
+          Extra->insertBefore(UI);
+          int Slot = UI->findOperand(I);
+          // The new add itself now uses I; only rewire the original user.
+          if (Slot >= 0 && UI != Extra)
+            UI->setOperand(static_cast<unsigned>(Slot), Extra);
+        }
+      }
+      if (!Rng.chancePercent(Options.MutatePercent))
+        continue;
+      Instruction *Cur = I; // survives opcode-swap replacement
+      switch (I->getOpcode()) {
+      case ValueKind::Add:
+      case ValueKind::Sub:
+      case ValueKind::Mul:
+      case ValueKind::And:
+      case ValueKind::Or:
+      case ValueKind::Xor: {
+        // Swap opcode within the integer class and/or constants.
+        static const ValueKind Alt[] = {ValueKind::Add, ValueKind::Sub,
+                                        ValueKind::Mul, ValueKind::And,
+                                        ValueKind::Or, ValueKind::Xor};
+        auto *Old = cast<BinaryOperator>(I);
+        auto *New = new BinaryOperator(Alt[Rng.nextBelow(std::size(Alt))],
+                                       Old->getLHS(), Old->getRHS());
+        New->setName(Old->getName());
+        New->insertBefore(Old);
+        Old->replaceAllUsesWith(New);
+        Old->eraseFromParent();
+        Cur = New;
+        break;
+      }
+      case ValueKind::ICmp: {
+        auto *C = cast<ICmpInst>(I);
+        static const CmpPredicate Preds[] = {
+            CmpPredicate::EQ,  CmpPredicate::NE, CmpPredicate::SLT,
+            CmpPredicate::SLE, CmpPredicate::SGT, CmpPredicate::SGE};
+        C->setPredicate(Preds[Rng.nextBelow(std::size(Preds))]);
+        break;
+      }
+      case ValueKind::Call: {
+        auto *C = cast<CallInst>(I);
+        // Retarget to a same-signature library function when one exists.
+        std::vector<Function *> Compatible;
+        for (Function *L : Env.libFunctions())
+          if (L->getFunctionType() == C->getCallee()->getFunctionType())
+            Compatible.push_back(L);
+        if (!Compatible.empty() && C->getCallee()->isDeclaration())
+          C->setCallee(Rng.pick(Compatible));
+        break;
+      }
+      default:
+        break;
+      }
+      // Constant operand drift — but never on address computations (gep
+      // indices / and-masks guard the global tables' bounds).
+      switch (Cur->getOpcode()) {
+      case ValueKind::Add:
+      case ValueKind::Sub:
+      case ValueKind::Mul:
+      case ValueKind::Or:
+      case ValueKind::Xor:
+      case ValueKind::ICmp:
+      case ValueKind::Select:
+      case ValueKind::Call:
+      case ValueKind::Ret:
+        for (unsigned K = 0; K < Cur->getNumOperands(); ++K) {
+          auto *C = dyn_cast<ConstantInt>(Cur->getOperand(K));
+          if (C && C->getType()->isIntegerWidth(32) &&
+              Rng.chancePercent(50))
+            Cur->setOperand(K, Ctx.getInt32(Rng.nextBelow(128) + 1));
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return F;
+}

@@ -1,0 +1,94 @@
+//===- workloads/RandomFunction.h - Random SSA function generation -----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random generation of well-formed SSA functions, and
+/// "clone-with-drift" mutation. Together these synthesize the function
+/// populations that drive the merging experiments:
+///
+///  - *clone families* model C++ template instantiations (the dealII /
+///    parest effect in the paper: many highly similar functions);
+///  - *drifted clones* model partially similar code (shared skeleton,
+///    divergent details) where alignment finds partial matches;
+///  - *independent functions* model the dissimilar remainder.
+///
+/// The generator emits loops and if/else diamonds with real phi-nodes —
+/// the code shape whose register demotion penalty motivates the paper
+/// (Fig 5) — plus calls to a shared pool of external "library" functions,
+/// global-table accesses, and optionally invoke/landingpad clusters.
+/// Generated loops have constant trip counts so the interpreter-based
+/// differential tests and runtime measurements terminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_WORKLOADS_RANDOMFUNCTION_H
+#define SALSSA_WORKLOADS_RANDOMFUNCTION_H
+
+#include "ir/Module.h"
+#include "support/RNG.h"
+
+namespace salssa {
+
+/// Knobs for one generated function.
+struct RandomFunctionOptions {
+  /// Target instruction count (approximate; structure granularity means
+  /// the result lands within ~20%).
+  unsigned TargetSize = 60;
+  /// Percent chance that a statement becomes control flow (if/loop).
+  unsigned ControlFlowPercent = 30;
+  /// Percent of control-flow statements that are loops (phi-rich shape).
+  unsigned LoopPercent = 50;
+  /// Percent chance of join-point phis after if/else diamonds.
+  unsigned JoinPhiPercent = 60;
+  /// Percent chance a call statement uses invoke + landingpad.
+  unsigned InvokePercent = 0;
+  /// Maximum nesting depth of structured control flow.
+  unsigned MaxDepth = 3;
+};
+
+/// Shared context for generating one module's functions: the external
+/// "library" declarations and global tables calls and memory ops target.
+class WorkloadEnvironment {
+public:
+  WorkloadEnvironment(Module &M, RNG &Rng, unsigned NumLibFunctions = 8,
+                      unsigned NumGlobals = 4);
+
+  Module &getModule() { return Mod; }
+  const std::vector<Function *> &libFunctions() const { return LibFns; }
+  const std::vector<GlobalVariable *> &globals() const { return Globals; }
+
+private:
+  Module &Mod;
+  std::vector<Function *> LibFns;
+  std::vector<GlobalVariable *> Globals;
+};
+
+/// Generates one well-formed function named \p Name. The signature is
+/// randomized (i32-dominated, matching real integer code).
+Function *generateRandomFunction(WorkloadEnvironment &Env, RNG &Rng,
+                                 const std::string &Name,
+                                 const RandomFunctionOptions &Options);
+
+/// Mutation strength for cloneWithDrift.
+struct DriftOptions {
+  /// Per-instruction mutation probability, percent. 0 = exact clone.
+  unsigned MutatePercent = 10;
+  /// Per-instruction probability of inserting an extra instruction,
+  /// percent (structural drift).
+  unsigned InsertPercent = 3;
+};
+
+/// Clones \p Base as \p Name and perturbs it: constants change, opcodes
+/// swap within their class, cmp predicates flip, commutative operands
+/// swap, call targets retarget to same-signature library functions, and
+/// extra instructions appear. The result is always verifier-clean.
+Function *cloneWithDrift(Function *Base, const std::string &Name,
+                         WorkloadEnvironment &Env, RNG &Rng,
+                         const DriftOptions &Options);
+
+} // namespace salssa
+
+#endif // SALSSA_WORKLOADS_RANDOMFUNCTION_H

@@ -1,0 +1,229 @@
+//===- workloads/Suites.cpp - Synthetic benchmark suites ------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suites.h"
+#include "ir/Verifier.h"
+#include "transforms/Simplify.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace salssa;
+
+std::unique_ptr<Module>
+salssa::buildBenchmarkModule(const BenchmarkProfile &Profile, Context &Ctx) {
+  auto M = std::make_unique<Module>(Profile.Name, Ctx);
+  RNG Rng(Profile.Seed * 0x9e3779b97f4a7c15ULL + 0xABCDEF);
+  WorkloadEnvironment Env(*M, Rng);
+
+  auto sampleSize = [&](RNG &R) {
+    // Triangular-ish distribution around AvgSize, clamped to [Min, Max].
+    int64_t S = static_cast<int64_t>(Profile.AvgSize);
+    int64_t Spread = std::max<int64_t>(2, S);
+    int64_t V = S + R.nextRange(-Spread / 2, Spread) *
+                        (R.chancePercent(25) ? 2 : 1);
+    V = std::max<int64_t>(Profile.MinSize, V);
+    V = std::min<int64_t>(Profile.MaxSize, V);
+    return static_cast<unsigned>(V);
+  };
+
+  unsigned Made = 0;
+  unsigned FamilyId = 0;
+  while (Made < Profile.NumFunctions) {
+    RandomFunctionOptions FO;
+    FO.TargetSize = sampleSize(Rng);
+    FO.LoopPercent = Profile.LoopPercent;
+    FO.InvokePercent = Profile.InvokePercent;
+    std::string BaseName =
+        Profile.Name + "_fn" + std::to_string(Made);
+    RNG FnRng = Rng.fork(Made);
+    Function *Base = generateRandomFunction(Env, FnRng, BaseName, FO);
+    ++Made;
+
+    // Clone family: template-instantiation-like population.
+    if (Rng.chancePercent(Profile.CloneFamilyPercent) &&
+        Made < Profile.NumFunctions) {
+      unsigned Family =
+          Profile.MinFamily +
+          static_cast<unsigned>(Rng.nextBelow(
+              Profile.MaxFamily - Profile.MinFamily + 1));
+      DriftOptions DO;
+      DO.MutatePercent = Profile.FamilyDriftPercent;
+      DO.InsertPercent = Profile.FamilyDriftPercent / 2;
+      for (unsigned K = 1; K < Family && Made < Profile.NumFunctions; ++K) {
+        RNG DriftRng = Rng.fork(Made * 131 + K);
+        cloneWithDrift(Base,
+                       Profile.Name + "_fam" + std::to_string(FamilyId) +
+                           "_v" + std::to_string(K),
+                       Env, DriftRng, DO);
+        ++Made;
+      }
+      ++FamilyId;
+    }
+  }
+
+  // The 403.gcc effect: one pair of very large, similar functions that
+  // dominates alignment time and memory.
+  if (Profile.GiantPairSize > 0) {
+    RandomFunctionOptions FO;
+    FO.TargetSize = Profile.GiantPairSize;
+    FO.LoopPercent = Profile.LoopPercent;
+    FO.MaxDepth = 4;
+    RNG GiantRng = Rng.fork(0x61616E74);
+    Function *Recog16 =
+        generateRandomFunction(Env, GiantRng, Profile.Name + "_recog_16", FO);
+    DriftOptions DO;
+    DO.MutatePercent = 6;
+    DO.InsertPercent = 2;
+    RNG DriftRng = Rng.fork(0x61616E75);
+    cloneWithDrift(Recog16, Profile.Name + "_recog_26", Env, DriftRng, DO);
+  }
+
+  // The experiments' baseline is LTO-optimized code (Fig 16): clean up
+  // generator artifacts (dead values, foldable constants) so size
+  // comparisons are not inflated by code any pipeline would remove.
+  for (Function *F : M->functions())
+    if (!F->isDeclaration())
+      simplifyFunction(*F, Ctx);
+
+  assert(verifyModule(*M).ok() && "workload generator emitted invalid IR");
+  return M;
+}
+
+std::vector<BenchmarkProfile> salssa::spec2006Profiles() {
+  // Tuned per benchmark: C++ template-heavy programs get large clone
+  // families (dealII's >40% reduction in the paper); phi/loop-rich C
+  // programs (hmmer, libquantum, sphinx3...) get high loop density, which
+  // is where FMSA's register demotion hurts most.
+  //                name            #fn  min avg  max  fam% fmin fmax drift loop inv giant seed
+  auto P = [](const char *Name, unsigned N, unsigned Mn, unsigned Av,
+              unsigned Mx, unsigned Fam, unsigned FMin, unsigned FMax,
+              unsigned Drift, unsigned Loop, unsigned Inv, unsigned Giant,
+              uint64_t Seed) {
+    BenchmarkProfile B;
+    B.Name = Name;
+    B.NumFunctions = N;
+    B.MinSize = Mn;
+    B.AvgSize = Av;
+    B.MaxSize = Mx;
+    B.CloneFamilyPercent = Fam;
+    B.MinFamily = FMin;
+    B.MaxFamily = FMax;
+    B.FamilyDriftPercent = Drift;
+    B.LoopPercent = Loop;
+    B.InvokePercent = Inv;
+    B.GiantPairSize = Giant;
+    B.Seed = Seed;
+    return B;
+  };
+  return {
+      P("400.perlbench", 160, 6, 70, 500, 30, 2, 4, 18, 45, 0, 0, 2006401),
+      P("401.bzip2", 60, 8, 80, 450, 20, 2, 3, 22, 55, 0, 0, 2006402),
+      P("403.gcc", 220, 6, 60, 500, 25, 2, 4, 20, 45, 0, 1500, 2006403),
+      P("429.mcf", 24, 10, 70, 300, 15, 2, 3, 20, 60, 0, 0, 2006404),
+      P("433.milc", 50, 10, 75, 350, 25, 2, 3, 18, 55, 0, 0, 2006405),
+      P("444.namd", 40, 20, 140, 600, 45, 3, 6, 12, 60, 5, 0, 2006406),
+      P("445.gobmk", 180, 6, 55, 400, 22, 2, 3, 20, 40, 0, 0, 2006407),
+      P("447.dealII", 200, 8, 90, 500, 65, 3, 8, 8, 45, 10, 0, 2006408),
+      P("450.soplex", 90, 8, 85, 450, 45, 2, 5, 14, 45, 10, 0, 2006409),
+      P("453.povray", 120, 8, 80, 450, 40, 2, 5, 15, 45, 8, 0, 2006410),
+      P("456.hmmer", 70, 10, 90, 450, 35, 2, 4, 15, 65, 0, 0, 2006411),
+      P("458.sjeng", 50, 8, 70, 350, 20, 2, 3, 20, 50, 0, 0, 2006412),
+      P("462.libquantum", 30, 8, 60, 250, 35, 2, 4, 15, 65, 0, 0, 2006413),
+      P("464.h264ref", 120, 10, 85, 500, 28, 2, 4, 18, 55, 0, 0, 2006414),
+      P("470.lbm", 12, 12, 90, 300, 20, 2, 3, 18, 60, 0, 0, 2006415),
+      P("471.omnetpp", 130, 6, 65, 400, 40, 2, 5, 15, 40, 12, 0, 2006416),
+      P("473.astar", 30, 8, 70, 300, 30, 2, 4, 17, 50, 6, 0, 2006417),
+      P("482.sphinx3", 60, 10, 80, 400, 35, 2, 4, 15, 60, 0, 0, 2006418),
+      P("483.xalancbmk", 240, 5, 55, 350, 50, 2, 6, 12, 35, 12, 0, 2006419),
+  };
+}
+
+std::vector<BenchmarkProfile> salssa::spec2017Profiles() {
+  auto P = [](const char *Name, unsigned N, unsigned Av, unsigned Fam,
+              unsigned FMax, unsigned Drift, unsigned Loop, unsigned Inv,
+              uint64_t Seed) {
+    BenchmarkProfile B;
+    B.Name = Name;
+    B.NumFunctions = N;
+    B.MinSize = 6;
+    B.AvgSize = Av;
+    B.MaxSize = 8 * Av;
+    B.CloneFamilyPercent = Fam;
+    B.MinFamily = 2;
+    B.MaxFamily = FMax;
+    B.FamilyDriftPercent = Drift;
+    B.LoopPercent = Loop;
+    B.InvokePercent = Inv;
+    B.Seed = Seed;
+    return B;
+  };
+  return {
+      P("508.namd_r", 50, 140, 45, 6, 12, 60, 5, 2017508),
+      P("510.parest_r", 220, 85, 65, 8, 8, 45, 10, 2017510),
+      P("511.povray_r", 120, 80, 40, 5, 15, 45, 8, 2017511),
+      P("526.blender_r", 300, 65, 30, 4, 18, 45, 6, 2017526),
+      P("600.perlbench_s", 160, 70, 30, 4, 18, 45, 0, 2017600),
+      P("602.gcc_s", 260, 60, 25, 4, 20, 45, 0, 2017602),
+      P("605.mcf_s", 24, 70, 15, 3, 20, 60, 0, 2017605),
+      P("619.lbm_s", 12, 90, 22, 3, 22, 60, 0, 2017619),
+      P("620.omnetpp_s", 140, 65, 40, 5, 15, 40, 12, 2017620),
+      P("623.xalancbmk_s", 240, 55, 50, 6, 12, 35, 12, 2017623),
+      P("625.x264_s", 90, 85, 25, 3, 22, 55, 0, 2017625),
+      P("631.deepsjeng_s", 50, 70, 20, 3, 20, 50, 0, 2017631),
+      P("638.imagick_s", 150, 80, 30, 4, 18, 55, 0, 2017638),
+      P("641.leela_s", 60, 70, 35, 4, 15, 50, 8, 2017641),
+      P("644.nab_s", 40, 80, 28, 3, 17, 55, 0, 2017644),
+      P("657.xz_s", 50, 70, 30, 4, 17, 55, 0, 2017657),
+  };
+}
+
+std::vector<BenchmarkProfile> salssa::mibenchProfiles() {
+  // Function counts and min/avg/max sizes straight from Table 1 of the
+  // paper. Similarity knobs are tuned so the per-benchmark merge counts
+  // land in the neighbourhood of the published FMSA/SalSSA columns.
+  auto P = [](const char *Name, unsigned N, unsigned Mn, unsigned Av,
+              unsigned Mx, unsigned Fam, unsigned FMax, unsigned Drift,
+              uint64_t Seed) {
+    BenchmarkProfile B;
+    B.Name = Name;
+    B.NumFunctions = N;
+    B.MinSize = std::max(3u, Mn); // a function below 3 IR instrs is a stub
+    B.AvgSize = Av;
+    B.MaxSize = Mx;
+    B.CloneFamilyPercent = Fam;
+    B.MinFamily = 2;
+    B.MaxFamily = FMax;
+    B.FamilyDriftPercent = Drift;
+    B.LoopPercent = 55;
+    B.Seed = Seed;
+    return B;
+  };
+  return {
+      P("CRC32", 4, 8, 24, 37, 0, 2, 15, 901),
+      P("FFT", 7, 6, 45, 131, 0, 2, 15, 902),
+      P("adpcm_c", 3, 35, 68, 93, 0, 2, 15, 903),
+      P("adpcm_d", 3, 35, 68, 93, 0, 2, 15, 904),
+      P("basicmath", 5, 4, 60, 204, 0, 2, 15, 905),
+      P("bitcount", 19, 4, 21, 56, 35, 4, 14, 906),
+      P("blowfish_d", 8, 3, 231, 790, 25, 2, 16, 907),
+      P("blowfish_e", 8, 3, 231, 790, 25, 2, 16, 908),
+      P("cjpeg", 322, 3, 93, 1198, 25, 4, 16, 909),
+      P("dijkstra", 6, 3, 32, 83, 0, 2, 20, 910),
+      P("djpeg", 310, 3, 91, 1198, 25, 4, 16, 911),
+      P("ghostscript", 690, 3, 50, 750, 30, 4, 16, 912),
+      P("gsm", 69, 3, 92, 696, 25, 3, 16, 913),
+      P("ispell", 84, 3, 97, 1004, 20, 3, 16, 914),
+      P("patricia", 5, 3, 74, 160, 0, 2, 20, 915),
+      P("pgp", 310, 3, 80, 1706, 20, 3, 16, 916),
+      P("qsort", 2, 11, 46, 80, 0, 2, 20, 917),
+      P("rijndael", 7, 45, 444, 1182, 15, 2, 16, 918),
+      P("rsynth", 47, 3, 84, 716, 15, 2, 18, 919),
+      P("sha", 7, 12, 50, 147, 15, 2, 18, 920),
+      P("stringsearch", 10, 3, 41, 81, 25, 2, 16, 921),
+      P("susan", 19, 15, 275, 1153, 15, 2, 16, 922),
+      P("typeset", 362, 3, 160, 1500, 25, 4, 16, 923),
+  };
+}

@@ -1,0 +1,70 @@
+//===- workloads/Suites.h - Synthetic benchmark suites -------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for SPEC CPU2006, SPEC CPU2017 and MiBench. Each
+/// benchmark profile controls the statistics that matter to function
+/// merging: how many functions, how large, how phi/loop-rich (the register
+/// demotion penalty of Fig 5), and how much similarity exists (clone
+/// families for template-heavy C++ code, drifted clones for partially
+/// similar C code). MiBench profiles mirror Table 1's published function
+/// counts and size ranges exactly. SPEC sizes are scaled down ~10x from
+/// the real suites so the full experiment matrix runs in CI time; all
+/// relative effects are preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_WORKLOADS_SUITES_H
+#define SALSSA_WORKLOADS_SUITES_H
+
+#include "workloads/RandomFunction.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+/// Generation parameters of one benchmark program.
+struct BenchmarkProfile {
+  std::string Name;
+  unsigned NumFunctions = 50;
+  unsigned MinSize = 4;    ///< instructions
+  unsigned AvgSize = 60;
+  unsigned MaxSize = 400;
+  /// Percent of functions that belong to a clone family (template-like).
+  unsigned CloneFamilyPercent = 30;
+  /// Family size range.
+  unsigned MinFamily = 2;
+  unsigned MaxFamily = 5;
+  /// Drift applied to family members (percent mutation per instruction).
+  unsigned FamilyDriftPercent = 8;
+  /// Percent of control-flow statements that are loops: drives phi
+  /// density and hence the Reg2Mem inflation of Fig 5.
+  unsigned LoopPercent = 50;
+  /// Percent of calls emitted as invoke/landingpad (C++ profiles).
+  unsigned InvokePercent = 0;
+  /// When set, adds one pair of giant similar functions (the
+  /// recog_16/recog_26 effect in 403.gcc driving peak memory, §5.5).
+  unsigned GiantPairSize = 0;
+  uint64_t Seed = 1;
+};
+
+/// Builds the module for one profile (functions + globals + libraries).
+std::unique_ptr<Module> buildBenchmarkModule(const BenchmarkProfile &Profile,
+                                             Context &Ctx);
+
+/// The 19 C/C++ SPEC CPU2006 benchmarks evaluated in the paper.
+std::vector<BenchmarkProfile> spec2006Profiles();
+
+/// The 16 C/C++ SPEC CPU2017 benchmarks evaluated in the paper.
+std::vector<BenchmarkProfile> spec2017Profiles();
+
+/// The 23 MiBench programs of Table 1 (exact function counts/sizes).
+std::vector<BenchmarkProfile> mibenchProfiles();
+
+} // namespace salssa
+
+#endif // SALSSA_WORKLOADS_SUITES_H

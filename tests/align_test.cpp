@@ -1,0 +1,298 @@
+//===- tests/align_test.cpp - Alignment unit and property tests ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "align/Matcher.h"
+#include "align/NeedlemanWunsch.h"
+#include "ir/IRBuilder.h"
+#include "transforms/Reg2Mem.h"
+#include "workloads/RandomFunction.h"
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+/// Alignment over plain characters for the algorithmic tests.
+struct CharSeq {
+  std::vector<SeqItem> Items;
+  // Each char is faked as a distinct label pointer bucket: we abuse the
+  // Block pointer to carry the character identity.
+  explicit CharSeq(const std::string &S) {
+    for (char C : S)
+      Items.push_back(
+          {reinterpret_cast<BasicBlock *>(static_cast<uintptr_t>(C)),
+           nullptr});
+  }
+};
+
+MatchFn charMatch = [](const SeqItem &A, const SeqItem &B) {
+  return A.Block == B.Block;
+};
+
+TEST(NeedlemanWunschTest, IdenticalSequencesFullyMatch) {
+  CharSeq A("abcdef"), B("abcdef");
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  EXPECT_EQ(R.MatchedPairs, 6u);
+  EXPECT_EQ(R.Entries.size(), 6u);
+  for (const AlignedEntry &E : R.Entries)
+    EXPECT_TRUE(E.isMatch());
+}
+
+TEST(NeedlemanWunschTest, DisjointSequencesNeverMatch) {
+  CharSeq A("aaaa"), B("bbb");
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  EXPECT_EQ(R.MatchedPairs, 0u);
+  EXPECT_EQ(R.Entries.size(), 7u); // all gaps
+}
+
+TEST(NeedlemanWunschTest, FindsLongestCommonSubsequence) {
+  // LCS("abcbdab", "bdcaba") = 4 (e.g. "bcba" / "bdab").
+  CharSeq A("abcbdab"), B("bdcaba");
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  EXPECT_EQ(R.MatchedPairs, 4u);
+}
+
+TEST(NeedlemanWunschTest, EmptySequences) {
+  CharSeq A(""), B("xyz");
+  AlignmentResult R1 = alignSequences(A.Items, B.Items, charMatch);
+  EXPECT_EQ(R1.MatchedPairs, 0u);
+  EXPECT_EQ(R1.Entries.size(), 3u);
+  AlignmentResult R2 = alignSequences(A.Items, A.Items, charMatch);
+  EXPECT_EQ(R2.Entries.size(), 0u);
+}
+
+TEST(NeedlemanWunschTest, EntriesAreMonotone) {
+  CharSeq A("xaxbxcx"), B("yaybycy");
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  int Last1 = -1, Last2 = -1;
+  size_t Seen1 = 0, Seen2 = 0;
+  for (const AlignedEntry &E : R.Entries) {
+    if (E.Idx1 >= 0) {
+      EXPECT_GT(E.Idx1, Last1);
+      Last1 = E.Idx1;
+      ++Seen1;
+    }
+    if (E.Idx2 >= 0) {
+      EXPECT_GT(E.Idx2, Last2);
+      Last2 = E.Idx2;
+      ++Seen2;
+    }
+  }
+  // Every element of both sequences appears exactly once.
+  EXPECT_EQ(Seen1, A.Items.size());
+  EXPECT_EQ(Seen2, B.Items.size());
+}
+
+TEST(NeedlemanWunschTest, DPBytesIsQuadratic) {
+  CharSeq A(std::string(100, 'a')), B(std::string(200, 'b'));
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  // Traceback matrix dominates: (100+1)*(200+1) bytes.
+  EXPECT_GE(R.DPBytes, 101u * 201u);
+  EXPECT_LE(R.DPBytes, 2u * 101u * 201u + 4096u);
+}
+
+/// Property sweep: random sequences against themselves and against
+/// shuffles.
+class AlignmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentPropertyTest, SelfAlignmentIsPerfect) {
+  RNG Rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  std::string S;
+  for (int I = 0; I < 20 + GetParam() * 13; ++I)
+    S += static_cast<char>('a' + Rng.nextBelow(4));
+  CharSeq A(S);
+  AlignmentResult R = alignSequences(A.Items, A.Items, charMatch);
+  EXPECT_EQ(R.MatchedPairs, S.size());
+}
+
+TEST_P(AlignmentPropertyTest, MatchCountBoundedByShorterSequence) {
+  RNG Rng(static_cast<uint64_t>(GetParam()) * 99 + 7);
+  std::string S1, S2;
+  for (int I = 0; I < 30; ++I)
+    S1 += static_cast<char>('a' + Rng.nextBelow(3));
+  for (int I = 0; I < 10 + GetParam(); ++I)
+    S2 += static_cast<char>('a' + Rng.nextBelow(3));
+  CharSeq A(S1), B(S2);
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  EXPECT_LE(R.MatchedPairs, std::min(S1.size(), S2.size()));
+  // With a 3-letter alphabet there is always some common subsequence.
+  EXPECT_GT(R.MatchedPairs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlignmentPropertyTest,
+                         ::testing::Range(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Linearization
+//===----------------------------------------------------------------------===//
+
+TEST(LinearizeTest, SkipsPhisAndLandingPads) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *I32 = Ctx.int32Ty();
+  Function *Ext = M.createFunction("ext", Ctx.types().getFunctionTy(I32, {}));
+  Function *F = M.createFunction("f", Ctx.types().getFunctionTy(I32, {Ctx.int1Ty()}));
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *J = F->createBlock("j");
+  BasicBlock *U = F->createBlock("u");
+  IRBuilder B(Ctx, Entry);
+  B.createCondBr(F->getArg(0), T, E);
+  B.setInsertPoint(T);
+  B.createBr(J);
+  B.setInsertPoint(E);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.createPhi(I32, "p");
+  P->addIncoming(Ctx.getInt32(1), T);
+  P->addIncoming(Ctx.getInt32(2), E);
+  InvokeInst *Inv = B.createInvoke(Ext, {}, T /*bogus but structural*/, U);
+  (void)Inv;
+  B.setInsertPoint(U);
+  Value *Tok = B.createLandingPad();
+  B.createResume(Tok);
+
+  std::vector<SeqItem> Seq = linearizeFunction(*F);
+  unsigned Labels = 0, Instrs = 0;
+  for (const SeqItem &It : Seq) {
+    if (It.isLabel())
+      ++Labels;
+    else {
+      ++Instrs;
+      EXPECT_FALSE(It.Inst->isPhi());
+      EXPECT_FALSE(isa<LandingPadInst>(It.Inst));
+    }
+  }
+  EXPECT_EQ(Labels, F->getNumBlocks());
+  // entry condbr + 2 brs + invoke + resume = 5 instructions.
+  EXPECT_EQ(Instrs, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Matcher
+//===----------------------------------------------------------------------===//
+
+class MatcherTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    M = std::make_unique<Module>("m", Ctx);
+    Type *I32 = Ctx.int32Ty();
+    F = M->createFunction("f", Ctx.types().getFunctionTy(I32, {I32, I32}));
+    BB = F->createBlock("entry");
+    B = std::make_unique<IRBuilder>(Ctx, BB);
+  }
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  std::unique_ptr<IRBuilder> B;
+};
+
+TEST_F(MatcherTest, SameOpcodeDifferentOperandsMerge) {
+  auto *A1 = cast<Instruction>(B->createAdd(F->getArg(0), Ctx.getInt32(1)));
+  auto *A2 = cast<Instruction>(B->createAdd(F->getArg(1), Ctx.getInt32(2)));
+  EXPECT_TRUE(areMergeableInstructions(A1, A2));
+}
+
+TEST_F(MatcherTest, DifferentOpcodesDontMerge) {
+  auto *A = cast<Instruction>(B->createAdd(F->getArg(0), F->getArg(1)));
+  auto *S = cast<Instruction>(B->createSub(F->getArg(0), F->getArg(1)));
+  EXPECT_FALSE(areMergeableInstructions(A, S));
+}
+
+TEST_F(MatcherTest, DifferentTypesDontMerge) {
+  Value *W = B->createSExt(F->getArg(0), Ctx.int64Ty());
+  auto *A32 = cast<Instruction>(B->createAdd(F->getArg(0), F->getArg(1)));
+  auto *A64 = cast<Instruction>(B->createAdd(W, W));
+  EXPECT_FALSE(areMergeableInstructions(A32, A64));
+}
+
+TEST_F(MatcherTest, CmpPredicatesMustAgree) {
+  auto *C1 = cast<Instruction>(
+      B->createICmp(CmpPredicate::SLT, F->getArg(0), F->getArg(1)));
+  auto *C2 = cast<Instruction>(
+      B->createICmp(CmpPredicate::SLT, F->getArg(1), F->getArg(0)));
+  auto *C3 = cast<Instruction>(
+      B->createICmp(CmpPredicate::NE, F->getArg(0), F->getArg(1)));
+  EXPECT_TRUE(areMergeableInstructions(C1, C2));
+  EXPECT_FALSE(areMergeableInstructions(C1, C3));
+}
+
+TEST_F(MatcherTest, CallsRequireSameCallee) {
+  Type *I32 = Ctx.int32Ty();
+  Function *E1 = M->createFunction("e1", Ctx.types().getFunctionTy(I32, {I32}));
+  Function *E2 = M->createFunction("e2", Ctx.types().getFunctionTy(I32, {I32}));
+  auto *C1 = B->createCall(E1, {F->getArg(0)});
+  auto *C2 = B->createCall(E1, {F->getArg(1)});
+  auto *C3 = B->createCall(E2, {F->getArg(0)});
+  EXPECT_TRUE(areMergeableInstructions(C1, C2));
+  EXPECT_FALSE(areMergeableInstructions(C1, C3));
+}
+
+TEST_F(MatcherTest, LoadsStoresMergeOnTypes) {
+  AllocaInst *P1 = B->createAlloca(Ctx.int32Ty());
+  AllocaInst *P2 = B->createAlloca(Ctx.int32Ty());
+  auto *L1 = cast<Instruction>(B->createLoad(Ctx.int32Ty(), P1));
+  auto *L2 = cast<Instruction>(B->createLoad(Ctx.int32Ty(), P2));
+  auto *S1 = B->createStore(F->getArg(0), P1);
+  auto *S2 = B->createStore(F->getArg(1), P2);
+  // Loads from *different* slots still merge (address becomes a select) —
+  // the FMSA promotion-blocking phenomenon depends on this.
+  EXPECT_TRUE(areMergeableInstructions(L1, L2));
+  EXPECT_TRUE(areMergeableInstructions(S1, S2));
+}
+
+TEST_F(MatcherTest, LabelsMatchLabels) {
+  SeqItem L1{BB, nullptr};
+  SeqItem L2{BB, nullptr};
+  auto *A = cast<Instruction>(B->createAdd(F->getArg(0), F->getArg(1)));
+  SeqItem I1{BB, A};
+  EXPECT_TRUE(itemsMatch(L1, L2));
+  EXPECT_FALSE(itemsMatch(L1, I1));
+}
+
+TEST_F(MatcherTest, BranchArityMustAgree) {
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  Value *C = B->createICmp(CmpPredicate::EQ, F->getArg(0), F->getArg(1));
+  auto *Cond = B->createCondBr(C, T, E);
+  IRBuilder B2(Ctx, T);
+  auto *Uncond = B2.createBr(E);
+  EXPECT_FALSE(areMergeableInstructions(Cond, Uncond));
+  IRBuilder B3(Ctx, E);
+  auto *Uncond2 = B3.createBr(T);
+  EXPECT_TRUE(areMergeableInstructions(Uncond, Uncond2));
+}
+
+//===----------------------------------------------------------------------===//
+// Demotion doubles sequence lengths (the Fig 5/22/23 mechanism)
+//===----------------------------------------------------------------------===//
+
+TEST(AlignCostTest, DemotionInflatesAlignmentFootprint) {
+  Context Ctx;
+  Module M("m", Ctx);
+  RNG Rng(4242);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 120;
+  FO.LoopPercent = 70;
+  RNG G1 = Rng.fork(1), G2 = Rng.fork(2);
+  Function *F1 = generateRandomFunction(Env, G1, "a", FO);
+  Function *F2 = generateRandomFunction(Env, G2, "b", FO);
+
+  AlignmentResult Before = alignSequences(
+      linearizeFunction(*F1), linearizeFunction(*F2), itemsMatch);
+  demoteRegistersToMemory(*F1, Ctx);
+  demoteRegistersToMemory(*F2, Ctx);
+  AlignmentResult After = alignSequences(
+      linearizeFunction(*F1), linearizeFunction(*F2), itemsMatch);
+  // The paper's quadratic blowup: demoted sequences cost several times
+  // the original DP footprint.
+  EXPECT_GT(After.DPBytes, 2 * Before.DPBytes);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/codesize_test.cpp - Size model tests -----------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codesize/SizeModel.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+class SizeModelTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    M = std::make_unique<Module>("m", Ctx);
+    F = M->createFunction(
+        "f", Ctx.types().getFunctionTy(Ctx.int32Ty(),
+                                       {Ctx.int32Ty(), Ctx.int32Ty()}));
+    BB = F->createBlock("entry");
+    B = std::make_unique<IRBuilder>(Ctx, BB);
+  }
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  std::unique_ptr<IRBuilder> B;
+};
+
+TEST_F(SizeModelTest, DeclarationsCostNothing) {
+  Function *D =
+      M->createFunction("ext", Ctx.types().getFunctionTy(Ctx.voidTy(), {}));
+  EXPECT_EQ(estimateFunctionSize(*D, TargetArch::X86Like), 0u);
+  EXPECT_EQ(estimateFunctionSize(*D, TargetArch::ThumbLike), 0u);
+}
+
+TEST_F(SizeModelTest, FunctionOverheadCounted) {
+  B->createRet(F->getArg(0));
+  unsigned X86 = estimateFunctionSize(*F, TargetArch::X86Like);
+  unsigned Thumb = estimateFunctionSize(*F, TargetArch::ThumbLike);
+  EXPECT_GT(X86, estimateInstructionSize(*BB->back(), TargetArch::X86Like));
+  EXPECT_GT(Thumb, 0u);
+  // Thumb encodings are denser overall for the same IR.
+  Value *Acc = F->getArg(0);
+  for (int I = 0; I < 20; ++I)
+    Acc = B->createAdd(Acc, F->getArg(1));
+  EXPECT_LT(estimateFunctionSize(*F, TargetArch::ThumbLike),
+            estimateFunctionSize(*F, TargetArch::X86Like));
+}
+
+TEST_F(SizeModelTest, AllocasAreFree) {
+  AllocaInst *A = B->createAlloca(Ctx.int32Ty());
+  EXPECT_EQ(estimateInstructionSize(*A, TargetArch::X86Like), 0u);
+}
+
+TEST_F(SizeModelTest, PhiCostScalesWithIncomingEdges) {
+  auto *P2 = new PhiInst(Ctx.int32Ty());
+  P2->addIncoming(Ctx.getInt32(1), BB);
+  P2->addIncoming(Ctx.getInt32(2), BB);
+  auto *P4 = new PhiInst(Ctx.int32Ty());
+  for (int I = 0; I < 4; ++I)
+    P4->addIncoming(Ctx.getInt32(static_cast<uint64_t>(I)), BB);
+  EXPECT_LT(estimateInstructionSize(*P2, TargetArch::X86Like),
+            estimateInstructionSize(*P4, TargetArch::X86Like));
+  P2->dropAllReferences();
+  P4->dropAllReferences();
+  delete P2;
+  delete P4;
+}
+
+TEST_F(SizeModelTest, SwitchCostScalesWithCases) {
+  BasicBlock *D = F->createBlock("d");
+  SwitchInst *SW = B->createSwitch(F->getArg(0), D);
+  unsigned Size0 = estimateInstructionSize(*SW, TargetArch::X86Like);
+  SW->addCase(Ctx.getInt32(1), D);
+  SW->addCase(Ctx.getInt32(2), D);
+  unsigned Size2 = estimateInstructionSize(*SW, TargetArch::X86Like);
+  EXPECT_GT(Size2, Size0);
+  IRBuilder BD(Ctx, D);
+  BD.createRet(Ctx.getInt32(0));
+}
+
+TEST_F(SizeModelTest, SelectCostsMoreThanAdd) {
+  // The cost model must penalize the select pressure merging creates,
+  // or the profitability model would never reject a bad merge.
+  auto *Add = cast<Instruction>(B->createAdd(F->getArg(0), F->getArg(1)));
+  Value *C = B->createICmp(CmpPredicate::EQ, F->getArg(0), F->getArg(1));
+  auto *Sel =
+      cast<Instruction>(B->createSelect(C, F->getArg(0), F->getArg(1)));
+  for (TargetArch A : {TargetArch::X86Like, TargetArch::ThumbLike})
+    EXPECT_GT(estimateInstructionSize(*Sel, A),
+              estimateInstructionSize(*Add, A));
+}
+
+TEST_F(SizeModelTest, ModuleSizeIsSumOfDefinitions) {
+  B->createRet(F->getArg(0));
+  Function *G =
+      M->createFunction("g", Ctx.types().getFunctionTy(Ctx.voidTy(), {}));
+  IRBuilder BG(Ctx, G->createBlock("entry"));
+  BG.createRetVoid();
+  M->createFunction("decl", Ctx.types().getFunctionTy(Ctx.voidTy(), {}));
+  EXPECT_EQ(estimateModuleSize(*M, TargetArch::X86Like),
+            estimateFunctionSize(*F, TargetArch::X86Like) +
+                estimateFunctionSize(*G, TargetArch::X86Like));
+}
+
+TEST_F(SizeModelTest, EveryOpcodeHasACost) {
+  // Conditional branch costs more than unconditional.
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  Value *C = B->createICmp(CmpPredicate::EQ, F->getArg(0), F->getArg(1));
+  auto *CBr = B->createCondBr(C, T, E);
+  IRBuilder BT(Ctx, T);
+  auto *UBr = BT.createBr(E);
+  EXPECT_GT(estimateInstructionSize(*CBr, TargetArch::X86Like),
+            estimateInstructionSize(*UBr, TargetArch::X86Like));
+  IRBuilder BE(Ctx, E);
+  BE.createRet(Ctx.getInt32(0));
+}
+
+} // namespace

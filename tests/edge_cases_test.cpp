@@ -1,0 +1,252 @@
+//===- tests/edge_cases_test.cpp - Cross-cutting edge cases -------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Edge cases cutting across modules: switch merging, degenerate merge
+// inputs (single-block, no-match, void returns), interpreter corner
+// semantics, and simplification interactions discovered during
+// development.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "merge/FunctionMerger.h"
+#include "transforms/Cloning.h"
+#include "transforms/Simplify.h"
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+protected:
+  void SetUp() override { M = std::make_unique<Module>("m", Ctx); }
+
+  MergeAttempt mergeSalSSA(Function *F1, Function *F2) {
+    return attemptMerge(
+        *F1, *F2, MergeCodeGenOptions::forTechnique(MergeTechnique::SalSSA),
+        TargetArch::X86Like, 0, 0);
+  }
+
+  Context Ctx;
+  std::unique_ptr<Module> M;
+};
+
+TEST_F(EdgeCaseTest, MergeSwitchesWithSameCasesDifferentDests) {
+  Type *I32 = Ctx.int32Ty();
+  auto Build = [&](const std::string &Name, int A, int B) {
+    Function *F = M->createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *C1 = F->createBlock("c1");
+    BasicBlock *C2 = F->createBlock("c2");
+    BasicBlock *Def = F->createBlock("def");
+    IRBuilder Bld(Ctx, Entry);
+    SwitchInst *SW = Bld.createSwitch(F->getArg(0), Def);
+    SW->addCase(Ctx.getInt32(1), C1);
+    SW->addCase(Ctx.getInt32(2), C2);
+    Bld.setInsertPoint(C1);
+    Bld.createRet(Ctx.getInt32(static_cast<uint64_t>(A)));
+    Bld.setInsertPoint(C2);
+    Bld.createRet(Ctx.getInt32(static_cast<uint64_t>(B)));
+    Bld.setInsertPoint(Def);
+    Bld.createRet(Ctx.getInt32(0));
+    return F;
+  };
+  Function *F1 = Build("swa", 10, 20);
+  Function *F2 = Build("swb", 30, 40);
+  MergeAttempt A = mergeSalSSA(F1, F2);
+  ASSERT_TRUE(A.Valid);
+  ASSERT_TRUE(verifyFunction(*A.Gen.Merged).ok())
+      << verifyFunction(*A.Gen.Merged).str();
+  commitMerge(A, Ctx);
+  Interpreter I(*M);
+  for (uint64_t In : {0ull, 1ull, 2ull, 7ull}) {
+    ExecResult R1 = I.run(F1, {RuntimeValue::makeInt(In)});
+    ExecResult R2 = I.run(F2, {RuntimeValue::makeInt(In)});
+    ASSERT_TRUE(R1.ok() && R2.ok());
+    uint64_t E1 = In == 1 ? 10 : In == 2 ? 20 : 0;
+    uint64_t E2 = In == 1 ? 30 : In == 2 ? 40 : 0;
+    EXPECT_EQ(R1.Return.Bits, E1) << In;
+    EXPECT_EQ(R2.Return.Bits, E2) << In;
+  }
+}
+
+TEST_F(EdgeCaseTest, MergeVoidFunctions) {
+  Type *I32 = Ctx.int32Ty();
+  GlobalVariable *G = M->createGlobal("g", I32, 2);
+  auto Build = [&](const std::string &Name, int Slot) {
+    Function *F =
+        M->createFunction(Name, Ctx.types().getFunctionTy(Ctx.voidTy(), {I32}));
+    IRBuilder Bld(Ctx, F->createBlock("entry"));
+    Value *P = Bld.createGep(I32, G, Ctx.getInt32(static_cast<uint64_t>(Slot)));
+    Bld.createStore(F->getArg(0), P);
+    Bld.createRetVoid();
+    return F;
+  };
+  Function *F1 = Build("va", 0);
+  Function *F2 = Build("vb", 1);
+  MergeAttempt A = mergeSalSSA(F1, F2);
+  ASSERT_TRUE(A.Valid);
+  commitMerge(A, Ctx);
+  ASSERT_TRUE(verifyModule(*M).ok()) << verifyModule(*M).str();
+  Interpreter I(*M);
+  ExecResult R1 = I.run(F1, {RuntimeValue::makeInt(5)});
+  uint64_t H1 = R1.GlobalMemoryHash;
+  I.resetMemory();
+  ExecResult R2 = I.run(F2, {RuntimeValue::makeInt(5)});
+  EXPECT_TRUE(R1.ok() && R2.ok());
+  EXPECT_NE(H1, R2.GlobalMemoryHash); // different slots were written
+}
+
+TEST_F(EdgeCaseTest, MergeCompletelyDissimilarFunctionsStillCorrect) {
+  Type *I32 = Ctx.int32Ty();
+  Function *F1 = M->createFunction("dis.a", Ctx.types().getFunctionTy(I32, {I32}));
+  {
+    IRBuilder B(Ctx, F1->createBlock("entry"));
+    B.createRet(B.createMul(F1->getArg(0), Ctx.getInt32(3)));
+  }
+  Function *F2 = M->createFunction("dis.b", Ctx.types().getFunctionTy(I32, {I32}));
+  {
+    BasicBlock *E = F2->createBlock("entry");
+    BasicBlock *T = F2->createBlock("t");
+    BasicBlock *X = F2->createBlock("x");
+    IRBuilder B(Ctx, E);
+    Value *C = B.createICmp(CmpPredicate::SGT, F2->getArg(0), Ctx.getInt32(10));
+    B.createCondBr(C, T, X);
+    B.setInsertPoint(T);
+    B.createRet(Ctx.getInt32(99));
+    B.setInsertPoint(X);
+    B.createRet(B.createSub(Ctx.getInt32(0), F2->getArg(0)));
+  }
+  MergeAttempt A = mergeSalSSA(F1, F2);
+  ASSERT_TRUE(A.Valid);
+  // Almost nothing aligns, so the merge is unprofitable -- but the
+  // generated function must still be correct.
+  ASSERT_TRUE(verifyFunction(*A.Gen.Merged).ok());
+  commitMerge(A, Ctx);
+  Interpreter I(*M);
+  EXPECT_EQ(I.run(F1, {RuntimeValue::makeInt(7)}).Return.Bits, 21u);
+  EXPECT_EQ(I.run(F2, {RuntimeValue::makeInt(20)}).Return.Bits, 99u);
+  EXPECT_EQ(static_cast<int32_t>(
+                I.run(F2, {RuntimeValue::makeInt(4)}).Return.Bits),
+            -4);
+}
+
+TEST_F(EdgeCaseTest, MergeSingleInstructionFunctions) {
+  Type *I32 = Ctx.int32Ty();
+  auto Build = [&](const std::string &Name) {
+    Function *F = M->createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+    IRBuilder B(Ctx, F->createBlock("entry"));
+    B.createRet(F->getArg(0));
+    return F;
+  };
+  Function *F1 = Build("id.a");
+  Function *F2 = Build("id.b");
+  MergeAttempt A = mergeSalSSA(F1, F2);
+  ASSERT_TRUE(A.Valid);
+  EXPECT_FALSE(A.Stats.Profitable); // two thunks cost more than one ret
+  discardMerge(A);
+  EXPECT_EQ(M->getFunction("id.a"), F1); // inputs untouched
+  EXPECT_TRUE(verifyModule(*M).ok());
+}
+
+TEST_F(EdgeCaseTest, RepeatedMergingOfMergedFunctions) {
+  // Merge (A,B) -> M1, then (M1, C): the remerge path of the driver.
+  Type *I32 = Ctx.int32Ty();
+  Function *Lib =
+      M->createFunction("lib", Ctx.types().getFunctionTy(I32, {I32}));
+  auto Build = [&](const std::string &Name, int K) {
+    Function *F = M->createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+    IRBuilder B(Ctx, F->createBlock("entry"));
+    Value *V = B.createAdd(F->getArg(0), Ctx.getInt32(static_cast<uint64_t>(K)));
+    for (int J = 0; J < 5; ++J)
+      V = B.createXor(B.createMul(V, Ctx.getInt32(3)), F->getArg(0));
+    B.createRet(B.createCall(Lib, {V}));
+    return F;
+  };
+  Function *A = Build("ma", 1);
+  Function *B2 = Build("mb", 2);
+  Function *C = Build("mc", 3);
+  Function *RefC = cloneFunction(C, "mc.ref");
+
+  MergeAttempt M1 = mergeSalSSA(A, B2);
+  ASSERT_TRUE(M1.Valid);
+  commitMerge(M1, Ctx);
+  MergeAttempt M2 = mergeSalSSA(M1.Gen.Merged, C);
+  ASSERT_TRUE(M2.Valid);
+  ASSERT_TRUE(verifyFunction(*M2.Gen.Merged).ok())
+      << verifyFunction(*M2.Gen.Merged).str();
+  commitMerge(M2, Ctx);
+  ASSERT_TRUE(verifyModule(*M).ok()) << verifyModule(*M).str();
+
+  Interpreter I(*M);
+  for (uint64_t In : {0ull, 9ull}) {
+    I.resetMemory();
+    ExecResult R1 = I.run(RefC, {RuntimeValue::makeInt(In)});
+    I.resetMemory();
+    ExecResult R2 = I.run(C, {RuntimeValue::makeInt(In)});
+    EXPECT_TRUE(behaviourallyEqual(R1, R2)) << In;
+  }
+}
+
+TEST_F(EdgeCaseTest, InterpreterGepNegativeIndex) {
+  Type *I32 = Ctx.int32Ty();
+  Function *F = M->createFunction("g", Ctx.types().getFunctionTy(I32, {}));
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  AllocaInst *A = B.createAlloca(I32, 4);
+  Value *P3 = B.createGep(I32, A, Ctx.getInt32(3));
+  B.createStore(Ctx.getInt32(77), P3);
+  // Walk back from element 3 to element 3 via +4 then -1.
+  Value *P4 = B.createGep(I32, P3, Ctx.getInt32(1));
+  Value *Back = B.createGep(I32, P4, Ctx.getInt(I32, static_cast<uint64_t>(-1)));
+  B.createRet(B.createLoad(I32, Back));
+  Interpreter I(*M);
+  ExecResult R = I.run(F, {});
+  ASSERT_TRUE(R.ok()) << R.TrapReason;
+  EXPECT_EQ(R.Return.Bits, 77u);
+}
+
+TEST_F(EdgeCaseTest, SimplifyPreservesLandingPadStructure) {
+  Type *I32 = Ctx.int32Ty();
+  Function *Ext = M->createFunction("ext", Ctx.types().getFunctionTy(I32, {}));
+  Function *F = M->createFunction("eh", Ctx.types().getFunctionTy(I32, {}));
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *N = F->createBlock("n");
+  BasicBlock *U = F->createBlock("u");
+  IRBuilder B(Ctx, Entry);
+  InvokeInst *Inv = B.createInvoke(Ext, {}, N, U, "r");
+  B.setInsertPoint(N);
+  B.createRet(Inv);
+  B.setInsertPoint(U);
+  Value *T = B.createLandingPad();
+  B.createResume(T);
+  simplifyFunction(*F, Ctx);
+  VerifierReport R = verifyFunction(*F);
+  EXPECT_TRUE(R.ok()) << R.str();
+  EXPECT_TRUE(U->getParent() == F && U->isLandingBlock());
+}
+
+TEST_F(EdgeCaseTest, PrinterHandlesAllConstantKinds) {
+  Type *I32 = Ctx.int32Ty();
+  GlobalVariable *G = M->createGlobal("gv", I32, 1);
+  Function *F = M->createFunction(
+      "p", Ctx.types().getFunctionTy(Ctx.voidTy(), {}));
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  B.createStore(Ctx.getInt32(static_cast<uint64_t>(-5)), G);
+  B.createStore(Ctx.getUndef(I32), G);
+  Value *FC = B.createBinOp(ValueKind::FAdd, Ctx.getFP(Ctx.doubleTy(), 1.5),
+                            Ctx.getFP(Ctx.doubleTy(), 2.5));
+  (void)FC;
+  B.createRetVoid();
+  std::string S = printFunction(*F);
+  EXPECT_NE(S.find("-5"), std::string::npos) << S;
+  EXPECT_NE(S.find("undef"), std::string::npos) << S;
+  EXPECT_NE(S.find("@gv"), std::string::npos) << S;
+  EXPECT_NE(S.find("1.5"), std::string::npos) << S;
+}
+
+} // namespace

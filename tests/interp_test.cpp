@@ -1,0 +1,370 @@
+//===- tests/interp_test.cpp - Interpreter unit tests -------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "transforms/Cloning.h"
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+/// int add3(int a) { return a + 3; }
+static Function *buildAdd3(Module &M) {
+  Context &Ctx = M.getContext();
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("add3", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  B.createRet(B.createAdd(F->getArg(0), Ctx.getInt32(3)));
+  return F;
+}
+
+/// int sum(int n) { s = 0; for (i = 0; i < n; ++i) s += i; return s; }
+static Function *buildSumLoop(Module &M, const std::string &Name = "sum") {
+  Context &Ctx = M.getContext();
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction(Name, FnTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(Ctx, Entry);
+  B.createBr(Header);
+  B.setInsertPoint(Header);
+  PhiInst *I = B.createPhi(Ctx.int32Ty(), "i");
+  PhiInst *S = B.createPhi(Ctx.int32Ty(), "s");
+  Value *Cmp = B.createICmp(CmpPredicate::SLT, I, F->getArg(0));
+  B.createCondBr(Cmp, Body, Exit);
+  B.setInsertPoint(Body);
+  Value *S2 = B.createAdd(S, I);
+  Value *I2 = B.createAdd(I, Ctx.getInt32(1));
+  B.createBr(Header);
+  I->addIncoming(Ctx.getInt32(0), Entry);
+  I->addIncoming(I2, Body);
+  S->addIncoming(Ctx.getInt32(0), Entry);
+  S->addIncoming(S2, Body);
+  B.setInsertPoint(Exit);
+  B.createRet(S);
+  return F;
+}
+
+TEST(InterpTest, StraightLineArithmetic) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = buildAdd3(M);
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(39)});
+  ASSERT_TRUE(R.ok()) << R.TrapReason;
+  EXPECT_EQ(R.Return.Bits, 42u);
+  EXPECT_EQ(R.StepCount, 2u); // add + ret
+}
+
+TEST(InterpTest, LoopWithPhis) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = buildSumLoop(M);
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(10)});
+  ASSERT_TRUE(R.ok()) << R.TrapReason;
+  EXPECT_EQ(R.Return.Bits, 45u); // 0+1+...+9
+  // Negative trip count: loop never executes.
+  R = Interp.run(F, {RuntimeValue::makeInt(0xFFFFFFF6)}); // -10 in i32
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Return.Bits, 0u);
+}
+
+TEST(InterpTest, IntegerWidthSemantics) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int8Ty(), {Ctx.int8Ty()});
+  Function *F = M.createFunction("w", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  B.createRet(B.createAdd(F->getArg(0), Ctx.getInt(Ctx.int8Ty(), 200)));
+  Interpreter Interp(M);
+  // 100 + 200 wraps at 8 bits.
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(100)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Return.Bits, (100 + 200) & 0xFFu);
+}
+
+TEST(InterpTest, MemoryRoundTrip) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("mem", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  AllocaInst *A = B.createAlloca(Ctx.int32Ty(), 4, "buf");
+  Value *P1 = B.createGep(Ctx.int32Ty(), A, Ctx.getInt32(2));
+  B.createStore(F->getArg(0), P1);
+  Value *L = B.createLoad(Ctx.int32Ty(), P1);
+  B.createRet(L);
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(777)});
+  ASSERT_TRUE(R.ok()) << R.TrapReason;
+  EXPECT_EQ(R.Return.Bits, 777u);
+}
+
+TEST(InterpTest, GlobalMemoryAndHash) {
+  Context Ctx;
+  Module M("m", Ctx);
+  GlobalVariable *G = M.createGlobal("g", Ctx.int32Ty(), 1);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.voidTy(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("setg", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  B.createStore(F->getArg(0), G);
+  B.createRetVoid();
+  Interpreter Interp(M);
+  ExecResult R1 = Interp.run(F, {RuntimeValue::makeInt(1)});
+  uint64_t H1 = R1.GlobalMemoryHash;
+  Interp.resetMemory();
+  ExecResult R2 = Interp.run(F, {RuntimeValue::makeInt(2)});
+  EXPECT_NE(H1, R2.GlobalMemoryHash); // different stores -> different state
+  Interp.resetMemory();
+  ExecResult R3 = Interp.run(F, {RuntimeValue::makeInt(1)});
+  EXPECT_EQ(H1, R3.GlobalMemoryHash); // deterministic reset
+}
+
+TEST(InterpTest, ExternalCallsAreDeterministicAndTraced) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *ExtTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *Ext = M.createFunction("ext", ExtTy); // declaration
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("caller", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  Value *C1 = B.createCall(Ext, {F->getArg(0)});
+  Value *C2 = B.createCall(Ext, {C1});
+  B.createRet(C2);
+  Interpreter Interp(M);
+  ExecResult R1 = Interp.run(F, {RuntimeValue::makeInt(5)});
+  ASSERT_TRUE(R1.ok());
+  ASSERT_EQ(R1.Trace.size(), 2u);
+  EXPECT_EQ(R1.Trace[0].Callee, "ext");
+  EXPECT_EQ(R1.Trace[0].Args, std::vector<uint64_t>{5});
+  // Rerun: bit-identical behaviour.
+  Interp.resetMemory();
+  ExecResult R2 = Interp.run(F, {RuntimeValue::makeInt(5)});
+  EXPECT_TRUE(behaviourallyEqual(R1, R2));
+  // Different input: different trace.
+  Interp.resetMemory();
+  ExecResult R3 = Interp.run(F, {RuntimeValue::makeInt(6)});
+  EXPECT_FALSE(behaviourallyEqual(R1, R3));
+}
+
+TEST(InterpTest, NativeHandlerOverride) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *ExtTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *Ext = M.createFunction("twice", ExtTy);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("caller", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  B.createRet(B.createCall(Ext, {F->getArg(0)}));
+  Interpreter Interp(M);
+  Interp.registerNative("twice", [](const std::vector<RuntimeValue> &Args) {
+    return RuntimeValue::makeInt(Args[0].Bits * 2);
+  });
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(21)});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Return.Bits, 42u);
+}
+
+TEST(InterpTest, RecursionDefinedCalls) {
+  Context Ctx;
+  Module M("m", Ctx);
+  // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("fib", FnTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Base = F->createBlock("base");
+  BasicBlock *Rec = F->createBlock("rec");
+  IRBuilder B(Ctx, Entry);
+  Value *Cmp = B.createICmp(CmpPredicate::SLT, F->getArg(0), Ctx.getInt32(2));
+  B.createCondBr(Cmp, Base, Rec);
+  B.setInsertPoint(Base);
+  B.createRet(F->getArg(0));
+  B.setInsertPoint(Rec);
+  Value *N1 = B.createSub(F->getArg(0), Ctx.getInt32(1));
+  Value *N2 = B.createSub(F->getArg(0), Ctx.getInt32(2));
+  Value *F1 = B.createCall(F, {N1});
+  Value *F2 = B.createCall(F, {N2});
+  B.createRet(B.createAdd(F1, F2));
+  ASSERT_TRUE(verifyFunction(*F).ok());
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(10)});
+  ASSERT_TRUE(R.ok()) << R.TrapReason;
+  EXPECT_EQ(R.Return.Bits, 55u);
+}
+
+TEST(InterpTest, TrapsOnDivByZeroAndUnreachable) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(),
+                                         {Ctx.int32Ty(), Ctx.int32Ty()});
+  Function *F = M.createFunction("div", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  B.createRet(B.createBinOp(ValueKind::SDiv, F->getArg(0), F->getArg(1)));
+  Interpreter Interp(M);
+  ExecResult R =
+      Interp.run(F, {RuntimeValue::makeInt(1), RuntimeValue::makeInt(0)});
+  EXPECT_EQ(R.St, ExecResult::Status::Trap);
+  EXPECT_NE(R.TrapReason.find("zero"), std::string::npos);
+
+  Function *F2 = M.createFunction(
+      "unr", Ctx.types().getFunctionTy(Ctx.voidTy(), {}));
+  IRBuilder B2(Ctx, F2->createBlock("entry"));
+  B2.createUnreachable();
+  ExecResult R2 = Interp.run(F2, {});
+  EXPECT_EQ(R2.St, ExecResult::Status::Trap);
+}
+
+TEST(InterpTest, FuelLimitStopsInfiniteLoop) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.voidTy(), {});
+  Function *F = M.createFunction("inf", FnTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  IRBuilder B(Ctx, Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  B.createBr(Loop);
+  ExecOptions Opts;
+  Opts.MaxSteps = 1000;
+  Interpreter Interp(M, Opts);
+  ExecResult R = Interp.run(F, {});
+  EXPECT_EQ(R.St, ExecResult::Status::OutOfFuel);
+}
+
+TEST(InterpTest, InvokeNormalPathWhenNoThrow) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *ExtTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {});
+  Function *Ext = M.createFunction("mayfail", ExtTy);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {});
+  Function *F = M.createFunction("f", FnTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Normal = F->createBlock("normal");
+  BasicBlock *Unwind = F->createBlock("unwind");
+  IRBuilder B(Ctx, Entry);
+  InvokeInst *Inv = B.createInvoke(Ext, {}, Normal, Unwind, "r");
+  B.setInsertPoint(Normal);
+  B.createRet(Inv);
+  B.setInsertPoint(Unwind);
+  Value *T = B.createLandingPad();
+  B.createResume(T);
+  ASSERT_TRUE(verifyFunction(*F).ok());
+  Interpreter Interp(M); // throw percent 0
+  ExecResult R = Interp.run(F, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R.Trace.empty());
+  EXPECT_FALSE(R.Trace[0].Threw);
+}
+
+TEST(InterpTest, InvokeUnwindPathWhenThrowing) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *ExtTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {});
+  Function *Ext = M.createFunction("mayfail", ExtTy);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {});
+  Function *F = M.createFunction("f", FnTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Normal = F->createBlock("normal");
+  BasicBlock *Unwind = F->createBlock("unwind");
+  IRBuilder B(Ctx, Entry);
+  InvokeInst *Inv = B.createInvoke(Ext, {}, Normal, Unwind, "r");
+  B.setInsertPoint(Normal);
+  B.createRet(Inv);
+  B.setInsertPoint(Unwind);
+  B.createLandingPad();
+  B.createRet(Ctx.getInt32(0xEE)); // "catch" and return a marker
+  ASSERT_TRUE(verifyFunction(*F).ok());
+  ExecOptions Opts;
+  Opts.ExternalThrowPercent = 100;
+  Interpreter Interp(M, Opts);
+  ExecResult R = Interp.run(F, {});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Return.Bits, 0xEEu);
+  EXPECT_TRUE(R.Trace[0].Threw);
+}
+
+TEST(InterpTest, UnhandledExceptionViaResume) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *ExtTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {});
+  Function *Ext = M.createFunction("mayfail", ExtTy);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {});
+  Function *F = M.createFunction("f", FnTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Normal = F->createBlock("normal");
+  BasicBlock *Unwind = F->createBlock("unwind");
+  IRBuilder B(Ctx, Entry);
+  InvokeInst *Inv = B.createInvoke(Ext, {}, Normal, Unwind, "r");
+  B.setInsertPoint(Normal);
+  B.createRet(Inv);
+  B.setInsertPoint(Unwind);
+  Value *T = B.createLandingPad();
+  B.createResume(T);
+  ExecOptions Opts;
+  Opts.ExternalThrowPercent = 100;
+  Interpreter Interp(M, Opts);
+  ExecResult R = Interp.run(F, {});
+  EXPECT_EQ(R.St, ExecResult::Status::UnhandledException);
+}
+
+TEST(InterpTest, ClonedFunctionBehavesIdentically) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *ExtTy = Ctx.types().getFunctionTy(Ctx.int32Ty(), {Ctx.int32Ty()});
+  Function *Ext = M.createFunction("sideeffect", ExtTy);
+  Function *F = buildSumLoop(M);
+  // Add an external call so the trace is non-trivial.
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->getEntryBlock()->getTerminator());
+  B.createCall(Ext, {F->getArg(0)});
+  Function *C = cloneFunction(F, "sum.clone");
+  Interpreter Interp(M);
+  for (int N : {0, 1, 7, 100}) {
+    Interp.resetMemory();
+    ExecResult R1 = Interp.run(F, {RuntimeValue::makeInt(
+                                      static_cast<uint64_t>(N))});
+    Interp.resetMemory();
+    ExecResult R2 = Interp.run(C, {RuntimeValue::makeInt(
+                                      static_cast<uint64_t>(N))});
+    EXPECT_TRUE(behaviourallyEqual(R1, R2)) << "N=" << N;
+  }
+}
+
+TEST(InterpTest, StepCountScalesWithWork) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *F = buildSumLoop(M);
+  Interpreter Interp(M);
+  ExecResult R10 = Interp.run(F, {RuntimeValue::makeInt(10)});
+  ExecResult R100 = Interp.run(F, {RuntimeValue::makeInt(100)});
+  EXPECT_GT(R100.StepCount, R10.StepCount);
+  EXPECT_GT(R100.StepCount, 9 * R10.StepCount / 2); // roughly linear
+}
+
+TEST(InterpTest, SelectAndCasts) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *FnTy = Ctx.types().getFunctionTy(Ctx.int64Ty(), {Ctx.int32Ty()});
+  Function *F = M.createFunction("sc", FnTy);
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  Value *Neg = B.createICmp(CmpPredicate::SLT, F->getArg(0), Ctx.getInt32(0));
+  Value *Abs = B.createSelect(
+      Neg, B.createSub(Ctx.getInt32(0), F->getArg(0)), F->getArg(0));
+  B.createRet(B.createSExt(Abs, Ctx.int64Ty()));
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(F, {RuntimeValue::makeInt(0xFFFFFFFBu)}); // -5
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Return.Bits, 5u);
+}
+
+} // namespace

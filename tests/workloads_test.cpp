@@ -1,0 +1,202 @@
+//===- tests/workloads_test.cpp - Workload generator tests --------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "codesize/SizeModel.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "merge/Fingerprint.h"
+#include "workloads/Suites.h"
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+TEST(RandomFunctionTest, GeneratesVerifiableFunctions) {
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(42);
+  WorkloadEnvironment Env(M, Rng);
+  for (unsigned I = 0; I < 30; ++I) {
+    RandomFunctionOptions FO;
+    FO.TargetSize = 10 + I * 7;
+    FO.InvokePercent = I % 3 == 0 ? 10 : 0;
+    RNG FnRng = Rng.fork(I);
+    Function *F =
+        generateRandomFunction(Env, FnRng, "f" + std::to_string(I), FO);
+    VerifierReport R = verifyFunction(*F);
+    ASSERT_TRUE(R.ok()) << "function " << I << ":\n" << R.str();
+    EXPECT_GE(F->getInstructionCount(), 3u);
+  }
+}
+
+TEST(RandomFunctionTest, DeterministicAcrossRuns) {
+  Context Ctx1, Ctx2;
+  Module M1("gen", Ctx1), M2("gen", Ctx2);
+  RNG R1(7), R2(7);
+  WorkloadEnvironment E1(M1, R1), E2(M2, R2);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 50;
+  RNG F1Rng = R1.fork(0), F2Rng = R2.fork(0);
+  Function *F1 = generateRandomFunction(E1, F1Rng, "f", FO);
+  Function *F2 = generateRandomFunction(E2, F2Rng, "f", FO);
+  EXPECT_EQ(F1->getInstructionCount(), F2->getInstructionCount());
+  EXPECT_EQ(F1->getNumBlocks(), F2->getNumBlocks());
+  EXPECT_EQ(Fingerprint::compute(*F1).OpcodeCount,
+            Fingerprint::compute(*F2).OpcodeCount);
+}
+
+TEST(RandomFunctionTest, SizeRoughlyTracksTarget) {
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(99);
+  WorkloadEnvironment Env(M, Rng);
+  for (unsigned Target : {20u, 80u, 300u}) {
+    RandomFunctionOptions FO;
+    FO.TargetSize = Target;
+    RNG FnRng = Rng.fork(Target);
+    Function *F = generateRandomFunction(
+        Env, FnRng, "t" + std::to_string(Target), FO);
+    EXPECT_GE(F->getInstructionCount(), Target / 2);
+    EXPECT_LE(F->getInstructionCount(), Target * 3);
+  }
+}
+
+TEST(RandomFunctionTest, GeneratedLoopsTerminateInInterpreter) {
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(1234);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 120;
+  FO.LoopPercent = 80;
+  RNG FnRng = Rng.fork(5);
+  Function *F = generateRandomFunction(Env, FnRng, "loopy", FO);
+  ExecOptions Opts;
+  Opts.MaxSteps = 500000;
+  Interpreter Interp(M, Opts);
+  std::vector<RuntimeValue> Args(F->getNumArgs(), RuntimeValue::makeInt(9));
+  ExecResult R = Interp.run(F, Args);
+  EXPECT_NE(R.St, ExecResult::Status::OutOfFuel) << "non-terminating loop";
+}
+
+TEST(CloneWithDriftTest, ZeroDriftIsExactClone) {
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(55);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 60;
+  RNG FnRng = Rng.fork(1);
+  Function *Base = generateRandomFunction(Env, FnRng, "base", FO);
+  DriftOptions DO;
+  DO.MutatePercent = 0;
+  DO.InsertPercent = 0;
+  RNG DriftRng = Rng.fork(2);
+  Function *Clone = cloneWithDrift(Base, "clone", Env, DriftRng, DO);
+  ASSERT_TRUE(verifyFunction(*Clone).ok());
+  EXPECT_EQ(Base->getInstructionCount(), Clone->getInstructionCount());
+  EXPECT_EQ(fingerprintDistance(Fingerprint::compute(*Base),
+                                Fingerprint::compute(*Clone)),
+            0u);
+}
+
+TEST(CloneWithDriftTest, DriftChangesButStaysValidAndSimilar) {
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(56);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 100;
+  RNG FnRng = Rng.fork(1);
+  Function *Base = generateRandomFunction(Env, FnRng, "base", FO);
+  DriftOptions DO;
+  DO.MutatePercent = 15;
+  DO.InsertPercent = 5;
+  RNG DriftRng = Rng.fork(3);
+  Function *Clone = cloneWithDrift(Base, "drifted", Env, DriftRng, DO);
+  VerifierReport R = verifyFunction(*Clone);
+  ASSERT_TRUE(R.ok()) << R.str();
+  uint64_t D = fingerprintDistance(Fingerprint::compute(*Base),
+                                   Fingerprint::compute(*Clone));
+  EXPECT_GT(D, 0u);                                // something changed
+  EXPECT_LT(D, Base->getInstructionCount() / 2);   // ...but not too much
+}
+
+TEST(SuiteTest, MiBenchProfilesMatchTable1Counts) {
+  std::vector<BenchmarkProfile> Profiles = mibenchProfiles();
+  ASSERT_EQ(Profiles.size(), 23u);
+  // Spot-check the Table 1 numbers the profiles must mirror.
+  auto Find = [&](const std::string &N) {
+    for (const auto &P : Profiles)
+      if (P.Name == N)
+        return P;
+    ADD_FAILURE() << "missing profile " << N;
+    return Profiles[0];
+  };
+  EXPECT_EQ(Find("CRC32").NumFunctions, 4u);
+  EXPECT_EQ(Find("qsort").NumFunctions, 2u);
+  EXPECT_EQ(Find("cjpeg").NumFunctions, 322u);
+  EXPECT_EQ(Find("djpeg").NumFunctions, 310u);
+  EXPECT_EQ(Find("typeset").NumFunctions, 362u);
+  EXPECT_EQ(Find("rijndael").MinSize, 45u);
+}
+
+TEST(SuiteTest, BuildsVerifiableModules) {
+  Context Ctx;
+  BenchmarkProfile P;
+  P.Name = "unit";
+  P.NumFunctions = 25;
+  P.AvgSize = 40;
+  P.MaxSize = 150;
+  P.CloneFamilyPercent = 40;
+  P.Seed = 777;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  EXPECT_TRUE(verifyModule(*M).ok()) << verifyModule(*M).str();
+  unsigned Defs = 0;
+  for (Function *F : M->functions())
+    if (!F->isDeclaration())
+      ++Defs;
+  EXPECT_EQ(Defs, P.NumFunctions);
+  EXPECT_GT(estimateModuleSize(*M, TargetArch::X86Like), 0u);
+}
+
+TEST(SuiteTest, GiantPairGenerated) {
+  Context Ctx;
+  BenchmarkProfile P;
+  P.Name = "giant";
+  P.NumFunctions = 5;
+  P.GiantPairSize = 400;
+  P.Seed = 3;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  Function *A = M->getFunction("giant_recog_16");
+  Function *B = M->getFunction("giant_recog_26");
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_GE(A->getInstructionCount(), 200u);
+  // The pair must be similar enough to rank first for each other.
+  uint64_t D = fingerprintDistance(Fingerprint::compute(*A),
+                                   Fingerprint::compute(*B));
+  EXPECT_LT(D, A->getInstructionCount() / 2);
+}
+
+TEST(SuiteTest, ProfilesAreDeterministic) {
+  Context C1, C2;
+  BenchmarkProfile P = mibenchProfiles()[5]; // bitcount
+  std::unique_ptr<Module> M1 = buildBenchmarkModule(P, C1);
+  std::unique_ptr<Module> M2 = buildBenchmarkModule(P, C2);
+  EXPECT_EQ(M1->getInstructionCount(), M2->getInstructionCount());
+  EXPECT_EQ(estimateModuleSize(*M1, TargetArch::ThumbLike),
+            estimateModuleSize(*M2, TargetArch::ThumbLike));
+}
+
+TEST(SuiteTest, SuiteListsComplete) {
+  EXPECT_EQ(spec2006Profiles().size(), 19u);
+  EXPECT_EQ(spec2017Profiles().size(), 16u);
+}
+
+} // namespace
