@@ -1,0 +1,193 @@
+//===- bench/bench_ranking_scaling.cpp - Pairing-phase scaling -----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Measures the candidate-pairing phase (fingerprint ranking only, not
+// alignment/codegen) as the pool grows, for both ranking strategies:
+//
+//   brute   - the paper's O(n²·buckets) all-pairs rescan
+//   index   - CandidateIndex: LSH-seeded, size-bounded exact top-k
+//
+// Both strategies commit identical merges by construction (checked here
+// and in ranking_test.cpp), so the comparison is pure pairing cost. The
+// printed exponent is the log-log slope of pairing time between
+// consecutive pool sizes: ~2 for brute force, ~1 for the index.
+//
+// Modes:
+//   (default)  scaling table over pool sizes 64..512
+//   --smoke    one small pool; FAILS (exit 1) if the index path is
+//              slower than 1.5x brute force or commits different
+//              merges — wired into ctest as a perf-regression guard.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include <cstring>
+
+using namespace salssa;
+using namespace salssa::bench;
+
+namespace {
+
+BenchmarkProfile rankingProfile(unsigned NumFunctions) {
+  BenchmarkProfile P;
+  P.Name = "pool" + std::to_string(NumFunctions);
+  P.NumFunctions = NumFunctions;
+  P.MinSize = 6;
+  P.AvgSize = 45;
+  P.MaxSize = 220;
+  P.CloneFamilyPercent = 45;
+  P.MinFamily = 2;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 12;
+  P.LoopPercent = 50;
+  P.Seed = 0x5ca11ab1;
+  return P;
+}
+
+struct StrategyRun {
+  double RankingSeconds = 0;
+  double TotalSeconds = 0;
+  uint64_t SizeAfter = 0;
+  unsigned CommittedMerges = 0;
+};
+
+StrategyRun runOnce(unsigned NumFunctions, RankingStrategy Strategy) {
+  Context Ctx;
+  BenchmarkProfile P = rankingProfile(NumFunctions);
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  MergeDriverOptions DO;
+  DO.Technique = MergeTechnique::SalSSA;
+  DO.ExplorationThreshold = 2;
+  DO.Ranking = Strategy;
+  MergeDriverStats S = runFunctionMerging(*M, DO);
+  StrategyRun R;
+  R.RankingSeconds = S.RankingSeconds;
+  R.TotalSeconds = S.TotalSeconds;
+  R.SizeAfter = estimateModuleSize(*M, TargetArch::X86Like);
+  R.CommittedMerges = S.CommittedMerges;
+  return R;
+}
+
+/// Pairing time for one strategy, best of \p Repeats runs (damps
+/// scheduler noise; module construction is re-done each time so runs are
+/// independent).
+StrategyRun bestOf(unsigned NumFunctions, RankingStrategy Strategy,
+                   int Repeats) {
+  StrategyRun Best = runOnce(NumFunctions, Strategy);
+  for (int R = 1; R < Repeats; ++R) {
+    StrategyRun Next = runOnce(NumFunctions, Strategy);
+    if (Next.RankingSeconds < Best.RankingSeconds) {
+      // Merge outcomes are deterministic across runs.
+      if (Next.SizeAfter != Best.SizeAfter) {
+        std::fprintf(stderr, "FATAL: nondeterministic merge outcome\n");
+        std::abort();
+      }
+      Best = Next;
+    }
+  }
+  return Best;
+}
+
+int smokeMode() {
+  // Small-pool guard: the index path must commit the same merges and must
+  // not be slower than 1.5x brute force. Run up to 3 attempts so a noisy
+  // neighbour cannot fail the suite spuriously.
+  const unsigned PoolSize = 256;
+  printHeader("bench_ranking_scaling --smoke (pool " +
+              std::to_string(PoolSize) + ")");
+  double BestRatio = 1e9;
+  for (int Attempt = 0; Attempt < 3; ++Attempt) {
+    StrategyRun Brute = runOnce(PoolSize, RankingStrategy::BruteForce);
+    StrategyRun Index = runOnce(PoolSize, RankingStrategy::CandidateIndex);
+    if (Brute.SizeAfter != Index.SizeAfter ||
+        Brute.CommittedMerges != Index.CommittedMerges) {
+      std::printf("FAIL: strategies disagree (brute: size %llu, %u merges; "
+                  "index: size %llu, %u merges)\n",
+                  (unsigned long long)Brute.SizeAfter, Brute.CommittedMerges,
+                  (unsigned long long)Index.SizeAfter,
+                  Index.CommittedMerges);
+      return 1;
+    }
+    double Ratio = Brute.RankingSeconds > 0
+                       ? Index.RankingSeconds / Brute.RankingSeconds
+                       : 0.0;
+    BestRatio = std::min(BestRatio, Ratio);
+    std::printf("attempt %d: brute %.3f ms, index %.3f ms, ratio %.3fx "
+                "(committed %u, size %llu)\n",
+                Attempt + 1, Brute.RankingSeconds * 1e3,
+                Index.RankingSeconds * 1e3, Ratio, Index.CommittedMerges,
+                (unsigned long long)Index.SizeAfter);
+    if (Ratio <= 1.5) {
+      std::printf("PASS: index pairing is %.2fx of brute force "
+                  "(threshold 1.5x)\n", Ratio);
+      return 0;
+    }
+  }
+  std::printf("FAIL: index pairing stayed above 1.5x brute force "
+              "(best %.2fx)\n", BestRatio);
+  return 1;
+}
+
+int scalingMode() {
+  printHeader("Pairing-phase scaling: brute-force rescan vs CandidateIndex");
+  std::printf("%-8s %14s %14s %9s %8s %8s %10s\n", "pool", "brute (ms)",
+              "index (ms)", "speedup", "a.brute", "a.index", "same-size");
+  printRule(80);
+
+  std::vector<unsigned> Sizes{64, 128, 256, 512};
+  unsigned Scale = benchScale();
+  if (Scale > 1)
+    for (unsigned &S : Sizes)
+      S = std::max(8u, S / Scale);
+
+  double PrevBrute = 0, PrevIndex = 0;
+  unsigned PrevN = 0;
+  bool AllEqual = true;
+  double SpeedupAtLargest = 0;
+  for (unsigned N : Sizes) {
+    StrategyRun Brute = bestOf(N, RankingStrategy::BruteForce, 3);
+    StrategyRun Index = bestOf(N, RankingStrategy::CandidateIndex, 3);
+    bool Equal = Brute.SizeAfter == Index.SizeAfter &&
+                 Brute.CommittedMerges == Index.CommittedMerges;
+    AllEqual &= Equal;
+    double Speedup = Index.RankingSeconds > 0
+                         ? Brute.RankingSeconds / Index.RankingSeconds
+                         : 0.0;
+    SpeedupAtLargest = Speedup;
+    // Log-log slope vs the previous pool size: ~2 quadratic, ~1 linear.
+    auto slope = [&](double Cur, double Prev) {
+      if (PrevN == 0 || Prev <= 0 || Cur <= 0)
+        return 0.0;
+      return std::log(Cur / Prev) / std::log(double(N) / PrevN);
+    };
+    std::printf("%-8u %14.3f %14.3f %8.1fx %8.2f %8.2f %10s\n", N,
+                Brute.RankingSeconds * 1e3, Index.RankingSeconds * 1e3,
+                Speedup, slope(Brute.RankingSeconds, PrevBrute),
+                slope(Index.RankingSeconds, PrevIndex),
+                Equal ? "yes" : "NO");
+    std::fflush(stdout);
+    PrevBrute = Brute.RankingSeconds;
+    PrevIndex = Index.RankingSeconds;
+    PrevN = N;
+  }
+  printRule(80);
+  // Exit status enforces both halves of the acceptance criterion; the
+  // speedup check only applies at unscaled pool sizes (small scaled
+  // pools sit below the index's break-even point).
+  bool SpeedupOk = Scale > 1 || SpeedupAtLargest >= 5.0;
+  std::printf("\nacceptance: identical merges on every pool: %s; "
+              "speedup at %u functions: %.1fx (need >= 5x%s)\n",
+              AllEqual ? "yes" : "NO", PrevN, SpeedupAtLargest,
+              Scale > 1 ? ", not enforced when scaled" : "");
+  return AllEqual && SpeedupOk ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      return smokeMode();
+  return scalingMode();
+}

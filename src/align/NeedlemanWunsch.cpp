@@ -9,18 +9,20 @@
 
 using namespace salssa;
 
-AlignmentResult salssa::alignSequences(const std::vector<SeqItem> &Seq1,
-                                       const std::vector<SeqItem> &Seq2,
-                                       const MatchFn &Match) {
+namespace {
+
+enum : uint8_t { DirDiag = 0, DirUp = 1, DirLeft = 2 };
+
+/// The paper's configuration: full (N+1)x(M+1) traceback matrix — the
+/// quadratic footprint measured in Fig 22.
+AlignmentResult alignFullMatrix(const std::vector<SeqItem> &Seq1,
+                                const std::vector<SeqItem> &Seq2,
+                                const MatchFn &Match) {
   const size_t N = Seq1.size();
   const size_t M = Seq2.size();
   AlignmentResult Result;
 
-  // Direction codes for traceback.
-  enum : uint8_t { DirDiag = 0, DirUp = 1, DirLeft = 2 };
-
-  // Full traceback matrix (1 byte/cell) + two rolling score rows. This is
-  // the quadratic footprint the paper measures (Fig 22).
+  // Full traceback matrix (1 byte/cell) + two rolling score rows.
   std::vector<uint8_t> Dir((N + 1) * (M + 1), DirLeft);
   std::vector<int32_t> Prev(M + 1, 0), Cur(M + 1, 0);
   Result.DPBytes = Dir.capacity() * sizeof(uint8_t) +
@@ -69,4 +71,150 @@ AlignmentResult salssa::alignSequences(const std::vector<SeqItem> &Seq1,
   }
   Result.Entries.assign(Rev.rbegin(), Rev.rend());
   return Result;
+}
+
+/// Hirschberg linear-space alignment: divide-and-conquer over Seq1 with
+/// forward/backward score rows instead of a traceback matrix. Tracks the
+/// peak bytes of simultaneously-live DP rows in \p LiveBytes/\p PeakBytes.
+class LinearSpaceAligner {
+public:
+  LinearSpaceAligner(const std::vector<SeqItem> &S1,
+                     const std::vector<SeqItem> &S2, const MatchFn &M)
+      : Seq1(S1), Seq2(S2), Match(M) {}
+
+  AlignmentResult run() {
+    AlignmentResult Result;
+    Result.UsedLinearSpace = true;
+    Result.Entries.reserve(Seq1.size() + Seq2.size());
+    solve(0, Seq1.size(), 0, Seq2.size(), Result.Entries);
+    for (const AlignedEntry &E : Result.Entries)
+      Result.MatchedPairs += E.isMatch();
+    Result.DPBytes = PeakBytes;
+    return Result;
+  }
+
+private:
+  using Row = std::vector<int32_t>;
+
+  Row makeRow(size_t Len) {
+    LiveBytes += Len * sizeof(int32_t);
+    PeakBytes = std::max(PeakBytes, LiveBytes);
+    return Row(Len, 0);
+  }
+  void dropRow(Row &R) {
+    LiveBytes -= R.capacity() * sizeof(int32_t);
+    Row().swap(R);
+  }
+
+  /// Score row of aligning Seq1[I0..I1) against every prefix of
+  /// Seq2[J0..J1): Out[j] = optimal matches vs Seq2[J0..J0+j).
+  Row forwardScores(size_t I0, size_t I1, size_t J0, size_t J1) {
+    const size_t W = J1 - J0;
+    Row Prev = makeRow(W + 1), Cur = makeRow(W + 1);
+    for (size_t I = I0; I < I1; ++I) {
+      Cur[0] = 0;
+      for (size_t J = 1; J <= W; ++J) {
+        int32_t Best = std::max(Prev[J], Cur[J - 1]);
+        if (Match(Seq1[I], Seq2[J0 + J - 1]))
+          Best = std::max(Best, Prev[J - 1] + 1);
+        Cur[J] = Best;
+      }
+      std::swap(Prev, Cur);
+    }
+    dropRow(Cur);
+    return Prev;
+  }
+
+  /// Mirror image: Out[j] = optimal matches of Seq1[I0..I1) vs the suffix
+  /// Seq2[J0+j..J1).
+  Row backwardScores(size_t I0, size_t I1, size_t J0, size_t J1) {
+    const size_t W = J1 - J0;
+    Row Prev = makeRow(W + 1), Cur = makeRow(W + 1);
+    for (size_t I = I1; I > I0; --I) {
+      Cur[W] = 0;
+      for (size_t J = W; J > 0; --J) {
+        int32_t Best = std::max(Prev[J - 1], Cur[J]);
+        if (Match(Seq1[I - 1], Seq2[J0 + J - 1]))
+          Best = std::max(Best, Prev[J] + 1);
+        Cur[J - 1] = Best;
+      }
+      std::swap(Prev, Cur);
+    }
+    dropRow(Cur);
+    return Prev;
+  }
+
+  void solve(size_t I0, size_t I1, size_t J0, size_t J1,
+             std::vector<AlignedEntry> &Out) {
+    // Base cases: one side exhausted -> all gaps.
+    if (I1 == I0) {
+      for (size_t J = J0; J < J1; ++J)
+        Out.push_back({-1, static_cast<int>(J)});
+      return;
+    }
+    if (J1 == J0) {
+      for (size_t I = I0; I < I1; ++I)
+        Out.push_back({static_cast<int>(I), -1});
+      return;
+    }
+    if (I1 - I0 == 1) {
+      // A single Seq1 item: match it against the first compatible Seq2
+      // item (if any), gap everything else.
+      size_t MatchAt = J1;
+      for (size_t J = J0; J < J1; ++J)
+        if (Match(Seq1[I0], Seq2[J])) {
+          MatchAt = J;
+          break;
+        }
+      for (size_t J = J0; J < MatchAt; ++J)
+        Out.push_back({-1, static_cast<int>(J)});
+      if (MatchAt < J1) {
+        Out.push_back({static_cast<int>(I0), static_cast<int>(MatchAt)});
+        for (size_t J = MatchAt + 1; J < J1; ++J)
+          Out.push_back({-1, static_cast<int>(J)});
+      } else {
+        Out.push_back({static_cast<int>(I0), -1});
+      }
+      return;
+    }
+
+    // Divide: best column to split Seq2 at Seq1's midpoint.
+    const size_t Mid = I0 + (I1 - I0) / 2;
+    Row F = forwardScores(I0, Mid, J0, J1);
+    Row B = backwardScores(Mid, I1, J0, J1);
+    const size_t W = J1 - J0;
+    size_t BestJ = 0;
+    int32_t BestScore = INT32_MIN;
+    for (size_t J = 0; J <= W; ++J)
+      if (F[J] + B[J] > BestScore) {
+        BestScore = F[J] + B[J];
+        BestJ = J;
+      }
+    dropRow(F);
+    dropRow(B);
+
+    solve(I0, Mid, J0, J0 + BestJ, Out);
+    solve(Mid, I1, J0 + BestJ, J1, Out);
+  }
+
+  const std::vector<SeqItem> &Seq1;
+  const std::vector<SeqItem> &Seq2;
+  const MatchFn &Match;
+  size_t LiveBytes = 0;
+  size_t PeakBytes = 0;
+};
+
+} // namespace
+
+AlignmentResult salssa::alignSequences(const std::vector<SeqItem> &Seq1,
+                                       const std::vector<SeqItem> &Seq2,
+                                       const MatchFn &Match, AlignMode Mode) {
+  if (Mode == AlignMode::Auto) {
+    size_t Cells = (Seq1.size() + 1) * (Seq2.size() + 1);
+    Mode = Cells > FullMatrixCellLimit ? AlignMode::LinearSpace
+                                       : AlignMode::FullMatrix;
+  }
+  if (Mode == AlignMode::LinearSpace)
+    return LinearSpaceAligner(Seq1, Seq2, Match).run();
+  return alignFullMatrix(Seq1, Seq2, Match);
 }

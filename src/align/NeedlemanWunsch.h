@@ -38,15 +38,38 @@ struct AlignmentResult {
   std::vector<AlignedEntry> Entries; ///< in sequence order
   size_t MatchedPairs = 0;
   size_t DPBytes = 0; ///< bytes of DP state allocated (peak)
+  bool UsedLinearSpace = false; ///< which variant ran
 };
 
 using MatchFn = std::function<bool(const SeqItem &, const SeqItem &)>;
 
+/// DP-variant selection for alignSequences.
+enum class AlignMode : uint8_t {
+  /// FullMatrix below FullMatrixCellLimit cells, LinearSpace above: big
+  /// pairs stop paying the quadratic Dir-matrix footprint.
+  Auto,
+  /// Always materialize the (N+1)x(M+1) traceback matrix (the paper's
+  /// measured configuration, Fig 22).
+  FullMatrix,
+  /// Hirschberg divide-and-conquer: same optimal match count, O(N+M)
+  /// rows of DP state, ~2x the score-pass arithmetic.
+  LinearSpace,
+};
+
+/// Auto switches to linear space above this many DP cells (64 M cells =
+/// 64 MB of traceback matrix). The suite workloads — including the
+/// 403.gcc giant pair at ~16 M cells post-demotion — stay below it, so
+/// the paper's Fig 22 measurements are unaffected by default.
+inline constexpr size_t FullMatrixCellLimit = size_t(1) << 26;
+
 /// Aligns \p Seq1 and \p Seq2 maximizing the number of matched pairs under
-/// \p Match.
+/// \p Match. Both variants return an optimal alignment (identical
+/// MatchedPairs); the linear-space one may pick a different, equally
+/// optimal pairing in tie cases.
 AlignmentResult alignSequences(const std::vector<SeqItem> &Seq1,
                                const std::vector<SeqItem> &Seq2,
-                               const MatchFn &Match);
+                               const MatchFn &Match,
+                               AlignMode Mode = AlignMode::Auto);
 
 } // namespace salssa
 

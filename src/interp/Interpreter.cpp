@@ -5,18 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
+#include "support/RNG.h"
 #include <algorithm>
 #include <cstring>
 
 using namespace salssa;
 
 namespace {
-
-uint64_t mix64(uint64_t Z) {
-  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-  return Z ^ (Z >> 31);
-}
 
 uint64_t hashCombine(uint64_t H, uint64_t V) {
   return mix64(H ^ (V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2)));

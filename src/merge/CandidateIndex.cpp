@@ -1,0 +1,179 @@
+//===- merge/CandidateIndex.cpp - Near-linear candidate ranking ----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/CandidateIndex.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace salssa;
+
+namespace {
+
+/// Cap on entries examined per LSH band bucket during seeding. Seeding
+/// only tightens the search bound, so capping it never affects result
+/// exactness — it just bounds worst-case probe cost on degenerate pools
+/// (e.g. hundreds of identical clones sharing one bucket). A band
+/// collision is already a strong near-duplicate signal, so a handful of
+/// probes per band reaches a near-final bound.
+constexpr size_t MaxSeedProbesPerBand = 12;
+
+/// True if hit \p A ranks strictly before \p B: nearer first, ties
+/// broken by lower id — the brute-force stable-sort order.
+bool ranksBefore(const CandidateIndex::Hit &A, const CandidateIndex::Hit &B) {
+  return A.Distance < B.Distance ||
+         (A.Distance == B.Distance && A.Id < B.Id);
+}
+
+} // namespace
+
+CandidateIndex::Partition &CandidateIndex::partitionFor(Type *RetTy) {
+  return Partitions[RetTy];
+}
+
+const CandidateIndex::Partition *
+CandidateIndex::partitionFor(Type *RetTy) const {
+  auto It = Partitions.find(RetTy);
+  return It == Partitions.end() ? nullptr : &It->second;
+}
+
+void CandidateIndex::insert(uint32_t Id, const Fingerprint &FP) {
+  if (Id >= Entries.size())
+    Entries.resize(Id + 1);
+  Entry &E = Entries[Id];
+  assert(!E.Live && "id already live in the index");
+  E.FP = FP;
+  E.Live = true;
+  Partition &P = partitionFor(FP.RetTy);
+  E.SizePos = P.BySize.emplace(FP.Size, Id);
+  for (size_t B = 0; B < Fingerprint::SketchBands; ++B)
+    P.Bands[FP.bandHash(B)].push_back(Id);
+  ++NumLive;
+}
+
+void CandidateIndex::retire(uint32_t Id) {
+  assert(Id < Entries.size() && Entries[Id].Live &&
+         "retiring an id that is not live");
+  Entry &E = Entries[Id];
+  Partition &P = partitionFor(E.FP.RetTy);
+  P.BySize.erase(E.SizePos);
+  for (size_t B = 0; B < Fingerprint::SketchBands; ++B) {
+    auto BucketIt = P.Bands.find(E.FP.bandHash(B));
+    if (BucketIt == P.Bands.end())
+      continue;
+    std::vector<uint32_t> &Bucket = BucketIt->second;
+    auto Pos = std::find(Bucket.begin(), Bucket.end(), Id);
+    if (Pos != Bucket.end())
+      Bucket.erase(Pos);
+    if (Bucket.empty())
+      P.Bands.erase(BucketIt);
+  }
+  E.Live = false;
+  --NumLive;
+}
+
+std::vector<CandidateIndex::Hit>
+CandidateIndex::query(const Fingerprint &FP, unsigned K,
+                      uint32_t ExcludeId) const {
+  ++Counters.Queries;
+  std::vector<Hit> Heap; // max-heap under ranksBefore: front = worst kept
+  if (K == 0)
+    return Heap;
+  const Partition *P = partitionFor(FP.RetTy);
+  if (!P || P->BySize.empty())
+    return Heap;
+
+  // Epoch-stamped visited marks (no per-query clearing).
+  if (VisitEpoch.size() < Entries.size())
+    VisitEpoch.resize(Entries.size(), 0);
+  if (++CurrentEpoch == 0) { // wrapped: stamps are stale, reset
+    std::fill(VisitEpoch.begin(), VisitEpoch.end(), 0);
+    CurrentEpoch = 1;
+  }
+
+  Heap.reserve(K + 1);
+  auto bound = [&]() {
+    return Heap.size() == K ? Heap.front().Distance : UINT64_MAX;
+  };
+  // Examines one live candidate: exact (early-exit) distance, admit into
+  // the running top-k if it beats the current worst.
+  auto consider = [&](uint32_t Id) {
+    if (Id == ExcludeId || VisitEpoch[Id] == CurrentEpoch)
+      return;
+    VisitEpoch[Id] = CurrentEpoch;
+    uint64_t B = bound();
+    // Cheap group-wise lower bound first: candidates it already rules
+    // out never pay for the full per-opcode scan.
+    if (B != UINT64_MAX &&
+        fingerprintDistanceLowerBound(FP, Entries[Id].FP) > B)
+      return;
+    ++Counters.DistanceCalls;
+    uint64_t D = fingerprintDistance(FP, Entries[Id].FP, B);
+    if (D > B)
+      return; // beyond (or tied-worse than) the current k-th best
+    Hit H{D, Id};
+    if (Heap.size() < K) {
+      Heap.push_back(H);
+      std::push_heap(Heap.begin(), Heap.end(), ranksBefore);
+    } else if (ranksBefore(H, Heap.front())) {
+      std::pop_heap(Heap.begin(), Heap.end(), ranksBefore);
+      Heap.back() = H;
+      std::push_heap(Heap.begin(), Heap.end(), ranksBefore);
+    }
+  };
+
+  // Phase 1 — LSH seeding: probe the query's own band buckets. Collisions
+  // are probable near-duplicates, so this drives the bound toward its
+  // final value after a handful of distance calls.
+  for (size_t B = 0; B < Fingerprint::SketchBands; ++B) {
+    auto BucketIt = P->Bands.find(FP.bandHash(B));
+    if (BucketIt == P->Bands.end())
+      continue;
+    const std::vector<uint32_t> &Bucket = BucketIt->second;
+    size_t Limit = std::min(Bucket.size(), MaxSeedProbesPerBand);
+    for (size_t I = 0; I < Limit; ++I) {
+      ++Counters.SeedProbes;
+      consider(Bucket[I]);
+    }
+  }
+
+  // Phase 2 — exact outward walk over the size-ordered live set.
+  // |Size(q) - Size(c)| lower-bounds the Manhattan distance, so once the
+  // size gap alone exceeds the current k-th best distance, every
+  // remaining candidate on that side is provably worse: stopping is
+  // lossless and the result equals the full brute-force ranking.
+  const auto &BySize = P->BySize;
+  auto Fwd = BySize.lower_bound(FP.Size); // first entry with Size >= q
+  auto Bwd = std::make_reverse_iterator(Fwd); // entries with Size < q
+  auto gapOf = [&](uint32_t Size) {
+    return Size > FP.Size ? uint64_t(Size - FP.Size)
+                          : uint64_t(FP.Size - Size);
+  };
+  bool FwdDone = Fwd == BySize.end();
+  bool BwdDone = Bwd == BySize.rend();
+  while (!FwdDone || !BwdDone) {
+    uint64_t FwdGap = FwdDone ? UINT64_MAX : gapOf(Fwd->first);
+    uint64_t BwdGap = BwdDone ? UINT64_MAX : gapOf(Bwd->first);
+    uint64_t Bound = bound();
+    // A gap strictly beyond the k-th best distance closes that side:
+    // sizes are monotone along each direction.
+    if (!FwdDone && Bound != UINT64_MAX && FwdGap > Bound)
+      FwdDone = true;
+    else if (!BwdDone && Bound != UINT64_MAX && BwdGap > Bound)
+      BwdDone = true;
+    else if (!FwdDone && (BwdDone || FwdGap <= BwdGap)) {
+      ++Counters.ExpansionSteps;
+      consider(Fwd->second);
+      FwdDone = ++Fwd == BySize.end();
+    } else if (!BwdDone) {
+      ++Counters.ExpansionSteps;
+      consider(Bwd->second);
+      BwdDone = ++Bwd == BySize.rend();
+    }
+  }
+
+  std::sort_heap(Heap.begin(), Heap.end(), ranksBefore); // ascending
+  return Heap;
+}

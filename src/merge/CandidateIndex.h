@@ -1,0 +1,127 @@
+//===- merge/CandidateIndex.h - Near-linear candidate ranking -----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The indexing layer that replaces the driver's O(n²) all-pairs
+/// fingerprint scan. The pool's live fingerprints are held in a
+/// two-level structure:
+///
+///  1. an LSH band table (Fingerprint::SketchBands buckets per entry):
+///     functions sharing a band hash are probable near-duplicates, so a
+///     query probes its own band buckets first to *seed* the running
+///     top-k with very close candidates;
+///
+///  2. a per-return-type size-ordered map: because the ranking metric is
+///     Manhattan distance over opcode counts, |Size(A) - Size(B)| is a
+///     lower bound on distance(A, B). A query walks outward from its own
+///     size through this map and stops — provably losing nothing — as
+///     soon as the size gap alone exceeds the current k-th best
+///     distance.
+///
+/// Step 2 makes query() *exact*: it returns precisely the k nearest live
+/// candidates under the brute-force ordering (distance, then insertion
+/// id), no matter how the sketch behaves. Step 1 only accelerates it:
+/// a tight early bound means the outward walk terminates after touching
+/// a few size-neighbours instead of the whole pool. Every distance on
+/// the shortlist is verified with the early-exit exact distance
+/// (fingerprintDistance with a running bound), so committed-merge
+/// decisions are bit-identical to the quadratic baseline — this is the
+/// property ranking_test.cpp checks and bench_ranking_scaling measures.
+///
+/// insert/retire are O(log n) plus O(SketchBands) amortized, so the
+/// driver maintains the index incrementally across committed merges and
+/// remerge insertions instead of rescanning the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_CANDIDATEINDEX_H
+#define SALSSA_MERGE_CANDIDATEINDEX_H
+
+#include "merge/Fingerprint.h"
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace salssa {
+
+/// Incremental top-k nearest-fingerprint index over a pool of live
+/// candidates. Ids are dense pool indices assigned by the caller.
+class CandidateIndex {
+public:
+  /// One query hit. Ordered exactly like the brute-force ranking: by
+  /// distance, ties by lower id (== earlier pool position).
+  struct Hit {
+    uint64_t Distance = 0;
+    uint32_t Id = 0;
+  };
+
+  /// Cumulative instrumentation (for benchmarks and tests).
+  struct Stats {
+    uint64_t Queries = 0;
+    uint64_t SeedProbes = 0;      ///< LSH bucket entries examined
+    uint64_t ExpansionSteps = 0;  ///< size-map entries examined
+    uint64_t DistanceCalls = 0;   ///< exact distance evaluations
+  };
+
+  /// Registers \p FP under \p Id and makes it live. \p Id must not be
+  /// currently live; ids should be dense (they index an internal vector).
+  void insert(uint32_t Id, const Fingerprint &FP);
+
+  /// Removes \p Id from the live set (committed or consumed candidates).
+  void retire(uint32_t Id);
+
+  bool isLive(uint32_t Id) const {
+    return Id < Entries.size() && Entries[Id].Live;
+  }
+  size_t liveCount() const { return NumLive; }
+
+  /// Returns the \p K live candidates nearest to \p FP — exactly the
+  /// first K entries of the brute-force (distance, id)-sorted ranking,
+  /// excluding \p ExcludeId and any candidate with a different return
+  /// type. Sorted ascending.
+  std::vector<Hit> query(const Fingerprint &FP, unsigned K,
+                         uint32_t ExcludeId = UINT32_MAX) const;
+
+  const Stats &stats() const { return Counters; }
+
+private:
+  struct Entry {
+    /// Owned copy (~330 bytes): the driver's pool reallocates on
+    /// remerge push_back, so borrowing a pointer into it would dangle.
+    Fingerprint FP;
+    bool Live = false;
+    /// Position in the owning partition's BySize map, for O(log n)
+    /// retire.
+    std::multimap<uint32_t, uint32_t>::iterator SizePos;
+  };
+
+  /// All same-return-type candidates (the only ones at finite distance).
+  struct Partition {
+    /// Live ids keyed by Fingerprint::Size: the exact-search backbone.
+    std::multimap<uint32_t, uint32_t> BySize;
+    /// LSH band buckets: band-salted hash -> live ids.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> Bands;
+  };
+
+  Partition &partitionFor(Type *RetTy);
+  const Partition *partitionFor(Type *RetTy) const;
+
+  std::vector<Entry> Entries;
+  std::unordered_map<Type *, Partition> Partitions;
+  size_t NumLive = 0;
+
+  // Query-scoped scratch: epoch-stamped visited marks, reused across
+  // queries to avoid per-query allocation (mutable: query() is
+  // logically const).
+  mutable std::vector<uint32_t> VisitEpoch;
+  mutable uint32_t CurrentEpoch = 0;
+  mutable Stats Counters;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_CANDIDATEINDEX_H

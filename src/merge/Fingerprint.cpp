@@ -5,23 +5,77 @@
 //===----------------------------------------------------------------------===//
 
 #include "merge/Fingerprint.h"
+#include "support/RNG.h"
 #include <limits>
 
 using namespace salssa;
 
+namespace {
+
+/// The i-th MinHash function applied to one shingle. Distinct odd
+/// multipliers keep the SketchHashes streams decorrelated.
+uint64_t shingleHash(uint64_t Shingle, size_t I) {
+  return mix64(Shingle * 0x9e3779b97f4a7c15ULL +
+               (I + 1) * 0xd1342543de82ef95ULL);
+}
+
+} // namespace
+
 Fingerprint Fingerprint::compute(const Function &F) {
   Fingerprint FP;
   FP.RetTy = F.getReturnType();
-  for (const BasicBlock *BB : F)
-    for (const Instruction *I : *BB) {
-      ++FP.OpcodeCount[static_cast<size_t>(I->getOpcode())];
-      ++FP.Size;
+  FP.MinHash.fill(std::numeric_limits<uint64_t>::max());
+
+  auto absorb = [&FP](uint64_t Shingle) {
+    for (size_t I = 0; I < SketchHashes; ++I) {
+      uint64_t H = shingleHash(Shingle, I);
+      if (H < FP.MinHash[I])
+        FP.MinHash[I] = H;
     }
+  };
+
+  for (const BasicBlock *BB : F) {
+    // Shingles restart at block boundaries: block order is arbitrary, but
+    // within-block opcode adjacency is the merge-relevant structure.
+    uint64_t Prev = 0;
+    bool HavePrev = false;
+    for (const Instruction *I : *BB) {
+      size_t Op = static_cast<size_t>(I->getOpcode());
+      ++FP.OpcodeCount[Op];
+      ++FP.GroupSum[Op >> 3];
+      ++FP.Size;
+      // Unigram shingle (tagged so it cannot collide with a bigram).
+      absorb(Op | (1ULL << 32));
+      if (HavePrev)
+        absorb((Prev << 8) | Op);
+      Prev = Op;
+      HavePrev = true;
+    }
+  }
   return FP;
 }
 
+uint64_t Fingerprint::bandHash(size_t Band) const {
+  assert(Band < SketchBands && "band index out of range");
+  uint64_t H = 0x2545f4914f6cdd1dULL + Band;
+  for (size_t R = 0; R < SketchRows; ++R)
+    H = mix64(H ^ MinHash[Band * SketchRows + R]);
+  return H;
+}
+
+uint64_t salssa::fingerprintDistanceLowerBound(const Fingerprint &A,
+                                               const Fingerprint &B) {
+  uint64_t D = 0;
+  for (size_t G = 0; G < Fingerprint::NumGroups; ++G) {
+    uint32_t X = A.GroupSum[G];
+    uint32_t Y = B.GroupSum[G];
+    D += X > Y ? X - Y : Y - X;
+  }
+  return D;
+}
+
 uint64_t salssa::fingerprintDistance(const Fingerprint &A,
-                                     const Fingerprint &B) {
+                                     const Fingerprint &B, uint64_t Bound) {
   if (A.RetTy != B.RetTy)
     return std::numeric_limits<uint64_t>::max();
   uint64_t D = 0;
@@ -29,6 +83,8 @@ uint64_t salssa::fingerprintDistance(const Fingerprint &A,
     uint32_t X = A.OpcodeCount[I];
     uint32_t Y = B.OpcodeCount[I];
     D += X > Y ? X - Y : Y - X;
+    if (D > Bound)
+      return D; // partial sum: a lower bound, already past Bound
   }
   return D;
 }

@@ -11,6 +11,14 @@
 /// threshold t bounds how many top-ranked candidates each function tries
 /// before giving up, trading code-size reduction for compile time.
 ///
+/// On top of the paper's histogram, each fingerprint carries a compact
+/// MinHash sketch over opcode shingles (consecutive opcode bigrams plus
+/// unigrams, in linearization order). The sketch is banded LSH-style:
+/// two functions that share a band hash are likely to be Jaccard-similar
+/// in their opcode n-gram sets. CandidateIndex uses band collisions to
+/// seed its search with good candidates early; exactness of the final
+/// ranking never depends on the sketch (see CandidateIndex.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SALSSA_MERGE_FINGERPRINT_H
@@ -22,20 +30,58 @@
 
 namespace salssa {
 
-/// Opcode-frequency summary of a function.
+/// Opcode-frequency summary of a function plus a MinHash similarity
+/// sketch, both computed in a single pass over the body.
 struct Fingerprint {
   static constexpr size_t NumBuckets =
       static_cast<size_t>(InstLastKind) + 1;
+
+  /// Sketch geometry: SketchHashes independent MinHash values, grouped
+  /// into SketchBands bands of SketchRows rows for LSH banding. With
+  /// 16 hashes in 8 bands of 2, functions with opcode-shingle Jaccard
+  /// similarity s collide in at least one band with probability
+  /// 1 - (1 - s^2)^8 — ~0.99 at s = 0.7, ~0.07 at s = 0.1.
+  static constexpr size_t SketchHashes = 16;
+  static constexpr size_t SketchBands = 8;
+  static constexpr size_t SketchRows = SketchHashes / SketchBands;
+
+  /// Coarse histogram: sums of 8-bucket groups of OpcodeCount. The
+  /// group-wise L1 distance is sandwiched between the size gap and the
+  /// full Manhattan distance (triangle inequality both ways), giving
+  /// CandidateIndex a 6-element prefilter before the 41-element scan.
+  static constexpr size_t NumGroups = (NumBuckets + 7) / 8;
+
   std::array<uint32_t, NumBuckets> OpcodeCount{};
+  std::array<uint32_t, NumGroups> GroupSum{};
+  std::array<uint64_t, SketchHashes> MinHash{}; ///< see compute()
   uint32_t Size = 0;     ///< instruction count
   Type *RetTy = nullptr; ///< merging requires equal return types
 
   static Fingerprint compute(const Function &F);
+
+  /// Hash of band \p Band's rows, used as an LSH bucket key. \p Band must
+  /// be < SketchBands.
+  uint64_t bandHash(size_t Band) const;
 };
 
 /// Manhattan distance between opcode vectors; lower = more similar.
-/// Pairs with different return types are unmergeable and rank at +inf.
-uint64_t fingerprintDistance(const Fingerprint &A, const Fingerprint &B);
+/// Pairs with different return types are unmergeable and rank at +inf
+/// (UINT64_MAX).
+///
+/// \p Bound enables early exit: once the partial sum exceeds \p Bound the
+/// scan stops and the partial sum (a lower bound on the true distance,
+/// and strictly greater than \p Bound) is returned. Callers doing top-k
+/// selection pass their current k-th best distance so hopeless
+/// candidates cost only a few buckets. The result is exact whenever it
+/// is <= Bound.
+uint64_t fingerprintDistance(const Fingerprint &A, const Fingerprint &B,
+                             uint64_t Bound = UINT64_MAX);
+
+/// Group-wise L1 distance over GroupSum: a lower bound on
+/// fingerprintDistance that costs NumGroups (6) operations instead of
+/// NumBuckets (41). Does NOT check return types.
+uint64_t fingerprintDistanceLowerBound(const Fingerprint &A,
+                                       const Fingerprint &B);
 
 } // namespace salssa
 

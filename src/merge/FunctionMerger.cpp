@@ -36,7 +36,8 @@ MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
   auto T0 = std::chrono::steady_clock::now();
   std::vector<SeqItem> Seq1 = linearizeFunction(F1);
   std::vector<SeqItem> Seq2 = linearizeFunction(F2);
-  AlignmentResult Alignment = alignSequences(Seq1, Seq2, itemsMatch);
+  AlignmentResult Alignment =
+      alignSequences(Seq1, Seq2, itemsMatch, Options.Alignment);
   Attempt.Stats.AlignmentSeconds = secondsSince(T0);
   Attempt.Stats.SeqLen1 = Seq1.size();
   Attempt.Stats.SeqLen2 = Seq2.size();

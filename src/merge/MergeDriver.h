@@ -28,6 +28,18 @@ namespace salssa {
 
 class Module;
 
+/// How the driver ranks merge candidates for each function.
+enum class RankingStrategy : uint8_t {
+  /// The paper's scheme verbatim: rescan the whole pool per function —
+  /// O(n²·buckets). Kept for A/B benchmarking (bench_ranking_scaling).
+  BruteForce,
+  /// CandidateIndex: LSH-seeded, size-bounded exact top-k with
+  /// incremental maintenance — near-linear in practice, and guaranteed
+  /// to select the same candidates (hence commit the same merges) as
+  /// BruteForce.
+  CandidateIndex,
+};
+
 /// Pass configuration.
 struct MergeDriverOptions {
   MergeTechnique Technique = MergeTechnique::SalSSA;
@@ -39,6 +51,9 @@ struct MergeDriverOptions {
   TargetArch Arch = TargetArch::X86Like;
   /// Allow merged functions to be merged again (as in the paper).
   bool AllowRemerge = true;
+  /// Candidate ranking implementation; results are identical, only the
+  /// pairing-phase cost differs.
+  RankingStrategy Ranking = RankingStrategy::CandidateIndex;
 };
 
 /// One committed/attempted merge record (drives Fig 19/21/22/23).
@@ -56,6 +71,7 @@ struct MergeDriverStats {
   unsigned CommittedMerges = 0;
   double AlignmentSeconds = 0;
   double CodeGenSeconds = 0;
+  double RankingSeconds = 0;   ///< pairing phase only (candidate ranking)
   double TotalSeconds = 0;     ///< whole-pass wall time (Fig 24 numerator)
   size_t PeakAlignmentBytes = 0; ///< Fig 22 metric
   std::vector<MergeRecord> Records;

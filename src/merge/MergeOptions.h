@@ -15,6 +15,7 @@
 #ifndef SALSSA_MERGE_MERGEOPTIONS_H
 #define SALSSA_MERGE_MERGEOPTIONS_H
 
+#include "align/NeedlemanWunsch.h"
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -37,6 +38,10 @@ struct MergeCodeGenOptions {
   /// Fig 11: merge crossed conditional branches with one xor instead of
   /// two label-selection blocks.
   bool EnableXorBranchFusion = true;
+  /// DP variant for the alignment stage. Auto keeps the paper's full
+  /// traceback matrix for normal pairs and switches to the linear-space
+  /// variant past FullMatrixCellLimit cells (giant pairs).
+  AlignMode Alignment = AlignMode::Auto;
 
   static MergeCodeGenOptions forTechnique(MergeTechnique T,
                                           bool PhiCoalescing = true) {

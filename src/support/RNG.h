@@ -21,6 +21,15 @@
 
 namespace salssa {
 
+/// The SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation.
+/// Shared by the RNG, the interpreter's hashing, and the fingerprint
+/// sketches so the constants live in exactly one place.
+inline uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
 /// Deterministic 64-bit RNG with a tiny state, suitable for seeding many
 /// independent streams (one per generated function/benchmark).
 class RNG {
@@ -28,12 +37,7 @@ public:
   explicit RNG(uint64_t Seed) : State(Seed) {}
 
   /// Returns the next raw 64-bit value (SplitMix64).
-  uint64_t next() {
-    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-    return Z ^ (Z >> 31);
-  }
+  uint64_t next() { return mix64(State += 0x9e3779b97f4a7c15ULL); }
 
   /// Uniform integer in [0, Bound). \p Bound must be nonzero.
   uint64_t nextBelow(uint64_t Bound) {

@@ -126,6 +126,103 @@ INSTANTIATE_TEST_SUITE_P(Sweep, AlignmentPropertyTest,
                          ::testing::Range(0, 8));
 
 //===----------------------------------------------------------------------===//
+// Linear-space (Hirschberg) variant
+//===----------------------------------------------------------------------===//
+
+/// A valid alignment: monotone, complete, and every matched pair really
+/// matches.
+void checkAlignmentValid(const AlignmentResult &R,
+                         const std::vector<SeqItem> &S1,
+                         const std::vector<SeqItem> &S2) {
+  int Last1 = -1, Last2 = -1;
+  size_t Seen1 = 0, Seen2 = 0, Matches = 0;
+  for (const AlignedEntry &E : R.Entries) {
+    if (E.Idx1 >= 0) {
+      EXPECT_GT(E.Idx1, Last1);
+      Last1 = E.Idx1;
+      ++Seen1;
+    }
+    if (E.Idx2 >= 0) {
+      EXPECT_GT(E.Idx2, Last2);
+      Last2 = E.Idx2;
+      ++Seen2;
+    }
+    if (E.isMatch()) {
+      EXPECT_TRUE(charMatch(S1[E.Idx1], S2[E.Idx2]));
+      ++Matches;
+    }
+  }
+  EXPECT_EQ(Seen1, S1.size());
+  EXPECT_EQ(Seen2, S2.size());
+  EXPECT_EQ(Matches, R.MatchedPairs);
+}
+
+TEST(LinearSpaceAlignTest, SameOptimalScoreAsFullMatrix) {
+  RNG Rng(0xa119);
+  for (int Round = 0; Round < 40; ++Round) {
+    std::string S1, S2;
+    unsigned L1 = 1 + Rng.nextBelow(60), L2 = 1 + Rng.nextBelow(60);
+    for (unsigned I = 0; I < L1; ++I)
+      S1 += static_cast<char>('a' + Rng.nextBelow(4));
+    for (unsigned I = 0; I < L2; ++I)
+      S2 += static_cast<char>('a' + Rng.nextBelow(4));
+    CharSeq A(S1), B(S2);
+    AlignmentResult Full =
+        alignSequences(A.Items, B.Items, charMatch, AlignMode::FullMatrix);
+    AlignmentResult Lin =
+        alignSequences(A.Items, B.Items, charMatch, AlignMode::LinearSpace);
+    EXPECT_EQ(Lin.MatchedPairs, Full.MatchedPairs)
+        << "round " << Round << ": '" << S1 << "' vs '" << S2 << "'";
+    EXPECT_TRUE(Lin.UsedLinearSpace);
+    EXPECT_FALSE(Full.UsedLinearSpace);
+    checkAlignmentValid(Lin, A.Items, B.Items);
+    checkAlignmentValid(Full, A.Items, B.Items);
+  }
+}
+
+TEST(LinearSpaceAlignTest, EmptyAndDegenerateInputs) {
+  CharSeq E(""), X("xyz");
+  AlignmentResult R1 =
+      alignSequences(E.Items, X.Items, charMatch, AlignMode::LinearSpace);
+  EXPECT_EQ(R1.MatchedPairs, 0u);
+  EXPECT_EQ(R1.Entries.size(), 3u);
+  AlignmentResult R2 =
+      alignSequences(X.Items, E.Items, charMatch, AlignMode::LinearSpace);
+  EXPECT_EQ(R2.Entries.size(), 3u);
+  AlignmentResult R3 =
+      alignSequences(E.Items, E.Items, charMatch, AlignMode::LinearSpace);
+  EXPECT_EQ(R3.Entries.size(), 0u);
+}
+
+TEST(LinearSpaceAlignTest, FootprintIsLinearNotQuadratic) {
+  // 600x600: full matrix needs ~360 KB of traceback; linear space should
+  // stay within a few row-widths.
+  std::string S(600, 'a');
+  CharSeq A(S), B(S);
+  AlignmentResult Full =
+      alignSequences(A.Items, B.Items, charMatch, AlignMode::FullMatrix);
+  AlignmentResult Lin =
+      alignSequences(A.Items, B.Items, charMatch, AlignMode::LinearSpace);
+  EXPECT_EQ(Lin.MatchedPairs, 600u);
+  EXPECT_GE(Full.DPBytes, 601u * 601u);
+  EXPECT_LE(Lin.DPBytes, 32u * 601u * sizeof(int32_t));
+  EXPECT_LT(Lin.DPBytes * 10, Full.DPBytes);
+}
+
+TEST(LinearSpaceAlignTest, AutoSwitchesPastCellLimit) {
+  // Just over the limit on one axis: (N+1)*(M+1) > FullMatrixCellLimit.
+  size_t N = 1 << 13, M = (FullMatrixCellLimit >> 13) + 8;
+  std::string S1(N, 'a'), S2(M, 'a');
+  CharSeq A(S1), B(S2);
+  AlignmentResult R = alignSequences(A.Items, B.Items, charMatch);
+  EXPECT_TRUE(R.UsedLinearSpace);
+  EXPECT_EQ(R.MatchedPairs, std::min(N, M));
+  // Below the limit Auto keeps the paper's full-matrix configuration.
+  CharSeq C("abc"), D("abd");
+  EXPECT_FALSE(alignSequences(C.Items, D.Items, charMatch).UsedLinearSpace);
+}
+
+//===----------------------------------------------------------------------===//
 // Linearization
 //===----------------------------------------------------------------------===//
 

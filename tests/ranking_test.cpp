@@ -1,0 +1,290 @@
+//===- tests/ranking_test.cpp - CandidateIndex correctness tests --------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// The CandidateIndex contract is exactness: query(FP, k) must return the
+// same candidates, in the same order, as the brute-force all-pairs
+// ranking it replaces — LSH banding and the size-bounded walk are only
+// allowed to make it faster. These tests check that property on
+// randomized pools (including incremental retire/insert churn), the
+// early-exit distance kernel, and finally that both driver strategies
+// commit bit-identical merges on the seed workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codesize/SizeModel.h"
+#include "ir/Verifier.h"
+#include "merge/CandidateIndex.h"
+#include "merge/MergeDriver.h"
+#include "support/RNG.h"
+#include "workloads/Suites.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+/// Builds a clone-heavy module and returns the fingerprints of its
+/// mergeable functions, ordered like the driver's pool (stable by
+/// descending size).
+std::vector<Fingerprint> poolFingerprints(uint64_t Seed, unsigned NumFns,
+                                          Context &Ctx,
+                                          std::unique_ptr<Module> &M) {
+  BenchmarkProfile P;
+  P.Name = "ranking";
+  P.NumFunctions = NumFns;
+  P.MinSize = 5;
+  P.AvgSize = 40;
+  P.MaxSize = 160;
+  P.CloneFamilyPercent = 50;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 12;
+  P.LoopPercent = 50;
+  P.Seed = Seed;
+  M = buildBenchmarkModule(P, Ctx);
+  std::vector<Fingerprint> FPs;
+  for (Function *F : M->functions())
+    if (F->isMergeable())
+      FPs.push_back(Fingerprint::compute(*F));
+  std::stable_sort(FPs.begin(), FPs.end(),
+                   [](const Fingerprint &A, const Fingerprint &B) {
+                     return A.Size > B.Size;
+                   });
+  return FPs;
+}
+
+/// Reference ranking: scan every live id, sort by (distance, id), trim.
+std::vector<CandidateIndex::Hit>
+bruteForceTopK(const std::vector<Fingerprint> &FPs,
+               const std::vector<bool> &Live, uint32_t Query, unsigned K) {
+  std::vector<CandidateIndex::Hit> Hits;
+  for (uint32_t J = 0; J < FPs.size(); ++J) {
+    if (J == Query || !Live[J])
+      continue;
+    uint64_t D = fingerprintDistance(FPs[Query], FPs[J]);
+    if (D == UINT64_MAX)
+      continue;
+    Hits.push_back({D, J});
+  }
+  std::stable_sort(Hits.begin(), Hits.end(),
+                   [](const CandidateIndex::Hit &A,
+                      const CandidateIndex::Hit &B) {
+                     return A.Distance < B.Distance;
+                   });
+  if (Hits.size() > K)
+    Hits.resize(K);
+  return Hits;
+}
+
+void expectSameHits(const std::vector<CandidateIndex::Hit> &Got,
+                    const std::vector<CandidateIndex::Hit> &Want,
+                    const std::string &Tag) {
+  ASSERT_EQ(Got.size(), Want.size()) << Tag;
+  for (size_t I = 0; I < Got.size(); ++I) {
+    EXPECT_EQ(Got[I].Id, Want[I].Id) << Tag << " position " << I;
+    EXPECT_EQ(Got[I].Distance, Want[I].Distance) << Tag << " position " << I;
+  }
+}
+
+class RankingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankingPropertyTest, TopKMatchesBruteForce) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  std::vector<Fingerprint> FPs = poolFingerprints(GetParam(), 40, Ctx, M);
+  ASSERT_GT(FPs.size(), 10u);
+
+  CandidateIndex Index;
+  std::vector<bool> Live(FPs.size(), true);
+  for (uint32_t I = 0; I < FPs.size(); ++I)
+    Index.insert(I, FPs[I]);
+
+  for (unsigned K : {1u, 2u, 5u, 10u, 1000u})
+    for (uint32_t Q = 0; Q < FPs.size(); ++Q) {
+      std::vector<CandidateIndex::Hit> Got = Index.query(FPs[Q], K, Q);
+      std::vector<CandidateIndex::Hit> Want =
+          bruteForceTopK(FPs, Live, Q, K);
+      expectSameHits(Got, Want,
+                     "k=" + std::to_string(K) + " q=" + std::to_string(Q));
+    }
+}
+
+TEST_P(RankingPropertyTest, RetireAndReinsertStayExact) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  std::vector<Fingerprint> FPs = poolFingerprints(GetParam() + 101, 32, Ctx, M);
+
+  CandidateIndex Index;
+  std::vector<bool> Live(FPs.size(), true);
+  for (uint32_t I = 0; I < FPs.size(); ++I)
+    Index.insert(I, FPs[I]);
+
+  // Churn: retire random pairs (the driver's commit pattern), re-query
+  // everything live, occasionally resurrect an id (remerge insertion).
+  RNG Rng(GetParam() * 31337 + 11);
+  for (int Round = 0; Round < 12; ++Round) {
+    size_t NumLive = Index.liveCount();
+    if (NumLive > 4 && Rng.chancePercent(75)) {
+      // Retire two random live ids.
+      for (int Pick = 0; Pick < 2; ++Pick) {
+        uint32_t Id;
+        do
+          Id = static_cast<uint32_t>(Rng.nextBelow(FPs.size()));
+        while (!Live[Id]);
+        Index.retire(Id);
+        Live[Id] = false;
+      }
+    } else {
+      // Resurrect one retired id, if any.
+      for (uint32_t Id = 0; Id < Live.size(); ++Id)
+        if (!Live[Id]) {
+          Index.insert(Id, FPs[Id]);
+          Live[Id] = true;
+          break;
+        }
+    }
+    ASSERT_EQ(Index.liveCount(),
+              static_cast<size_t>(
+                  std::count(Live.begin(), Live.end(), true)));
+    unsigned K = 1 + static_cast<unsigned>(Rng.nextBelow(6));
+    for (uint32_t Q = 0; Q < FPs.size(); ++Q) {
+      if (!Live[Q])
+        continue;
+      expectSameHits(Index.query(FPs[Q], K, Q),
+                     bruteForceTopK(FPs, Live, Q, K),
+                     "round " + std::to_string(Round) + " q=" +
+                         std::to_string(Q));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingPropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 17ull, 99ull));
+
+TEST(RankingTest, BoundedDistanceAgreesWithExact) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  std::vector<Fingerprint> FPs = poolFingerprints(7, 24, Ctx, M);
+  RNG Rng(0xb0bb);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    const Fingerprint &A = FPs[Rng.nextBelow(FPs.size())];
+    const Fingerprint &B = FPs[Rng.nextBelow(FPs.size())];
+    uint64_t Exact = fingerprintDistance(A, B);
+    uint64_t Bound = Rng.nextBelow(120);
+    uint64_t Bounded = fingerprintDistance(A, B, Bound);
+    if (Exact <= Bound)
+      EXPECT_EQ(Bounded, Exact);
+    else {
+      EXPECT_GT(Bounded, Bound);  // flagged as over-bound...
+      EXPECT_LE(Bounded, Exact);  // ...via a lower bound of the truth
+    }
+  }
+}
+
+TEST(RankingTest, SketchIsDeterministicAndSizeGapBoundsDistance) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  std::vector<Fingerprint> FPs = poolFingerprints(21, 20, Ctx, M);
+  // Recompute: bit-identical sketches.
+  for (Function *F : M->functions()) {
+    if (!F->isMergeable())
+      continue;
+    Fingerprint FP = Fingerprint::compute(*F);
+    Fingerprint FP2 = Fingerprint::compute(*F);
+    EXPECT_EQ(FP.MinHash, FP2.MinHash);
+    for (size_t B = 0; B < Fingerprint::SketchBands; ++B)
+      EXPECT_EQ(FP.bandHash(B), FP2.bandHash(B));
+  }
+  // The exactness argument rests on |SizeA - SizeB| <= distance(A, B).
+  for (const Fingerprint &A : FPs)
+    for (const Fingerprint &B : FPs) {
+      uint64_t D = fingerprintDistance(A, B);
+      if (D == UINT64_MAX)
+        continue;
+      uint64_t Gap = A.Size > B.Size ? A.Size - B.Size : B.Size - A.Size;
+      EXPECT_GE(D, Gap);
+    }
+}
+
+/// Both ranking strategies must commit identical merges — same pairs,
+/// same order, same final module size — on the seed workloads.
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyEquivalenceTest, StrategiesCommitIdenticalMerges) {
+  for (MergeTechnique Tech :
+       {MergeTechnique::SalSSA, MergeTechnique::FMSA}) {
+    Context C1, C2;
+    BenchmarkProfile P;
+    P.Name = "equiv";
+    P.NumFunctions = 28;
+    P.MinSize = 6;
+    P.AvgSize = 45;
+    P.MaxSize = 200;
+    P.CloneFamilyPercent = 45;
+    P.MaxFamily = 4;
+    P.FamilyDriftPercent = 10;
+    P.LoopPercent = 50;
+    P.Seed = GetParam();
+    std::unique_ptr<Module> MB = buildBenchmarkModule(P, C1);
+    std::unique_ptr<Module> MI = buildBenchmarkModule(P, C2);
+
+    MergeDriverOptions DO;
+    DO.Technique = Tech;
+    DO.ExplorationThreshold = 3;
+    DO.Ranking = RankingStrategy::BruteForce;
+    MergeDriverStats SB = runFunctionMerging(*MB, DO);
+    DO.Ranking = RankingStrategy::CandidateIndex;
+    MergeDriverStats SI = runFunctionMerging(*MI, DO);
+
+    EXPECT_EQ(SB.CommittedMerges, SI.CommittedMerges);
+    EXPECT_EQ(SB.Attempts, SI.Attempts);
+    EXPECT_EQ(SB.ProfitableMerges, SI.ProfitableMerges);
+    ASSERT_EQ(SB.Records.size(), SI.Records.size());
+    for (size_t I = 0; I < SB.Records.size(); ++I) {
+      EXPECT_EQ(SB.Records[I].Name1, SI.Records[I].Name1) << "record " << I;
+      EXPECT_EQ(SB.Records[I].Name2, SI.Records[I].Name2) << "record " << I;
+      EXPECT_EQ(SB.Records[I].Committed, SI.Records[I].Committed)
+          << "record " << I;
+    }
+    EXPECT_EQ(estimateModuleSize(*MB, TargetArch::X86Like),
+              estimateModuleSize(*MI, TargetArch::X86Like))
+        << "technique " << (Tech == MergeTechnique::SalSSA ? "salssa"
+                                                           : "fmsa");
+    EXPECT_TRUE(verifyModule(*MB).ok());
+    EXPECT_TRUE(verifyModule(*MI).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceTest,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull,
+                                           55ull));
+
+TEST(RankingTest, CommittedRecordMarksTheWinningAttempt) {
+  // The committed record must be the exact attempt that won, even when
+  // the same pair shows up in several attempts across pool iterations.
+  Context Ctx;
+  BenchmarkProfile P;
+  P.Name = "records";
+  P.NumFunctions = 30;
+  P.CloneFamilyPercent = 60;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 8;
+  P.Seed = 77;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 4;
+  MergeDriverStats S = runFunctionMerging(*M, DO);
+  unsigned Committed = 0;
+  for (const MergeRecord &R : S.Records) {
+    if (!R.Committed)
+      continue;
+    ++Committed;
+    // A committed record must correspond to a profitable valid attempt.
+    EXPECT_TRUE(R.Stats.Profitable) << R.Name1 << " + " << R.Name2;
+  }
+  EXPECT_EQ(Committed, S.CommittedMerges);
+}
+
+} // namespace
