@@ -14,7 +14,7 @@
 // consecutive pool sizes: ~2 for brute force, ~1 for the index.
 //
 // Modes:
-//   (default)  scaling table over pool sizes 64..512
+//   (default)  scaling table over pool sizes 64..4096
 //   --smoke    one small pool; FAILS (exit 1) if the index path is
 //              slower than 1.5x brute force or commits different
 //              merges — wired into ctest as a perf-regression guard.
@@ -135,7 +135,10 @@ int scalingMode() {
               "index (ms)", "speedup", "a.brute", "a.index", "same-size");
   printRule(80);
 
-  std::vector<unsigned> Sizes{64, 128, 256, 512};
+  // The 1024+ rows are where the flat size-bucket expansion pays off:
+  // the multimap walk's pointer chasing used to push the index exponent
+  // toward ~1.6 up here.
+  std::vector<unsigned> Sizes{64, 128, 256, 512, 1024, 2048, 4096};
   unsigned Scale = benchScale();
   if (Scale > 1)
     for (unsigned &S : Sizes)

@@ -19,6 +19,7 @@ ConstantInt *Context::getInt(Type *Ty, uint64_t Bits) {
   assert(Ty->isInteger() && "integer constant of non-integer type");
   Bits = truncateToWidth(Bits, Ty->getIntegerBitWidth());
   auto Key = std::make_pair(Ty, Bits);
+  std::lock_guard<std::mutex> Lock(PoolMutex);
   auto It = IntPool.find(Key);
   if (It != IntPool.end())
     return It->second.get();
@@ -35,6 +36,7 @@ ConstantFP *Context::getFP(Type *Ty, double V) {
   static_assert(sizeof(double) == sizeof(uint64_t));
   std::memcpy(&Key64, &V, sizeof(V));
   auto Key = std::make_pair(Ty, Key64);
+  std::lock_guard<std::mutex> Lock(PoolMutex);
   auto It = FPPool.find(Key);
   if (It != FPPool.end())
     return It->second.get();
@@ -45,6 +47,7 @@ ConstantFP *Context::getFP(Type *Ty, double V) {
 
 UndefValue *Context::getUndef(Type *Ty) {
   assert(Ty->isFirstClass() && "undef of non-first-class type");
+  std::lock_guard<std::mutex> Lock(PoolMutex);
   auto It = UndefPool.find(Ty);
   if (It != UndefPool.end())
     return It->second.get();
@@ -54,6 +57,7 @@ UndefValue *Context::getUndef(Type *Ty) {
 }
 
 ConstantPointerNull *Context::getNullPtr() {
+  std::lock_guard<std::mutex> Lock(PoolMutex);
   if (!NullPtr)
     NullPtr.reset(new ConstantPointerNull(ptrTy()));
   return NullPtr.get();

@@ -10,6 +10,12 @@
 /// live against a single Context; the whole pipeline (workload generation,
 /// merging, size modeling, interpretation) shares one.
 ///
+/// Interning is thread-safe: the constant pools (and the function-type
+/// pool in TypeContext) are guarded by a mutex so MergePipeline's worker
+/// threads can build speculative functions against the shared Context.
+/// Interned pointers are stable for the Context's lifetime, so readers
+/// holding a Type*/Constant* never need the lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SALSSA_IR_CONTEXT_H
@@ -19,6 +25,7 @@
 #include "ir/Type.h"
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace salssa {
 
@@ -61,6 +68,7 @@ public:
 
 private:
   TypeContext Types;
+  std::mutex PoolMutex; ///< guards the four pools below
   std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantInt>> IntPool;
   std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantFP>> FPPool;
   std::map<Type *, std::unique_ptr<UndefValue>> UndefPool;

@@ -9,9 +9,8 @@
 
 using namespace salssa;
 
-Function::Function(const std::string &Name, Type *FnTy, Module *Parent,
-                   unsigned Number)
-    : Name(Name), FnTy(FnTy), Parent(Parent), FunctionNumber(Number) {
+Function::Function(const std::string &Name, Type *FnTy, Module *Parent)
+    : Name(Name), FnTy(FnTy), Parent(Parent) {
   assert(FnTy->isFunction() && "function requires a function type");
   const std::vector<Type *> &Params = FnTy->getParamTypes();
   Args.reserve(Params.size());

@@ -102,20 +102,14 @@ public:
   /// declarations model external library code).
   bool isMergeable() const { return !isDeclaration(); }
 
-  /// Sequential number assigned by the Module, stable across the module's
-  /// lifetime; used for deterministic tie-breaking in ranking.
-  unsigned getFunctionNumber() const { return FunctionNumber; }
-
 private:
   friend class Module;
   friend class BasicBlock;
-  Function(const std::string &Name, Type *FnTy, Module *Parent,
-           unsigned Number);
+  Function(const std::string &Name, Type *FnTy, Module *Parent);
 
   std::string Name;
   Type *FnTy;
   Module *Parent;
-  unsigned FunctionNumber;
   std::vector<std::unique_ptr<Argument>> Args;
   BlockListTy Blocks;
 };

@@ -19,7 +19,7 @@ Module::~Module() {
 
 Function *Module::createFunction(const std::string &Name, Type *FnTy) {
   assert(!FunctionMap.count(Name) && "duplicate function name");
-  auto *F = new Function(Name, FnTy, this, NextFunctionNumber++);
+  auto *F = new Function(Name, FnTy, this);
   FunctionMap.emplace(Name, std::unique_ptr<Function>(F));
   FunctionOrder.push_back(F);
   return F;
@@ -37,6 +37,29 @@ void Module::eraseFunction(Function *F) {
   FunctionOrder.erase(
       std::find(FunctionOrder.begin(), FunctionOrder.end(), F));
   FunctionMap.erase(It);
+}
+
+std::unique_ptr<Function> Module::takeFunction(Function *F) {
+  auto It = FunctionMap.find(F->getName());
+  assert(It != FunctionMap.end() && It->second.get() == F &&
+         "function is not owned by this module");
+  std::unique_ptr<Function> Owned = std::move(It->second);
+  FunctionMap.erase(It);
+  FunctionOrder.erase(
+      std::find(FunctionOrder.begin(), FunctionOrder.end(), F));
+  F->Parent = nullptr;
+  return Owned;
+}
+
+Function *Module::adoptFunction(std::unique_ptr<Function> F,
+                                const std::string &NewName) {
+  assert(!FunctionMap.count(NewName) && "duplicate function name");
+  Function *Raw = F.get();
+  Raw->Name = NewName;
+  Raw->Parent = this;
+  FunctionMap.emplace(NewName, std::move(F));
+  FunctionOrder.push_back(Raw);
+  return Raw;
 }
 
 GlobalVariable *Module::createGlobal(const std::string &Name, Type *ValTy,

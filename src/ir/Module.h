@@ -45,6 +45,19 @@ public:
   /// reference it.
   void eraseFunction(Function *F);
 
+  /// Releases ownership of \p F without destroying it (the inverse of
+  /// adoptFunction). The function keeps its body but has no parent until
+  /// adopted elsewhere. Used by the merge pipeline to move speculative
+  /// functions out of per-worker staging modules.
+  std::unique_ptr<Function> takeFunction(Function *F);
+
+  /// Adopts \p F (previously released with takeFunction) under
+  /// \p NewName, re-parenting it as if it had been created here.
+  /// \p NewName must be unique within this module, and \p F must belong
+  /// to the same Context.
+  Function *adoptFunction(std::unique_ptr<Function> F,
+                          const std::string &NewName);
+
   /// Creates a module-level variable of \p ValTy x \p NumElements and
   /// returns its address constant.
   GlobalVariable *createGlobal(const std::string &Name, Type *ValTy,
@@ -69,7 +82,6 @@ private:
   std::map<std::string, std::unique_ptr<Function>> FunctionMap;
   std::vector<Function *> FunctionOrder;
   std::vector<std::unique_ptr<GlobalVariable>> Globals;
-  unsigned NextFunctionNumber = 0;
   unsigned NextUniqueId = 0;
 };
 

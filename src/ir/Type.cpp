@@ -84,6 +84,7 @@ Type *TypeContext::getIntegerTy(unsigned Bits) {
 Type *TypeContext::getFunctionTy(Type *Ret,
                                  const std::vector<Type *> &Params) {
   auto Key = std::make_pair(Ret, Params);
+  std::lock_guard<std::mutex> Lock(FunctionTysMutex);
   auto It = FunctionTys.find(Key);
   if (It != FunctionTys.end())
     return It->second.get();

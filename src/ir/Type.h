@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -112,7 +113,8 @@ public:
   /// Integer type of width \p Bits (must be one of 1/8/16/32/64).
   Type *getIntegerTy(unsigned Bits);
 
-  /// Interned function type.
+  /// Interned function type. Thread-safe: merged signatures are computed
+  /// by MergePipeline worker threads.
   Type *getFunctionTy(Type *Ret, const std::vector<Type *> &Params);
 
 private:
@@ -122,6 +124,7 @@ private:
 
   std::unique_ptr<Type> VoidTy, Int1Ty, Int8Ty, Int16Ty, Int32Ty, Int64Ty,
       FloatTy, DoubleTy, PointerTy;
+  std::mutex FunctionTysMutex; ///< guards FunctionTys
   std::map<std::pair<Type *, std::vector<Type *>>, std::unique_ptr<Type>>
       FunctionTys;
 };

@@ -10,12 +10,16 @@
 
 using namespace salssa;
 
+thread_local unsigned salssa::detail::SuspendedUseTracking = 0;
+
 Value::~Value() {
   assert(UserList.empty() &&
          "deleting a value that still has users; fix the teardown order");
 }
 
 void Value::removeUser(User *U) {
+  if (!isUseTracked())
+    return;
   // One occurrence per operand slot; remove exactly one, searching from the
   // back (recently added uses are removed most often).
   for (size_t I = UserList.size(); I > 0; --I) {
@@ -30,6 +34,7 @@ void Value::removeUser(User *U) {
 void Value::replaceAllUsesWith(Value *New) {
   assert(New != this && "RAUW with self would loop forever");
   assert(New->getType() == getType() && "RAUW across different types");
+  assert(isUseTracked() && "RAUW needs a use list; constants have none");
   // Snapshot: setOperand mutates UserList.
   std::vector<User *> Snapshot = UserList;
   for (User *U : Snapshot) {
@@ -47,6 +52,13 @@ void User::setOperand(unsigned I, Value *V) {
     return;
   if (Old)
     Old->removeUser(this);
+  const_cast<std::vector<Value *> &>(operands())[I] = V;
+  if (V)
+    V->addUser(this);
+}
+
+void User::initOperand(unsigned I, Value *V) {
+  assert(I < getNumOperands() && "initOperand index out of range");
   const_cast<std::vector<Value *> &>(operands())[I] = V;
   if (V)
     V->addUser(this);

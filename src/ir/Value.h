@@ -31,6 +31,26 @@ namespace salssa {
 class Type;
 class User;
 
+namespace detail {
+/// When non-zero on this thread, Value::addUser is a no-op: operand
+/// slots are filled without registering in the operand's user list. Used
+/// exclusively by cloneInstruction, whose placeholder operands reference
+/// the *original* (possibly shared across threads) function's values and
+/// are always rewritten via User::initOperand before the clone is
+/// observable. Never touch this directly — use UseTrackingSuspender.
+extern thread_local unsigned SuspendedUseTracking;
+} // namespace detail
+
+/// RAII scope in which newly appended operands do not register users.
+/// See detail::SuspendedUseTracking for the (single) legitimate use.
+class UseTrackingSuspender {
+public:
+  UseTrackingSuspender() { ++detail::SuspendedUseTracking; }
+  ~UseTrackingSuspender() { --detail::SuspendedUseTracking; }
+  UseTrackingSuspender(const UseTrackingSuspender &) = delete;
+  UseTrackingSuspender &operator=(const UseTrackingSuspender &) = delete;
+};
+
 /// Discriminator for the whole Value hierarchy. Instruction opcodes live in
 /// the [InstFirst, InstLast] range; constants in [ConstFirst, ConstLast].
 enum class ValueKind : uint8_t {
@@ -108,10 +128,22 @@ public:
   void setName(const std::string &N) { Name = N; }
   bool hasName() const { return !Name.empty(); }
 
+  /// Whether this value maintains a user list. Constants and globals are
+  /// interned/module-shared and referenced from arbitrarily many
+  /// functions, so tracking their uses would (a) make popular constants'
+  /// use-lists a quadratic hot spot and (b) turn every operand write into
+  /// a data race once merge attempts run on worker threads. No pass
+  /// queries uses of a constant, so — like LLVM's ConstantData — they
+  /// simply opt out; users()/hasUses() on them always report empty.
+  bool isUseTracked() const {
+    return Kind < ConstFirstKind || Kind > ConstLastKind;
+  }
+
   /// The users of this value. A user appears once per operand slot that
   /// references this value (so an instruction using a value twice appears
-  /// twice). Do not mutate uses while iterating this list directly; take a
-  /// copy, as replaceAllUsesWith does.
+  /// twice). Always empty for untracked values (see isUseTracked). Do not
+  /// mutate uses while iterating this list directly; take a copy, as
+  /// replaceAllUsesWith does.
   const std::vector<User *> &users() const { return UserList; }
   unsigned getNumUses() const {
     return static_cast<unsigned>(UserList.size());
@@ -132,7 +164,10 @@ protected:
 
 private:
   friend class User;
-  void addUser(User *U) { UserList.push_back(U); }
+  void addUser(User *U) {
+    if (isUseTracked() && detail::SuspendedUseTracking == 0)
+      UserList.push_back(U);
+  }
   void removeUser(User *U);
 
   ValueKind Kind;
@@ -157,6 +192,15 @@ public:
 
   /// Replaces operand \p I, maintaining both sides' use bookkeeping.
   void setOperand(unsigned I, Value *V);
+
+  /// First assignment of a placeholder operand slot created under
+  /// UseTrackingSuspender (i.e. by cloneInstruction): overwrites the
+  /// slot and registers the use of \p V, without unregistering the
+  /// placeholder — which, unlike setOperand's old operand, was never
+  /// registered. Calling this on a normally-tracked slot leaks a stale
+  /// user entry; calling setOperand on a placeholder slot instead fires
+  /// the removeUser assertion.
+  void initOperand(unsigned I, Value *V);
 
   /// Index of the first operand slot equal to \p V, or -1.
   int findOperand(const Value *V) const;

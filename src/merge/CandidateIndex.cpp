@@ -47,27 +47,48 @@ void CandidateIndex::insert(uint32_t Id, const Fingerprint &FP) {
   E.FP = FP;
   E.Live = true;
   Partition &P = partitionFor(FP.RetTy);
-  E.SizePos = P.BySize.emplace(FP.Size, Id);
+  if (FP.Size >= P.SizeBuckets.size())
+    P.SizeBuckets.resize(FP.Size + 1);
+  P.SizeBuckets[FP.Size].push_back(Id);
+  P.MinSize = std::min(P.MinSize, FP.Size);
+  P.MaxSize = std::max(P.MaxSize, FP.Size);
+  ++P.NumLive;
   for (size_t B = 0; B < Fingerprint::SketchBands; ++B)
     P.Bands[FP.bandHash(B)].push_back(Id);
   ++NumLive;
 }
+
+namespace {
+
+/// Removes one occurrence of \p Id by swap-and-pop. Bucket order is
+/// irrelevant to query exactness (the top-k is defined by (distance,
+/// id), and seeding order only affects how fast the bound tightens), so
+/// there is no reason to pay the order-preserving erase — which made
+/// retiring n clones out of one shared bucket O(n²) on degenerate
+/// pools.
+void swapAndPop(std::vector<uint32_t> &Bucket, uint32_t Id) {
+  auto Pos = std::find(Bucket.begin(), Bucket.end(), Id);
+  if (Pos != Bucket.end()) {
+    *Pos = Bucket.back();
+    Bucket.pop_back();
+  }
+}
+
+} // namespace
 
 void CandidateIndex::retire(uint32_t Id) {
   assert(Id < Entries.size() && Entries[Id].Live &&
          "retiring an id that is not live");
   Entry &E = Entries[Id];
   Partition &P = partitionFor(E.FP.RetTy);
-  P.BySize.erase(E.SizePos);
+  swapAndPop(P.SizeBuckets[E.FP.Size], Id);
+  --P.NumLive;
   for (size_t B = 0; B < Fingerprint::SketchBands; ++B) {
     auto BucketIt = P.Bands.find(E.FP.bandHash(B));
     if (BucketIt == P.Bands.end())
       continue;
-    std::vector<uint32_t> &Bucket = BucketIt->second;
-    auto Pos = std::find(Bucket.begin(), Bucket.end(), Id);
-    if (Pos != Bucket.end())
-      Bucket.erase(Pos);
-    if (Bucket.empty())
+    swapAndPop(BucketIt->second, Id);
+    if (BucketIt->second.empty())
       P.Bands.erase(BucketIt);
   }
   E.Live = false;
@@ -82,7 +103,7 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
   if (K == 0)
     return Heap;
   const Partition *P = partitionFor(FP.RetTy);
-  if (!P || P->BySize.empty())
+  if (!P || P->NumLive == 0)
     return Heap;
 
   // Epoch-stamped visited marks (no per-query clearing).
@@ -92,6 +113,19 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
     std::fill(VisitEpoch.begin(), VisitEpoch.end(), 0);
     CurrentEpoch = 1;
   }
+
+  // Candidates this query can possibly examine: the partition's live
+  // set, minus the excluded id if it lives here. Once that many have
+  // been epoch-marked, any further walking only meets marked entries or
+  // empty buckets — stop (this is what keeps sparse partitions from
+  // degenerating into a full hull scan when the heap never fills).
+  size_t MaxConsider = P->NumLive;
+  if (ExcludeId < Entries.size() && Entries[ExcludeId].Live &&
+      Entries[ExcludeId].FP.RetTy == FP.RetTy)
+    --MaxConsider;
+  if (MaxConsider == 0)
+    return Heap;
+  size_t Considered = 0;
 
   Heap.reserve(K + 1);
   auto bound = [&]() {
@@ -103,6 +137,7 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
     if (Id == ExcludeId || VisitEpoch[Id] == CurrentEpoch)
       return;
     VisitEpoch[Id] = CurrentEpoch;
+    ++Considered;
     uint64_t B = bound();
     // Cheap group-wise lower bound first: candidates it already rules
     // out never pay for the full per-opcode scan.
@@ -139,39 +174,36 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
     }
   }
 
-  // Phase 2 — exact outward walk over the size-ordered live set.
+  // Phase 2 — exact outward walk over the flat size buckets.
   // |Size(q) - Size(c)| lower-bounds the Manhattan distance, so once the
   // size gap alone exceeds the current k-th best distance, every
-  // remaining candidate on that side is provably worse: stopping is
-  // lossless and the result equals the full brute-force ranking.
-  const auto &BySize = P->BySize;
-  auto Fwd = BySize.lower_bound(FP.Size); // first entry with Size >= q
-  auto Bwd = std::make_reverse_iterator(Fwd); // entries with Size < q
-  auto gapOf = [&](uint32_t Size) {
-    return Size > FP.Size ? uint64_t(Size - FP.Size)
-                          : uint64_t(FP.Size - Size);
-  };
-  bool FwdDone = Fwd == BySize.end();
-  bool BwdDone = Bwd == BySize.rend();
-  while (!FwdDone || !BwdDone) {
-    uint64_t FwdGap = FwdDone ? UINT64_MAX : gapOf(Fwd->first);
-    uint64_t BwdGap = BwdDone ? UINT64_MAX : gapOf(Bwd->first);
-    uint64_t Bound = bound();
-    // A gap strictly beyond the k-th best distance closes that side:
-    // sizes are monotone along each direction.
-    if (!FwdDone && Bound != UINT64_MAX && FwdGap > Bound)
-      FwdDone = true;
-    else if (!BwdDone && Bound != UINT64_MAX && BwdGap > Bound)
-      BwdDone = true;
-    else if (!FwdDone && (BwdDone || FwdGap <= BwdGap)) {
+  // remaining bucket is provably worse: stopping is lossless and the
+  // result equals the full brute-force ranking. Walking gap 0, 1, 2, ...
+  // visits both sides at the same gap before moving outward; empty
+  // buckets (including stale hull space left by retires) cost one
+  // vector-size check.
+  const std::vector<std::vector<uint32_t>> &Buckets = P->SizeBuckets;
+  auto visitBucket = [&](uint64_t Size) {
+    if (Size >= Buckets.size())
+      return;
+    for (uint32_t Id : Buckets[Size]) {
       ++Counters.ExpansionSteps;
-      consider(Fwd->second);
-      FwdDone = ++Fwd == BySize.end();
-    } else if (!BwdDone) {
-      ++Counters.ExpansionSteps;
-      consider(Bwd->second);
-      BwdDone = ++Bwd == BySize.rend();
+      consider(Id);
     }
+  };
+  uint64_t LastGap = 0;
+  if (FP.Size >= P->MinSize)
+    LastGap = FP.Size - P->MinSize;
+  if (P->MaxSize >= FP.Size)
+    LastGap = std::max<uint64_t>(LastGap, P->MaxSize - FP.Size);
+  for (uint64_t G = 0; G <= LastGap && Considered < MaxConsider; ++G) {
+    uint64_t Bound = bound();
+    if (Bound != UINT64_MAX && G > Bound)
+      break;
+    if (G <= FP.Size)
+      visitBucket(uint64_t(FP.Size) - G);
+    if (G > 0)
+      visitBucket(uint64_t(FP.Size) + G);
   }
 
   std::sort_heap(Heap.begin(), Heap.end(), ranksBefore); // ascending

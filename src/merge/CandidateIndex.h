@@ -14,12 +14,16 @@
 ///     query probes its own band buckets first to *seed* the running
 ///     top-k with very close candidates;
 ///
-///  2. a per-return-type size-ordered map: because the ranking metric is
-///     Manhattan distance over opcode counts, |Size(A) - Size(B)| is a
-///     lower bound on distance(A, B). A query walks outward from its own
-///     size through this map and stops — provably losing nothing — as
-///     soon as the size gap alone exceeds the current k-th best
-///     distance.
+///  2. a per-return-type flat array of size buckets: because the ranking
+///     metric is Manhattan distance over opcode counts,
+///     |Size(A) - Size(B)| is a lower bound on distance(A, B). A query
+///     walks outward from its own size bucket (gap 0, 1, 2, ...) and
+///     stops — provably losing nothing — as soon as the size gap alone
+///     exceeds the current k-th best distance. The buckets are plain
+///     vectors indexed by instruction count, so each expansion step is
+///     two array probes instead of a std::multimap pointer chase; this
+///     is what pushes the pairing exponent from ~1.6 toward ~1.2 on
+///     4k+ pools (bench_ranking_scaling).
 ///
 /// Step 2 makes query() *exact*: it returns precisely the k nearest live
 /// candidates under the brute-force ordering (distance, then insertion
@@ -31,9 +35,10 @@
 /// decisions are bit-identical to the quadratic baseline — this is the
 /// property ranking_test.cpp checks and bench_ranking_scaling measures.
 ///
-/// insert/retire are O(log n) plus O(SketchBands) amortized, so the
-/// driver maintains the index incrementally across committed merges and
-/// remerge insertions instead of rescanning the pool.
+/// insert is amortized O(SketchBands); retire additionally scans the
+/// (tiny) size bucket and band buckets it leaves. The driver maintains
+/// the index incrementally across committed merges and remerge
+/// insertions instead of rescanning the pool.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,7 +47,6 @@
 
 #include "merge/Fingerprint.h"
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -94,15 +98,20 @@ private:
     /// remerge push_back, so borrowing a pointer into it would dangle.
     Fingerprint FP;
     bool Live = false;
-    /// Position in the owning partition's BySize map, for O(log n)
-    /// retire.
-    std::multimap<uint32_t, uint32_t>::iterator SizePos;
   };
 
   /// All same-return-type candidates (the only ones at finite distance).
   struct Partition {
-    /// Live ids keyed by Fingerprint::Size: the exact-search backbone.
-    std::multimap<uint32_t, uint32_t> BySize;
+    /// Live ids bucketed by Fingerprint::Size (bucket index == size):
+    /// the exact-search backbone. Buckets only ever grow in count;
+    /// MinSize/MaxSize are a monotone outer hull of the sizes ever
+    /// inserted, so a query's outward walk may probe empty buckets left
+    /// by retires — each probe is one vector-size check, far cheaper
+    /// than keeping the hull tight.
+    std::vector<std::vector<uint32_t>> SizeBuckets;
+    uint32_t MinSize = UINT32_MAX;
+    uint32_t MaxSize = 0;
+    size_t NumLive = 0;
     /// LSH band buckets: band-salted hash -> live ids.
     std::unordered_map<uint64_t, std::vector<uint32_t>> Bands;
   };

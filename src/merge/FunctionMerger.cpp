@@ -8,24 +8,15 @@
 #include "align/Matcher.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
+#include "support/Chrono.h"
 #include <chrono>
 
 using namespace salssa;
 
-namespace {
-
-double secondsSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       Start)
-      .count();
-}
-
-} // namespace
-
 MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
                                   const MergeCodeGenOptions &Options,
                                   TargetArch Arch, unsigned SizeF1,
-                                  unsigned SizeF2) {
+                                  unsigned SizeF2, Module *StagingModule) {
   MergeAttempt Attempt;
   Attempt.F1 = &F1;
   Attempt.F2 = &F2;
@@ -47,7 +38,8 @@ MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
   // Code generation + clean-up (instrumented).
   auto T1 = std::chrono::steady_clock::now();
   Attempt.Gen = generateMergedFunction(F1, F2, Seq1, Seq2, Alignment,
-                                       Options, F1.getName() + ".m");
+                                       Options, F1.getName() + ".m",
+                                       StagingModule);
   Attempt.Stats.CodeGenSeconds = secondsSince(T1);
   Attempt.Stats.SelectsInserted = Attempt.Gen.SelectsInserted;
   Attempt.Stats.LabelSelectionBlocks = Attempt.Gen.LabelSelectionBlocks;
@@ -105,8 +97,20 @@ void buildThunkBody(Function &F, Function &Merged, bool IsF1,
 
 } // namespace
 
+void salssa::adoptMergedFunction(MergeAttempt &Attempt, Module &Dst,
+                                 const std::string &Name) {
+  assert(Attempt.Valid && Attempt.Gen.Merged && "adopting an invalid attempt");
+  Function *Merged = Attempt.Gen.Merged;
+  Module *Src = Merged->getParent();
+  if (Src == &Dst && Merged->getName() == Name)
+    return;
+  Attempt.Gen.Merged = Dst.adoptFunction(Src->takeFunction(Merged), Name);
+}
+
 void salssa::commitMerge(MergeAttempt &Attempt, Context &Ctx) {
   assert(Attempt.Valid && "committing an invalid attempt");
+  assert(Attempt.Gen.Merged->getParent() == Attempt.F1->getParent() &&
+         "staged attempt committed without adoptMergedFunction");
   buildThunkBody(*Attempt.F1, *Attempt.Gen.Merged, /*IsF1=*/true,
                  Attempt.Gen.Signature, Ctx);
   buildThunkBody(*Attempt.F2, *Attempt.Gen.Merged, /*IsF1=*/false,

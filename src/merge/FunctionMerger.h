@@ -41,15 +41,31 @@ struct MergeAttempt {
 /// type). \p SizeF1 / \p SizeF2 are the pre-pipeline sizes used by the
 /// profitability model (for FMSA: sizes before register demotion).
 /// The inputs are not modified.
+///
+/// When \p StagingModule is non-null the speculative merged function is
+/// built there instead of F1's module. This is what makes the attempt
+/// re-entrant across threads: the inputs' module is only read, and each
+/// worker owns its own staging module (see MergePipeline). A staged
+/// winner is moved into the real module with adoptMergedFunction before
+/// committing.
 MergeAttempt attemptMerge(Function &F1, Function &F2,
                           const MergeCodeGenOptions &Options,
-                          TargetArch Arch, unsigned SizeF1, unsigned SizeF2);
+                          TargetArch Arch, unsigned SizeF1, unsigned SizeF2,
+                          Module *StagingModule = nullptr);
+
+/// Moves \p Attempt's merged function out of its staging module into
+/// \p Dst under \p Name (which must be unique in \p Dst). No-op when the
+/// function already lives in \p Dst under that name.
+void adoptMergedFunction(MergeAttempt &Attempt, Module &Dst,
+                         const std::string &Name);
 
 /// Replaces the bodies of both input functions with thunks into
-/// \p Attempt's merged function.
+/// \p Attempt's merged function. The merged function must live in the
+/// inputs' module (adoptMergedFunction for staged attempts).
 void commitMerge(MergeAttempt &Attempt, Context &Ctx);
 
-/// Deletes the merged function of a rejected attempt.
+/// Deletes the merged function of a rejected attempt (from whichever
+/// module — staging or real — currently owns it).
 void discardMerge(MergeAttempt &Attempt);
 
 } // namespace salssa

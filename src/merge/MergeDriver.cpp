@@ -6,51 +6,15 @@
 
 #include "merge/MergeDriver.h"
 #include "ir/Module.h"
-#include "merge/CandidateIndex.h"
-#include "merge/Fingerprint.h"
+#include "merge/MergePipeline.h"
+#include "support/Chrono.h"
 #include "transforms/Mem2Reg.h"
 #include "transforms/Reg2Mem.h"
 #include "transforms/Simplify.h"
-#include <algorithm>
 #include <chrono>
 #include <map>
 
 using namespace salssa;
-
-namespace {
-
-struct PoolEntry {
-  Function *F = nullptr;
-  Fingerprint FP;
-  unsigned CostSize = 0; ///< profitability baseline (pre-demotion size)
-  bool Consumed = false;
-};
-
-/// Brute-force ranking, the paper's scheme verbatim: scan every live
-/// pool entry, sort by (distance, pool position), truncate to top-k.
-/// Kept bit-compatible with CandidateIndex::query for A/B comparison.
-std::vector<CandidateIndex::Hit>
-bruteForceRank(const std::vector<PoolEntry> &Pool, size_t I, unsigned K) {
-  std::vector<CandidateIndex::Hit> Candidates;
-  for (size_t J = 0; J < Pool.size(); ++J) {
-    if (J == I || Pool[J].Consumed)
-      continue;
-    uint64_t D = fingerprintDistance(Pool[I].FP, Pool[J].FP);
-    if (D == UINT64_MAX)
-      continue; // incompatible return types
-    Candidates.push_back({D, static_cast<uint32_t>(J)});
-  }
-  std::stable_sort(Candidates.begin(), Candidates.end(),
-                   [](const CandidateIndex::Hit &A,
-                      const CandidateIndex::Hit &B) {
-                     return A.Distance < B.Distance;
-                   });
-  if (Candidates.size() > K)
-    Candidates.resize(K);
-  return Candidates;
-}
-
-} // namespace
 
 MergeDriverStats salssa::runFunctionMerging(Module &M,
                                             const MergeDriverOptions &Options) {
@@ -58,8 +22,6 @@ MergeDriverStats salssa::runFunctionMerging(Module &M,
   Context &Ctx = M.getContext();
   auto T0 = std::chrono::steady_clock::now();
   const bool IsFMSA = Options.Technique == MergeTechnique::FMSA;
-  MergeCodeGenOptions CGOpts = MergeCodeGenOptions::forTechnique(
-      Options.Technique, Options.EnablePhiCoalescing);
 
   // Snapshot profitability baselines before any preprocessing.
   std::map<Function *, unsigned> BaselineSize;
@@ -73,113 +35,12 @@ MergeDriverStats salssa::runFunctionMerging(Module &M,
       if (!F->isDeclaration())
         demoteRegistersToMemory(*F, Ctx);
 
-  // Build the candidate pool. Like the paper, merging proceeds from the
-  // largest functions to the smallest.
-  std::vector<PoolEntry> Pool;
-  for (Function *F : M.functions()) {
-    if (!F->isMergeable())
-      continue;
-    PoolEntry E;
-    E.F = F;
-    E.FP = Fingerprint::compute(*F);
-    E.CostSize = BaselineSize.at(F);
-    Pool.push_back(E);
-  }
-  std::stable_sort(Pool.begin(), Pool.end(),
-                   [](const PoolEntry &A, const PoolEntry &B) {
-                     return A.FP.Size > B.FP.Size;
-                   });
-
-  // Index every live pool entry by id == pool position. The index is
-  // maintained incrementally: committed merges retire their inputs and
-  // remerge entries are inserted, so no pool rescan ever happens.
-  const bool UseIndex = Options.Ranking == RankingStrategy::CandidateIndex;
-  CandidateIndex Index;
-  if (UseIndex)
-    for (size_t I = 0; I < Pool.size(); ++I)
-      Index.insert(static_cast<uint32_t>(I), Pool[I].FP);
-
-  // Main loop. Iterating by index: committed merges append the merged
-  // function to the pool so it can merge again.
-  for (size_t I = 0; I < Pool.size(); ++I) {
-    if (Pool[I].Consumed)
-      continue;
-    Function *F1 = Pool[I].F;
-
-    // Pairing phase: rank the other live candidates by fingerprint
-    // distance and keep the top-t. Both strategies produce the same
-    // list; only the cost differs (this is the Stats.RankingSeconds
-    // A/B that bench_ranking_scaling measures).
-    auto RankT0 = std::chrono::steady_clock::now();
-    std::vector<CandidateIndex::Hit> Candidates =
-        UseIndex ? Index.query(Pool[I].FP, Options.ExplorationThreshold,
-                               static_cast<uint32_t>(I))
-                 : bruteForceRank(Pool, I, Options.ExplorationThreshold);
-    Stats.RankingSeconds += std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - RankT0)
-                                .count();
-
-    // Try the top-t candidates; keep the most profitable attempt.
-    MergeAttempt Best;
-    size_t BestIdx = 0;
-    size_t BestRecord = 0;
-    for (const CandidateIndex::Hit &R : Candidates) {
-      Function *F2 = Pool[R.Id].F;
-      MergeAttempt A =
-          attemptMerge(*F1, *F2, CGOpts, Options.Arch, Pool[I].CostSize,
-                       Pool[R.Id].CostSize);
-      ++Stats.Attempts;
-      Stats.AlignmentSeconds += A.Stats.AlignmentSeconds;
-      Stats.CodeGenSeconds += A.Stats.CodeGenSeconds;
-      Stats.PeakAlignmentBytes =
-          std::max(Stats.PeakAlignmentBytes, A.Stats.AlignmentBytes);
-      MergeRecord Rec;
-      Rec.Name1 = F1->getName();
-      Rec.Name2 = F2->getName();
-      Rec.Stats = A.Stats;
-      size_t RecIdx = Stats.Records.size();
-      Stats.Records.push_back(Rec);
-      if (!A.Valid)
-        continue;
-      if (A.Stats.Profitable)
-        ++Stats.ProfitableMerges;
-      if (A.Stats.Profitable && (!Best.Valid || A.profit() > Best.profit())) {
-        if (Best.Valid)
-          discardMerge(Best);
-        Best = A;
-        BestIdx = R.Id;
-        BestRecord = RecIdx;
-      } else {
-        discardMerge(A);
-      }
-    }
-
-    if (!Best.Valid)
-      continue;
-
-    // Commit: thunk both inputs, retire them from the pool, and offer the
-    // merged function for further merging.
-    commitMerge(Best, Ctx);
-    ++Stats.CommittedMerges;
-    // Mark the exact attempt that won by record index: name matching
-    // could flag the wrong record when the same pair is re-attempted
-    // across pool iterations.
-    Stats.Records[BestRecord].Committed = true;
-    Pool[I].Consumed = true;
-    Pool[BestIdx].Consumed = true;
-    if (UseIndex) {
-      Index.retire(static_cast<uint32_t>(I));
-      Index.retire(static_cast<uint32_t>(BestIdx));
-    }
-    if (Options.AllowRemerge) {
-      PoolEntry E;
-      E.F = Best.Gen.Merged;
-      E.FP = Fingerprint::compute(*E.F);
-      E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
-      Pool.push_back(E);
-      if (UseIndex)
-        Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP);
-    }
+  // The staged driver: rank / attempt / commit (MergePipeline.h). Serial
+  // when Options.NumThreads == 1, optimistic rounds on a worker pool
+  // otherwise — the committed merges are identical either way.
+  {
+    MergePipeline Pipeline(M, Options, BaselineSize, Stats);
+    Pipeline.run();
   }
 
   // FMSA post-pass: the late pipeline re-promotes what demotion left
@@ -194,9 +55,7 @@ MergeDriverStats salssa::runFunctionMerging(Module &M,
     }
   }
 
-  Stats.TotalSeconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - T0)
-                           .count();
+  Stats.TotalSeconds = secondsSince(T0);
   return Stats;
 }
 

@@ -54,6 +54,15 @@ struct MergeDriverOptions {
   /// Candidate ranking implementation; results are identical, only the
   /// pairing-phase cost differs.
   RankingStrategy Ranking = RankingStrategy::CandidateIndex;
+  /// Worker threads for the attempt stage (see MergePipeline). 1 (the
+  /// default) runs the legacy serial driver bit-identically; 0 resolves
+  /// to the hardware concurrency. Any value produces identical merges,
+  /// records and final modules — threads only change wall-clock time.
+  unsigned NumThreads = 1;
+  /// Pool entries ranked per optimistic round when NumThreads > 1
+  /// (bounds speculative memory and staleness). 0 picks
+  /// max(32, 8 x threads). Ignored in the serial path.
+  unsigned CommitWindow = 0;
 };
 
 /// One committed/attempted merge record (drives Fig 19/21/22/23).
@@ -65,16 +74,42 @@ struct MergeRecord {
 };
 
 /// Aggregate results of one pass execution.
+///
+/// Threading semantics of the timing fields: AlignmentSeconds and
+/// CodeGenSeconds are *CPU* seconds, accumulated per worker (each worker
+/// owns its accumulator; the pipeline sums them in worker order at join,
+/// then adds the driver thread's inline attempts). With NumThreads == 1
+/// they degenerate to the historical serial accounting; with threads
+/// they can legitimately exceed TotalSeconds (overlapping workers) and
+/// include speculative work later discarded at commit. Summing raw
+/// wall-clock intervals from one global clock would instead double-count
+/// overlapped work — that is the accounting bug this scheme replaces.
+/// RankingSeconds stays a driver-thread wall time (ranking is serial by
+/// design; in parallel runs it includes both the snapshot ranking and
+/// the commit-time re-validation). TotalSeconds is whole-pass wall time.
 struct MergeDriverStats {
-  unsigned Attempts = 0;
+  unsigned Attempts = 0;         ///< serial-order attempts (see Records)
   unsigned ProfitableMerges = 0; ///< the Fig 21 metric
   unsigned CommittedMerges = 0;
-  double AlignmentSeconds = 0;
-  double CodeGenSeconds = 0;
+  double AlignmentSeconds = 0; ///< CPU s, per-worker accumulators summed
+  double CodeGenSeconds = 0;   ///< CPU s, per-worker accumulators summed
   double RankingSeconds = 0;   ///< pairing phase only (candidate ranking)
   double TotalSeconds = 0;     ///< whole-pass wall time (Fig 24 numerator)
   size_t PeakAlignmentBytes = 0; ///< Fig 22 metric
+  /// One record per serial-order attempt, identical across every
+  /// NumThreads value (speculative attempts discarded at commit are
+  /// intentionally not recorded — they have no serial counterpart).
   std::vector<MergeRecord> Records;
+
+  // Pipeline instrumentation. NumThreadsUsed is 1 in the serial path
+  // (including the tiny-pool fallback); the counters below it are only
+  // ever non-zero when the optimistic parallel path ran.
+  unsigned NumThreadsUsed = 1; ///< resolved worker count
+  unsigned SpeculativeAttempts = 0; ///< attempts executed by workers
+  unsigned SpeculativeDiscarded = 0; ///< speculative attempts thrown away
+  unsigned InlineReattempts = 0; ///< commit-stage re-runs after conflicts
+  unsigned CommitConflicts = 0;  ///< entries whose snapshot ranking staled
+  double AttemptStageSeconds = 0; ///< wall time of parallel attempt stages
 };
 
 /// Runs function merging over \p M, mutating it in place.

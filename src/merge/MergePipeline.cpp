@@ -1,0 +1,341 @@
+//===- merge/MergePipeline.cpp - Staged, shardable merge driver ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/MergePipeline.h"
+#include "ir/Module.h"
+#include "support/Chrono.h"
+#include "support/ThreadPool.h"
+#include <algorithm>
+#include <atomic>
+
+using namespace salssa;
+
+namespace {
+
+/// Brute-force ranking, the paper's scheme verbatim: scan every live
+/// pool entry, sort by (distance, pool position), truncate to top-k.
+/// Kept bit-compatible with CandidateIndex::query for A/B comparison.
+template <typename PoolTy>
+std::vector<CandidateIndex::Hit> bruteForceRank(const PoolTy &Pool, size_t I,
+                                                unsigned K) {
+  std::vector<CandidateIndex::Hit> Candidates;
+  for (size_t J = 0; J < Pool.size(); ++J) {
+    if (J == I || Pool[J].Consumed)
+      continue;
+    uint64_t D = fingerprintDistance(Pool[I].FP, Pool[J].FP);
+    if (D == UINT64_MAX)
+      continue; // incompatible return types
+    Candidates.push_back({D, static_cast<uint32_t>(J)});
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const CandidateIndex::Hit &A,
+                      const CandidateIndex::Hit &B) {
+                     return A.Distance < B.Distance;
+                   });
+  if (Candidates.size() > K)
+    Candidates.resize(K);
+  return Candidates;
+}
+
+/// Moves an attempt out of its task slot, leaving the slot inert so
+/// discardRemaining cannot double-free the speculative function.
+MergeAttempt takeAttempt(MergeAttempt &Slot) {
+  MergeAttempt A = Slot;
+  Slot = MergeAttempt();
+  return A;
+}
+
+} // namespace
+
+MergePipeline::MergePipeline(Module &M, const MergeDriverOptions &Options,
+                             const std::map<Function *, unsigned> &BaselineSize,
+                             MergeDriverStats &Stats)
+    : M(M), Options(Options), BaselineSize(BaselineSize), Stats(Stats),
+      CGOpts(MergeCodeGenOptions::forTechnique(Options.Technique,
+                                               Options.EnablePhiCoalescing)),
+      UseIndex(Options.Ranking == RankingStrategy::CandidateIndex) {
+  buildPool();
+}
+
+MergePipeline::~MergePipeline() = default;
+
+//===----------------------------------------------------------------------===//
+// Rank stage
+//===----------------------------------------------------------------------===//
+
+void MergePipeline::buildPool() {
+  // Build the candidate pool. Like the paper, merging proceeds from the
+  // largest functions to the smallest.
+  for (Function *F : M.functions()) {
+    if (!F->isMergeable())
+      continue;
+    PoolEntry E;
+    E.F = F;
+    E.FP = Fingerprint::compute(*F);
+    E.CostSize = BaselineSize.at(F);
+    Pool.push_back(E);
+  }
+  std::stable_sort(Pool.begin(), Pool.end(),
+                   [](const PoolEntry &A, const PoolEntry &B) {
+                     return A.FP.Size > B.FP.Size;
+                   });
+
+  // Index every live pool entry by id == pool position. The index is
+  // maintained incrementally: committed merges retire their inputs and
+  // remerge entries are inserted, so no pool rescan ever happens.
+  if (UseIndex)
+    for (size_t I = 0; I < Pool.size(); ++I)
+      Index.insert(static_cast<uint32_t>(I), Pool[I].FP);
+}
+
+std::vector<CandidateIndex::Hit> MergePipeline::rank(size_t I) {
+  // Both strategies produce the same list; only the cost differs (this
+  // is the Stats.RankingSeconds A/B that bench_ranking_scaling
+  // measures).
+  auto RankT0 = std::chrono::steady_clock::now();
+  std::vector<CandidateIndex::Hit> Candidates =
+      UseIndex ? Index.query(Pool[I].FP, Options.ExplorationThreshold,
+                             static_cast<uint32_t>(I))
+               : bruteForceRank(Pool, I, Options.ExplorationThreshold);
+  Stats.RankingSeconds += secondsSince(RankT0);
+  return Candidates;
+}
+
+//===----------------------------------------------------------------------===//
+// Commit stage
+//===----------------------------------------------------------------------===//
+
+void MergePipeline::discardRemaining(AttemptTask &Spec) {
+  for (MergeAttempt &A : Spec.Attempts) {
+    if (!A.Valid)
+      continue;
+    discardMerge(A);
+    ++Stats.SpeculativeDiscarded;
+  }
+}
+
+void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
+  if (Pool[I].Consumed) {
+    // Consumed by an earlier commit (serial: as the partner of an
+    // earlier entry; parallel: likewise, only discovered after the
+    // snapshot attempts already ran).
+    if (Spec)
+      discardRemaining(*Spec);
+    return;
+  }
+  Function *F1 = Pool[I].F;
+  Context &Ctx = M.getContext();
+
+  // Pairing phase: rank the other live candidates by fingerprint
+  // distance and keep the top-t. In the parallel path this re-ranks
+  // against the *current* pool — the optimistic conflict rule: only
+  // candidates still in this authoritative list may reuse their
+  // speculative attempt (both inputs then provably unchanged since the
+  // snapshot), everything else is redone inline.
+  std::vector<CandidateIndex::Hit> Candidates = rank(I);
+  if (Spec && !std::equal(Candidates.begin(), Candidates.end(),
+                          Spec->Hits.begin(), Spec->Hits.end(),
+                          [](const CandidateIndex::Hit &A,
+                             const CandidateIndex::Hit &B) {
+                            return A.Id == B.Id && A.Distance == B.Distance;
+                          }))
+    ++Stats.CommitConflicts;
+
+  // Try the top-t candidates; keep the most profitable attempt. This
+  // replays the serial driver exactly: same attempt order, same record
+  // order, and — via the explicit makeUniqueName burn for reused
+  // speculative attempts — the same unique-name sequence the serial
+  // code generator would have produced.
+  MergeAttempt Best;
+  size_t BestIdx = 0;
+  size_t BestRecord = 0;
+  std::string BestName; // non-empty iff Best is a staged (reused) attempt
+  for (const CandidateIndex::Hit &R : Candidates) {
+    Function *F2 = Pool[R.Id].F;
+    MergeAttempt A;
+    std::string StagedName;
+    int SpecSlot = -1;
+    if (Spec)
+      for (size_t S = 0; S < Spec->Hits.size(); ++S)
+        if (Spec->Hits[S].Id == R.Id && Spec->Attempts[S].Valid) {
+          SpecSlot = static_cast<int>(S);
+          break;
+        }
+    if (SpecSlot >= 0) {
+      A = takeAttempt(Spec->Attempts[static_cast<size_t>(SpecSlot)]);
+      // Replay the name id the serial generator would have consumed for
+      // this attempt; the winner is adopted under it below.
+      StagedName = M.makeUniqueName(F1->getName() + ".m");
+    } else {
+      A = attemptMerge(*F1, *F2, CGOpts, Options.Arch, Pool[I].CostSize,
+                       Pool[R.Id].CostSize);
+      // Driver-thread accumulator (workers own theirs; see
+      // MergeDriverStats).
+      Stats.AlignmentSeconds += A.Stats.AlignmentSeconds;
+      Stats.CodeGenSeconds += A.Stats.CodeGenSeconds;
+      if (Spec)
+        ++Stats.InlineReattempts;
+    }
+    ++Stats.Attempts;
+    Stats.PeakAlignmentBytes =
+        std::max(Stats.PeakAlignmentBytes, A.Stats.AlignmentBytes);
+    MergeRecord Rec;
+    Rec.Name1 = F1->getName();
+    Rec.Name2 = F2->getName();
+    Rec.Stats = A.Stats;
+    size_t RecIdx = Stats.Records.size();
+    Stats.Records.push_back(Rec);
+    if (!A.Valid)
+      continue;
+    if (A.Stats.Profitable)
+      ++Stats.ProfitableMerges;
+    if (A.Stats.Profitable && (!Best.Valid || A.profit() > Best.profit())) {
+      if (Best.Valid)
+        discardMerge(Best);
+      Best = A;
+      BestIdx = R.Id;
+      BestRecord = RecIdx;
+      BestName = StagedName;
+    } else {
+      discardMerge(A);
+    }
+  }
+  if (Spec)
+    discardRemaining(*Spec);
+
+  if (!Best.Valid)
+    return;
+
+  // Commit: thunk both inputs, retire them from the pool, and offer the
+  // merged function for further merging.
+  if (!BestName.empty())
+    adoptMergedFunction(Best, M, BestName);
+  commitMerge(Best, Ctx);
+  ++Stats.CommittedMerges;
+  // Mark the exact attempt that won by record index: name matching
+  // could flag the wrong record when the same pair is re-attempted
+  // across pool iterations.
+  Stats.Records[BestRecord].Committed = true;
+  Pool[I].Consumed = true;
+  Pool[BestIdx].Consumed = true;
+  if (UseIndex) {
+    Index.retire(static_cast<uint32_t>(I));
+    Index.retire(static_cast<uint32_t>(BestIdx));
+  }
+  if (Options.AllowRemerge) {
+    PoolEntry E;
+    E.F = Best.Gen.Merged;
+    E.FP = Fingerprint::compute(*E.F);
+    E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
+    Pool.push_back(E);
+    if (UseIndex)
+      Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Orchestration
+//===----------------------------------------------------------------------===//
+
+void MergePipeline::runSerial() {
+  // The legacy driver loop: every stage inline, in pool order.
+  // Iterating by index: committed merges append the merged function to
+  // the pool so it can merge again.
+  for (size_t I = 0; I < Pool.size(); ++I)
+    commitEntry(I, nullptr);
+}
+
+void MergePipeline::runParallel(unsigned NumThreads) {
+  ThreadPool Workers(NumThreads);
+  std::vector<WorkerState> State(Workers.numThreads());
+  for (size_t W = 0; W < State.size(); ++W)
+    State[W].Staging = std::make_unique<Module>(
+        M.getName() + ".staging" + std::to_string(W), M.getContext());
+
+  const size_t Window = Options.CommitWindow
+                            ? Options.CommitWindow
+                            : std::max<size_t>(32, 8 * Workers.numThreads());
+
+  size_t Cursor = 0;
+  while (Cursor < Pool.size()) {
+    size_t End = std::min(Pool.size(), Cursor + Window);
+
+    // Rank stage: snapshot the top-t list of every live entry in the
+    // window against the current pool.
+    std::vector<AttemptTask> Tasks;
+    for (size_t I = Cursor; I < End; ++I) {
+      if (Pool[I].Consumed)
+        continue;
+      AttemptTask T;
+      T.PoolIdx = static_cast<uint32_t>(I);
+      T.Hits = rank(I);
+      if (!T.Hits.empty())
+        Tasks.push_back(std::move(T));
+    }
+
+    // Attempt stage: run every snapshot attempt on the worker pool.
+    // Workers only read the pool and the input functions (no commit ran
+    // since the snapshot) and build speculative functions in their own
+    // staging module; the shared Context interns under a lock.
+    if (!Tasks.empty()) {
+      auto StageT0 = std::chrono::steady_clock::now();
+      std::atomic<size_t> NextTask{0};
+      for (size_t W = 0; W < State.size(); ++W) {
+        WorkerState &WS = State[W];
+        Workers.submit([this, &Tasks, &NextTask, &WS] {
+          for (;;) {
+            size_t T = NextTask.fetch_add(1, std::memory_order_relaxed);
+            if (T >= Tasks.size())
+              return;
+            AttemptTask &Task = Tasks[T];
+            const PoolEntry &E1 = Pool[Task.PoolIdx];
+            Task.Attempts.reserve(Task.Hits.size());
+            for (const CandidateIndex::Hit &R : Task.Hits) {
+              const PoolEntry &E2 = Pool[R.Id];
+              MergeAttempt A =
+                  attemptMerge(*E1.F, *E2.F, CGOpts, Options.Arch,
+                               E1.CostSize, E2.CostSize, WS.Staging.get());
+              ++WS.AttemptsRun;
+              WS.AlignmentSeconds += A.Stats.AlignmentSeconds;
+              WS.CodeGenSeconds += A.Stats.CodeGenSeconds;
+              Task.Attempts.push_back(std::move(A));
+            }
+          }
+        });
+      }
+      Workers.wait();
+      Stats.AttemptStageSeconds += secondsSince(StageT0);
+    }
+
+    // Commit stage: serial, in pool order, with optimistic
+    // re-validation (see commitEntry).
+    for (AttemptTask &T : Tasks)
+      commitEntry(T.PoolIdx, &T);
+
+    Cursor = End;
+  }
+
+  // Join the per-worker accumulators in worker order. PeakAlignmentBytes
+  // is deliberately NOT joined: commitEntry already replays the serial
+  // per-attempt max, and folding in discarded speculative attempts would
+  // make the Fig 22 metric thread-count-dependent.
+  for (const WorkerState &WS : State) {
+    Stats.SpeculativeAttempts += WS.AttemptsRun;
+    Stats.AlignmentSeconds += WS.AlignmentSeconds;
+    Stats.CodeGenSeconds += WS.CodeGenSeconds;
+  }
+}
+
+void MergePipeline::run() {
+  unsigned NumThreads = ThreadPool::resolveThreadCount(Options.NumThreads);
+  if (NumThreads <= 1 || Pool.size() < 2) {
+    Stats.NumThreadsUsed = 1; // tiny pools fall back to the serial path
+    runSerial();
+  } else {
+    Stats.NumThreadsUsed = NumThreads;
+    runParallel(NumThreads);
+  }
+}

@@ -1,0 +1,132 @@
+//===- merge/MergePipeline.h - Staged, shardable merge driver -----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged module-level merge driver. What used to be one monolithic
+/// loop in MergeDriver.cpp is split into three explicit stages:
+///
+///   rank    - candidate pool + CandidateIndex maintenance; produces the
+///             top-t candidate list for one pool entry (cheap, serial);
+///   attempt - linearization, alignment and speculative code generation
+///             for one (entry, candidate) pair (the expensive part;
+///             side-effect free with respect to the real module when
+///             given a staging module, hence parallelizable);
+///   commit  - profit selection, thunking, pool retire/insert (serial:
+///             the only stage that mutates the real module and the pool).
+///
+/// With MergeDriverOptions::NumThreads == 1 the stages run inline per
+/// pool entry, reproducing the legacy serial driver bit for bit (same
+/// attempts, same records, same merged-function names, same module).
+///
+/// With NumThreads > 1 the pipeline runs *optimistic rounds* in the
+/// spirit of "Optimistic Global Function Merger" (Lee et al.): the rank
+/// stage snapshots the top-t lists for a window of live pool entries,
+/// the attempt stage runs every snapshot attempt on a worker pool (each
+/// worker building speculative functions in its own staging module), and
+/// the serial commit stage walks the window in pool order re-validating
+/// each entry's ranking against the *current* pool. A speculative
+/// attempt is reused only when its candidate still appears in the
+/// re-validated list — its inputs are then provably untouched — and any
+/// candidate the snapshot missed (consumed inputs, fresh remerge
+/// functions) is re-attempted inline. Commits therefore happen in
+/// exactly the serial order with exactly the serial outcomes: every
+/// thread count produces identical merges, records, names, and final
+/// modules, and stale speculation only costs wasted worker time.
+/// Unique-name allocation is replayed at commit time so that even the
+/// name counters advance exactly as in the serial driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_MERGEPIPELINE_H
+#define SALSSA_MERGE_MERGEPIPELINE_H
+
+#include "merge/CandidateIndex.h"
+#include "merge/MergeDriver.h"
+#include <map>
+#include <memory>
+
+namespace salssa {
+
+class Module;
+
+/// One run of the staged merge driver over a module. Constructed with the
+/// pool's profitability baselines (captured before any preprocessing),
+/// then driven once via run(). Aggregates into the caller's
+/// MergeDriverStats; see MergeDriverStats for the threading semantics of
+/// the timing fields.
+class MergePipeline {
+public:
+  MergePipeline(Module &M, const MergeDriverOptions &Options,
+                const std::map<Function *, unsigned> &BaselineSize,
+                MergeDriverStats &Stats);
+  ~MergePipeline();
+
+  MergePipeline(const MergePipeline &) = delete;
+  MergePipeline &operator=(const MergePipeline &) = delete;
+
+  /// Runs rank/attempt/commit to quiescence (every live pool entry
+  /// processed, including remerge insertions).
+  void run();
+
+private:
+  struct PoolEntry {
+    Function *F = nullptr;
+    Fingerprint FP;
+    unsigned CostSize = 0; ///< profitability baseline (pre-demotion size)
+    bool Consumed = false;
+  };
+
+  /// Snapshot work unit for one pool entry in an optimistic round.
+  struct AttemptTask {
+    uint32_t PoolIdx = 0;
+    std::vector<CandidateIndex::Hit> Hits; ///< snapshot top-t ranking
+    std::vector<MergeAttempt> Attempts;    ///< parallel results, 1:1 with Hits
+  };
+
+  /// Per-worker accumulators, merged into Stats in worker order at join
+  /// (satisfying determinism of the aggregation structure — no shared
+  /// clock, no cross-thread increments).
+  struct WorkerState {
+    std::unique_ptr<Module> Staging; ///< owns this worker's speculative fns
+    unsigned AttemptsRun = 0;
+    double AlignmentSeconds = 0;
+    double CodeGenSeconds = 0;
+  };
+
+  // --- rank stage -----------------------------------------------------------
+  void buildPool();
+  /// Top-t live candidates for pool entry \p I under the configured
+  /// ranking strategy (instrumented into Stats.RankingSeconds).
+  std::vector<CandidateIndex::Hit> rank(size_t I);
+
+  // --- commit stage ---------------------------------------------------------
+  /// Processes pool entry \p I to completion: re-ranks against the
+  /// current pool, reuses matching speculative attempts from \p Spec
+  /// (null in the serial path), runs any missing attempt inline, commits
+  /// the most profitable one. Exactly replays the serial driver's
+  /// attempt order, record order and name allocation.
+  void commitEntry(size_t I, AttemptTask *Spec);
+  /// Discards every speculative attempt of \p Spec not consumed yet.
+  void discardRemaining(AttemptTask &Spec);
+
+  // --- orchestration --------------------------------------------------------
+  void runSerial();
+  void runParallel(unsigned NumThreads);
+
+  Module &M;
+  const MergeDriverOptions &Options;
+  const std::map<Function *, unsigned> &BaselineSize;
+  MergeDriverStats &Stats;
+  MergeCodeGenOptions CGOpts;
+
+  std::vector<PoolEntry> Pool;
+  CandidateIndex Index;
+  bool UseIndex = false;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_MERGEPIPELINE_H

@@ -26,10 +26,11 @@ class Generator {
 public:
   Generator(Function &F1, Function &F2, const std::vector<SeqItem> &Seq1,
             const std::vector<SeqItem> &Seq2, const AlignmentResult &Align,
-            const MergeCodeGenOptions &Options, const std::string &NameHint)
+            const MergeCodeGenOptions &Options, const std::string &NameHint,
+            Module *TargetModule)
       : F1(F1), F2(F2), Seq1(Seq1), Seq2(Seq2), Align(Align),
-        Options(Options), M(*F1.getParent()), Ctx(M.getContext()),
-        NameHint(NameHint) {}
+        Options(Options), M(TargetModule ? *TargetModule : *F1.getParent()),
+        Ctx(M.getContext()), NameHint(NameHint) {}
 
   GeneratedMerge run() {
     createFunctionShell();
@@ -408,8 +409,10 @@ private:
           MergeOrigin O = Origin.at(I);
           assert(O != MergeOrigin::Shared && "unexpected shared clone");
           int FnIdx = O == MergeOrigin::FromF1 ? 1 : 2;
+          // initOperand: the slots hold cloneInstruction's unregistered
+          // placeholders into the original function.
           for (unsigned K = 0; K < I->getNumOperands(); ++K)
-            I->setOperand(K, resolve(FnIdx, I->getOperand(K)));
+            I->initOperand(K, resolve(FnIdx, I->getOperand(K)));
           continue;
         }
         auto [I1, I2] = PIt->second;
@@ -428,7 +431,7 @@ private:
             std::swap(V2[0], V2[1]);
         }
         for (unsigned K = 0; K < N; ++K)
-          I->setOperand(K, selectOperand(V1[K], V2[K], I));
+          I->initOperand(K, selectOperand(V1[K], V2[K], I));
         // Fig 11: apply the xor to the (already selected) condition.
         if (XorFused.count(I)) {
           auto *Xor =
@@ -522,7 +525,8 @@ private:
 GeneratedMerge salssa::generateMergedFunction(
     Function &F1, Function &F2, const std::vector<SeqItem> &Seq1,
     const std::vector<SeqItem> &Seq2, const AlignmentResult &Alignment,
-    const MergeCodeGenOptions &Options, const std::string &NameHint) {
-  Generator G(F1, F2, Seq1, Seq2, Alignment, Options, NameHint);
+    const MergeCodeGenOptions &Options, const std::string &NameHint,
+    Module *TargetModule) {
+  Generator G(F1, F2, Seq1, Seq2, Alignment, Options, NameHint, TargetModule);
   return G.run();
 }

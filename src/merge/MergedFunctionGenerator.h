@@ -52,15 +52,20 @@ struct GeneratedMerge {
 };
 
 /// Generates the merged function for \p F1 and \p F2 under \p Alignment.
-/// The inputs are not modified. The merged function is created in the
-/// module of F1 with a unique name derived from \p NameHint; it is fully
-/// simplified and verifier-clean on return.
+/// The inputs are not modified. The merged function is created in
+/// \p TargetModule — or the module of F1 when null — with a unique name
+/// derived from \p NameHint; it is fully simplified and verifier-clean on
+/// return. Passing a worker-private staging module makes generation safe
+/// to run concurrently with other attempts (the inputs' module is then
+/// only read, never mutated); the pipeline later moves the winner with
+/// Module::takeFunction/adoptFunction.
 GeneratedMerge generateMergedFunction(Function &F1, Function &F2,
                                       const std::vector<SeqItem> &Seq1,
                                       const std::vector<SeqItem> &Seq2,
                                       const AlignmentResult &Alignment,
                                       const MergeCodeGenOptions &Options,
-                                      const std::string &NameHint);
+                                      const std::string &NameHint,
+                                      Module *TargetModule = nullptr);
 
 } // namespace salssa
 

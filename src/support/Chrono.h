@@ -1,0 +1,30 @@
+//===- support/Chrono.h - Timing helpers -------------------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one steady-clock delta helper every instrumented component uses
+/// (merge attempts, the pipeline stages, the driver's pass total), so
+/// all reported seconds share a single clock base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_SUPPORT_CHRONO_H
+#define SALSSA_SUPPORT_CHRONO_H
+
+#include <chrono>
+
+namespace salssa {
+
+/// Seconds elapsed since \p Start on the steady clock.
+inline double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace salssa
+
+#endif // SALSSA_SUPPORT_CHRONO_H

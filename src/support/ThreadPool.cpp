@@ -1,0 +1,68 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool -----------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+#include <algorithm>
+
+using namespace salssa;
+
+unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
+  if (Requested != 0)
+    return std::max(1u, Requested);
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  unsigned N = resolveThreadCount(NumThreads);
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  JobAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+    ++InFlight;
+  }
+  JobAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Quiescent.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      JobAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (--InFlight == 0)
+        Quiescent.notify_all();
+    }
+  }
+}

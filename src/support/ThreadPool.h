@@ -1,0 +1,71 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -------------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size worker pool for the merge pipeline's attempt
+/// stage. Jobs are opaque callables executed in FIFO order by a fixed set
+/// of threads; wait() blocks the caller until every submitted job has
+/// finished, establishing a happens-before edge between all worker writes
+/// and the caller (the property the optimistic commit stage relies on).
+///
+/// The pool is deliberately small: no futures, no task stealing, no
+/// priorities. Callers that need per-worker state (staging modules,
+/// timer accumulators) submit one "drain" job per worker slot, each
+/// pulling shared work items off an atomic cursor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_SUPPORT_THREADPOOL_H
+#define SALSSA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace salssa {
+
+/// Fixed-size thread pool with FIFO job dispatch and quiescence waiting.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. 0 resolves to the hardware concurrency
+  /// (at least 1).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues one job. Never blocks (the queue is unbounded).
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every job submitted so far has completed. Safe to call
+  /// repeatedly; the pool stays usable afterwards.
+  void wait();
+
+  /// Resolves a user-facing thread-count knob: 0 means "use the
+  /// hardware", anything else is taken literally (at least 1).
+  static unsigned resolveThreadCount(unsigned Requested);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable JobAvailable; ///< signalled on submit/stop
+  std::condition_variable Quiescent;    ///< signalled when work drains
+  size_t InFlight = 0;                  ///< queued + currently executing
+  bool Stopping = false;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_SUPPORT_THREADPOOL_H

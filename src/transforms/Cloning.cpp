@@ -22,6 +22,15 @@ BasicBlock *CloneMaps::lookup(BasicBlock *BB) const {
 }
 
 Instruction *salssa::cloneInstruction(const Instruction *I, Context &Ctx) {
+  // The clone's operand slots hold the *original* operands as
+  // placeholders until the caller rewrites them (remapInstruction /
+  // MergedFunctionGenerator::resolveOperands, via User::initOperand).
+  // Suspend use registration so the placeholders never touch the
+  // originals' user lists: those originals may be shared with merge
+  // attempts running on other threads, and a registered-then-removed
+  // placeholder use would be a data race (and was, before this scope
+  // existed).
+  UseTrackingSuspender Suspend;
   auto Operand = [&](unsigned K) {
     return const_cast<Value *>(static_cast<const Value *>(I->getOperand(K)));
   };
@@ -117,8 +126,10 @@ Instruction *salssa::cloneInstruction(const Instruction *I, Context &Ctx) {
 }
 
 void salssa::remapInstruction(Instruction *I, const CloneMaps &Maps) {
+  // initOperand, not setOperand: the slots still hold cloneInstruction's
+  // unregistered placeholders (see above).
   for (unsigned K = 0; K < I->getNumOperands(); ++K)
-    I->setOperand(K, Maps.lookup(I->getOperand(K)));
+    I->initOperand(K, Maps.lookup(I->getOperand(K)));
   for (unsigned K = 0; K < I->getNumSuccessors(); ++K)
     I->setSuccessor(K, Maps.lookup(I->getSuccessor(K)));
   if (auto *P = dyn_cast<PhiInst>(I))
