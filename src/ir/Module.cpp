@@ -76,6 +76,31 @@ size_t Module::getInstructionCount() const {
   return N;
 }
 
+void ModuleGroup::clearAllBodies() {
+  // Group-wide drop-then-delete: no module's globals may be destroyed
+  // while any module's bodies still hold operand references to them.
+  for (const std::unique_ptr<Module> &M : Members)
+    for (Function *F : M->functions())
+      F->clearBody();
+  // ~Module re-clears the (now empty) bodies harmlessly, then destroys
+  // its globals with no cross-module references left anywhere.
+}
+
+ModuleGroup::~ModuleGroup() { clearAllBodies(); }
+
+ModuleGroup &ModuleGroup::operator=(ModuleGroup &&Other) {
+  if (this != &Other) {
+    clearAllBodies(); // old members must tear down via the group protocol
+    Members = std::move(Other.Members);
+  }
+  return *this;
+}
+
+Module &ModuleGroup::add(std::unique_ptr<Module> M) {
+  Members.push_back(std::move(M));
+  return *Members.back();
+}
+
 std::string Module::makeUniqueName(const std::string &Prefix) {
   std::string Candidate;
   do {

@@ -34,6 +34,14 @@ public:
   const std::string &getName() const { return Name; }
   Context &getContext() { return Ctx; }
 
+  /// Staging provenance: the merge pipeline marks its per-worker
+  /// scratch modules so commit-time checks can tell "speculative
+  /// function still in a worker's staging module" from "function in a
+  /// real module" structurally (not by naming convention). Nothing else
+  /// should set this.
+  void setStaging(bool S) { Staging = S; }
+  bool isStaging() const { return Staging; }
+
   /// Creates a function with fresh arguments from \p FnTy. The name must
   /// be unique within the module.
   Function *createFunction(const std::string &Name, Type *FnTy);
@@ -83,6 +91,50 @@ private:
   std::vector<Function *> FunctionOrder;
   std::vector<std::unique_ptr<GlobalVariable>> Globals;
   unsigned NextUniqueId = 0;
+  bool Staging = false;
+};
+
+/// Owns a set of modules whose functions may reference values across
+/// module boundaries — the situation cross-module merging creates: a
+/// merged function in the host module keeps operand references to the
+/// input modules' globals, and thunks everywhere call into the host.
+///
+/// A lone Module handles teardown by clearing all of its bodies before
+/// destroying its globals (see ~Module), but that protocol is per-module:
+/// destroying cross-linked modules in the wrong order would drop operand
+/// references into already-freed globals. ModuleGroup extends the
+/// drop-then-delete protocol to the whole group: its destructor clears
+/// every function body in every module first, and only then destroys the
+/// modules — so member order (and hence destruction order) never
+/// matters. Use it to own any module set handed to CrossModuleMerger.
+class ModuleGroup {
+public:
+  ModuleGroup() = default;
+  ModuleGroup(ModuleGroup &&) = default;
+  /// Runs the group teardown protocol on the current members before
+  /// adopting the new ones (a defaulted move-assign would destroy the
+  /// old modules in member order — exactly the unsafe teardown this
+  /// class exists to prevent).
+  ModuleGroup &operator=(ModuleGroup &&Other);
+  ModuleGroup(const ModuleGroup &) = delete;
+  ModuleGroup &operator=(const ModuleGroup &) = delete;
+  ~ModuleGroup();
+
+  /// Takes ownership of \p M and returns a reference to it.
+  Module &add(std::unique_ptr<Module> M);
+
+  size_t size() const { return Members.size(); }
+  Module &operator[](size_t I) const { return *Members[I]; }
+  const std::vector<std::unique_ptr<Module>> &modules() const {
+    return Members;
+  }
+
+private:
+  /// Clears every function body in every member (the first phase of the
+  /// group-wide drop-then-delete protocol).
+  void clearAllBodies();
+
+  std::vector<std::unique_ptr<Module>> Members;
 };
 
 } // namespace salssa

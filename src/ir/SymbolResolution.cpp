@@ -1,0 +1,73 @@
+//===- ir/SymbolResolution.cpp - Linker-style callee resolution ----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SymbolResolution.h"
+#include "ir/Module.h"
+#include <map>
+
+using namespace salssa;
+
+SymbolResolutionStats
+salssa::resolveCalleesAcrossModules(const std::vector<Module *> &Modules) {
+  SymbolResolutionStats Stats;
+
+  // One pass in (registration, creation) order decides each name's
+  // canonical function: the unique definition, or the first declaration
+  // when nobody defines it. Names defined more than once are poisoned —
+  // in this IR those are distinct local functions, not an ODR merge.
+  struct NameState {
+    Function *Canonical = nullptr;
+    unsigned Occurrences = 0;
+    bool CanonicalIsDef = false;
+    bool Poisoned = false;
+  };
+  std::map<std::string, NameState> Names;
+  for (Module *M : Modules)
+    for (Function *F : M->functions()) {
+      NameState &S = Names[F->getName()];
+      ++S.Occurrences;
+      if (S.Poisoned)
+        continue;
+      if (!F->isDeclaration()) {
+        if (S.CanonicalIsDef) { // second definition: distinct locals
+          S.Poisoned = true;
+          continue;
+        }
+        S.Canonical = F;
+        S.CanonicalIsDef = true;
+      } else if (!S.Canonical) {
+        S.Canonical = F;
+      }
+    }
+
+  for (auto &[Name, S] : Names)
+    if (!S.Poisoned && S.Occurrences >= 2)
+      ++Stats.CanonicalSymbols;
+
+  // Bind call sites: a callee that is a same-named, same-typed
+  // *declaration* other than the canonical function retargets to it.
+  for (Module *M : Modules)
+    for (Function *F : M->functions())
+      for (BasicBlock *BB : *F)
+        for (Instruction *I : *BB) {
+          auto *CB = dyn_cast<CallBase>(I);
+          if (!CB || !CB->getCallee())
+            continue;
+          Function *Callee = CB->getCallee();
+          if (!Callee->isDeclaration())
+            continue;
+          auto It = Names.find(Callee->getName());
+          if (It == Names.end() || It->second.Poisoned)
+            continue;
+          Function *Canonical = It->second.Canonical;
+          if (!Canonical || Canonical == Callee ||
+              Canonical->getFunctionType() != Callee->getFunctionType())
+            continue;
+          CB->setCallee(Canonical);
+          ++Stats.RetargetedCalls;
+        }
+  return Stats;
+}

@@ -1,0 +1,58 @@
+//===- ir/SymbolResolution.h - Linker-style callee resolution ------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-module symbol resolution: the piece of a linker the cross-module
+/// merger needs. In this IR a call binds to a Function *pointer*, not to
+/// a name — so two translation units that both declare `extern i32
+/// lib0(i32)` carry two distinct declaration objects, and their calls
+/// compare unequal even though any real linker would bind them to the
+/// same symbol. That inequality is fatal to cross-module merging
+/// specifically: alignment (align/Matcher.cpp) refuses to pair direct
+/// calls with different callees, so clone-family twins split across
+/// modules stop aligning at every call site and their merges lose most
+/// of their profit.
+///
+/// resolveCalleesAcrossModules performs the binding step a linker would:
+/// for each symbol name it picks one canonical function across the whole
+/// module set — the unique definition if exactly one module defines the
+/// name, otherwise the first declaration in (module registration order,
+/// creation order) — and retargets every call/invoke whose callee is a
+/// same-named, same-typed *declaration* to the canonical function.
+/// Definitions are never retargeted away from (two same-named
+/// definitions in different modules are distinct local functions here;
+/// such names are skipped entirely), and prototype mismatches are left
+/// untouched. The pass only rewrites callee pointers — no operand,
+/// no use-list, and no ownership changes — and is deterministic in
+/// module order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_IR_SYMBOLRESOLUTION_H
+#define SALSSA_IR_SYMBOLRESOLUTION_H
+
+#include <vector>
+
+namespace salssa {
+
+class Module;
+
+struct SymbolResolutionStats {
+  /// Names that resolved to a canonical function shared by >= 2 modules.
+  unsigned CanonicalSymbols = 0;
+  /// Call/invoke sites whose callee was retargeted.
+  unsigned RetargetedCalls = 0;
+};
+
+/// Binds same-named external symbols across \p Modules (see file
+/// comment). Safe to run repeatedly; a second run is a no-op. A
+/// single-module set is always a no-op (names are unique per module).
+SymbolResolutionStats
+resolveCalleesAcrossModules(const std::vector<Module *> &Modules);
+
+} // namespace salssa
+
+#endif // SALSSA_IR_SYMBOLRESOLUTION_H

@@ -39,12 +39,14 @@ CandidateIndex::partitionFor(Type *RetTy) const {
   return It == Partitions.end() ? nullptr : &It->second;
 }
 
-void CandidateIndex::insert(uint32_t Id, const Fingerprint &FP) {
+void CandidateIndex::insert(uint32_t Id, const Fingerprint &FP,
+                            uint32_t ModuleId) {
   if (Id >= Entries.size())
     Entries.resize(Id + 1);
   Entry &E = Entries[Id];
   assert(!E.Live && "id already live in the index");
   E.FP = FP;
+  E.ModuleId = ModuleId;
   E.Live = true;
   Partition &P = partitionFor(FP.RetTy);
   if (FP.Size >= P.SizeBuckets.size())
@@ -148,7 +150,7 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
     uint64_t D = fingerprintDistance(FP, Entries[Id].FP, B);
     if (D > B)
       return; // beyond (or tied-worse than) the current k-th best
-    Hit H{D, Id};
+    Hit H{D, Id, Entries[Id].ModuleId};
     if (Heap.size() < K) {
       Heap.push_back(H);
       std::push_heap(Heap.begin(), Heap.end(), ranksBefore);

@@ -57,10 +57,15 @@ namespace salssa {
 class CandidateIndex {
 public:
   /// One query hit. Ordered exactly like the brute-force ranking: by
-  /// distance, ties by lower id (== earlier pool position).
+  /// distance, ties by lower id (== earlier pool position). ModuleId is
+  /// a caller-supplied payload echoed back from insert — cross-module
+  /// sessions register every module's candidates in one index and use it
+  /// to tell intra- from cross-module pairs; single-module drivers leave
+  /// it 0. It never participates in the ordering.
   struct Hit {
     uint64_t Distance = 0;
     uint32_t Id = 0;
+    uint32_t ModuleId = 0;
   };
 
   /// Cumulative instrumentation (for benchmarks and tests).
@@ -73,7 +78,8 @@ public:
 
   /// Registers \p FP under \p Id and makes it live. \p Id must not be
   /// currently live; ids should be dense (they index an internal vector).
-  void insert(uint32_t Id, const Fingerprint &FP);
+  /// \p ModuleId tags the entry with its owning module (see Hit).
+  void insert(uint32_t Id, const Fingerprint &FP, uint32_t ModuleId = 0);
 
   /// Removes \p Id from the live set (committed or consumed candidates).
   void retire(uint32_t Id);
@@ -97,6 +103,7 @@ private:
     /// Owned copy (~330 bytes): the driver's pool reallocates on
     /// remerge push_back, so borrowing a pointer into it would dangle.
     Fingerprint FP;
+    uint32_t ModuleId = 0;
     bool Live = false;
   };
 

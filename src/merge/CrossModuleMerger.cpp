@@ -1,0 +1,110 @@
+//===- merge/CrossModuleMerger.cpp - Whole-program merge session ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/CrossModuleMerger.h"
+#include "codesize/SizeModel.h"
+#include "ir/Module.h"
+#include "ir/SymbolResolution.h"
+#include "merge/MergePipeline.h"
+#include "support/Chrono.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/Reg2Mem.h"
+#include "transforms/Simplify.h"
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+
+using namespace salssa;
+
+CrossModuleMerger::CrossModuleMerger(const MergeDriverOptions &Options)
+    : Options(Options) {}
+
+void CrossModuleMerger::addModule(Module &M) {
+  assert(!Ran && "modules must be registered before run()");
+  assert(std::find(Modules.begin(), Modules.end(), &M) == Modules.end() &&
+         "module registered twice");
+  assert((Modules.empty() ||
+          &M.getContext() == &Modules.front()->getContext()) &&
+         "all registered modules must share one Context");
+  Modules.push_back(&M);
+  if (!Host)
+    Host = &M;
+}
+
+void CrossModuleMerger::setHostModule(Module &M) {
+  assert(!Ran && "host must be chosen before run()");
+  assert(std::find(Modules.begin(), Modules.end(), &M) != Modules.end() &&
+         "host must be a registered module");
+  Host = &M;
+}
+
+CrossModuleStats CrossModuleMerger::run() {
+  assert(!Modules.empty() && "run() with no registered modules");
+  assert(!Ran && "a session runs exactly once");
+  Ran = true;
+
+  CrossModuleStats Stats;
+  Stats.NumModules = static_cast<unsigned>(Modules.size());
+  auto T0 = std::chrono::steady_clock::now();
+  const bool IsFMSA = Options.Technique == MergeTechnique::FMSA;
+  Context &Ctx = Host->getContext();
+
+  for (Module *M : Modules)
+    Stats.SizeBefore += estimateModuleSize(*M, Options.Arch);
+
+  // Link-step symbol resolution first: bind same-named external
+  // declarations to one canonical function per symbol, so calls into
+  // common libraries align across modules (see ir/SymbolResolution.h —
+  // without this, split clone families stop matching at every call
+  // site). A no-op when only one module is registered, preserving the
+  // N=1 bit-for-bit contract.
+  SymbolResolutionStats Resolution = resolveCalleesAcrossModules(Modules);
+  Stats.CanonicalSymbols = Resolution.CanonicalSymbols;
+  Stats.RetargetedCalls = Resolution.RetargetedCalls;
+
+  // Mirror runFunctionMerging stage for stage, just over the whole module
+  // set — this parallelism of structure is what makes the N=1 session
+  // bit-identical to the single-module driver.
+
+  // Snapshot profitability baselines before any preprocessing.
+  std::map<Function *, unsigned> BaselineSize;
+  for (Module *M : Modules)
+    for (Function *F : M->functions())
+      if (!F->isDeclaration())
+        BaselineSize[F] = estimateFunctionSize(*F, Options.Arch);
+
+  // FMSA preprocessing: demote every definition, in every module.
+  if (IsFMSA)
+    for (Module *M : Modules)
+      for (Function *F : M->functions())
+        if (!F->isDeclaration())
+          demoteRegistersToMemory(*F, Ctx);
+
+  {
+    MergePipeline Pipeline(Modules, *Host, Options, BaselineSize,
+                           Stats.Driver);
+    Pipeline.run();
+  }
+
+  // FMSA post-pass, in every module.
+  if (IsFMSA)
+    for (Module *M : Modules)
+      for (Function *F : M->functions()) {
+        if (F->isDeclaration())
+          continue;
+        promoteAllocasToRegisters(*F, Ctx);
+        simplifyFunction(*F, Ctx);
+      }
+
+  for (Module *M : Modules)
+    Stats.SizeAfter += estimateModuleSize(*M, Options.Arch);
+  Stats.CrossModuleMerges = Stats.Driver.CrossModuleMerges;
+  Stats.IntraModuleMerges =
+      Stats.Driver.CommittedMerges - Stats.Driver.CrossModuleMerges;
+  Stats.Driver.TotalSeconds = secondsSince(T0);
+  return Stats;
+}

@@ -1,0 +1,135 @@
+//===- merge/CrossModuleMerger.h - Whole-program merge session ----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-module (whole-program) merging session. The paper evaluates
+/// SalSSA inside one translation unit, but its ranking and alignment
+/// machinery is module-agnostic; following the direction of "Optimistic
+/// Global Function Merger" (Lee et al.), this session links any number of
+/// Modules into one shared CandidateIndex and lets the MergePipeline
+/// rank, attempt and commit merges across module boundaries.
+///
+/// Session lifecycle:
+///
+///   CrossModuleMerger Session(Options);
+///   Session.addModule(M0);   // registration order is deterministic state
+///   Session.addModule(M1);
+///   ...
+///   Session.setHostModule(M1);          // optional; default = first added
+///   CrossModuleStats S = Session.run(); // one shot
+///
+/// run() begins with linker-style symbol resolution
+/// (ir/SymbolResolution.h): same-named external declarations across the
+/// registered modules are bound to one canonical function and call
+/// sites retargeted, so calls into common libraries align across module
+/// boundaries — without this binding step, clone families split across
+/// translation units fail to match at every call site and cross-module
+/// merging loses most of its profit.
+///
+/// Host module: every merged function materializes in exactly one
+/// designated module, the *host* (default: the first registered module).
+/// Attempts still build speculative functions in per-worker staging
+/// modules; the commit stage moves the winner into the host with
+/// Module::takeFunction/adoptFunction and rewrites both inputs — in
+/// whichever modules they live — into thunks that tail-call the merged
+/// function. Thunks keep each input's name, signature and module, so
+/// every caller in every registered module (and any external caller) is
+/// rewritten *implicitly*: call sites are untouched, the callee's body
+/// dispatches. This is the paper's committing scheme, applied across
+/// modules; the merged function is externally visible by construction
+/// since calls resolve by Function pointer, not by per-module symbol
+/// tables. Call-site redirection (rewriting callers to invoke the merged
+/// function directly and dropping dead thunks) is a size win only with
+/// visibility information this IR does not model, so the profitability
+/// model keeps charging two thunks per commit (SizeModel), exactly as in
+/// the single-module driver.
+///
+/// Determinism contract: pool order is (size desc, module registration
+/// order, creation order) — all deterministic — and the MergePipeline's
+/// optimistic-commit replay is module-count-agnostic, so for any module
+/// set the session commits identical merges with identical records,
+/// names and module bytes at every thread count. With one registered
+/// module the session reproduces runFunctionMerging bit for bit
+/// (MergeDriverOptions::CrossModule A/Bs exactly that).
+///
+/// Ownership/teardown: after a session, merged functions in the host keep
+/// operand references to input modules' globals. Own the registered
+/// modules with a ModuleGroup (ir/Module.h) so teardown order cannot
+/// dangle those references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_CROSSMODULEMERGER_H
+#define SALSSA_MERGE_CROSSMODULEMERGER_H
+
+#include "merge/MergeDriver.h"
+
+namespace salssa {
+
+class Module;
+
+/// Aggregate results of one cross-module session.
+struct CrossModuleStats {
+  /// The pipeline's stats, exactly as a single-module run reports them
+  /// (records in serial order, CPU-second accounting, etc.).
+  MergeDriverStats Driver;
+  unsigned NumModules = 0;
+  /// Commits pairing functions from different modules — the merges a
+  /// per-module run structurally cannot find.
+  unsigned CrossModuleMerges = 0;
+  /// Commits whose inputs shared a module.
+  unsigned IntraModuleMerges = 0;
+  /// Link-step symbol resolution (ir/SymbolResolution.h), run before
+  /// ranking: external symbols bound across modules, and call sites
+  /// retargeted to their canonical callees.
+  unsigned CanonicalSymbols = 0;
+  unsigned RetargetedCalls = 0;
+  /// Sum of estimateModuleSize over the registered modules, before and
+  /// after the session (same SizeModel the profitability decisions use).
+  uint64_t SizeBefore = 0;
+  uint64_t SizeAfter = 0;
+
+  double reductionPercent() const {
+    if (SizeBefore == 0)
+      return 0;
+    return 100.0 * (1.0 - double(SizeAfter) / double(SizeBefore));
+  }
+};
+
+/// One cross-module merging session: register modules, optionally pick a
+/// host, run once. The session borrows the modules — it does not own
+/// them — and must not outlive them.
+class CrossModuleMerger {
+public:
+  explicit CrossModuleMerger(const MergeDriverOptions &Options);
+
+  /// Registers \p M. All registered modules must share one Context.
+  /// Registration order is deterministic session state (it breaks pool
+  /// ties); callers wanting reproducible runs must register in a fixed
+  /// order.
+  void addModule(Module &M);
+
+  /// Designates \p M (already registered) as the host module that will
+  /// own every merged function. Defaults to the first registered module.
+  void setHostModule(Module &M);
+
+  Module *hostModule() const { return Host; }
+  size_t numModules() const { return Modules.size(); }
+
+  /// Runs the session to quiescence. Call exactly once, after all
+  /// addModule calls.
+  CrossModuleStats run();
+
+private:
+  MergeDriverOptions Options;
+  std::vector<Module *> Modules;
+  Module *Host = nullptr;
+  bool Ran = false;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_CROSSMODULEMERGER_H

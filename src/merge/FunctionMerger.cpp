@@ -109,7 +109,12 @@ void salssa::adoptMergedFunction(MergeAttempt &Attempt, Module &Dst,
 
 void salssa::commitMerge(MergeAttempt &Attempt, Context &Ctx) {
   assert(Attempt.Valid && "committing an invalid attempt");
-  assert(Attempt.Gen.Merged->getParent() == Attempt.F1->getParent() &&
+  // The merged function may live in a different module than the inputs
+  // (cross-module commits thunk into the host module); it must only
+  // have left any per-worker staging module by now (structural check
+  // via Module::isStaging).
+  assert(Attempt.Gen.Merged->getParent() != nullptr &&
+         !Attempt.Gen.Merged->getParent()->isStaging() &&
          "staged attempt committed without adoptMergedFunction");
   buildThunkBody(*Attempt.F1, *Attempt.Gen.Merged, /*IsF1=*/true,
                  Attempt.Gen.Signature, Ctx);

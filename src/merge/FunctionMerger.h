@@ -60,8 +60,11 @@ void adoptMergedFunction(MergeAttempt &Attempt, Module &Dst,
                          const std::string &Name);
 
 /// Replaces the bodies of both input functions with thunks into
-/// \p Attempt's merged function. The merged function must live in the
-/// inputs' module (adoptMergedFunction for staged attempts).
+/// \p Attempt's merged function. The merged function must have left any
+/// staging module (adoptMergedFunction for staged attempts) but may live
+/// in a different module than the inputs: cross-module commits thunk
+/// into the host module, and calls dispatch by Function pointer, not by
+/// per-module symbol tables.
 void commitMerge(MergeAttempt &Attempt, Context &Ctx);
 
 /// Deletes the merged function of a rejected attempt (from whichever

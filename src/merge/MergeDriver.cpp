@@ -6,6 +6,7 @@
 
 #include "merge/MergeDriver.h"
 #include "ir/Module.h"
+#include "merge/CrossModuleMerger.h"
 #include "merge/MergePipeline.h"
 #include "support/Chrono.h"
 #include "transforms/Mem2Reg.h"
@@ -18,6 +19,16 @@ using namespace salssa;
 
 MergeDriverStats salssa::runFunctionMerging(Module &M,
                                             const MergeDriverOptions &Options) {
+  // A/B route: the cross-module session with one registered module must
+  // reproduce the direct path bit for bit (cross_module_test enforces it).
+  if (Options.CrossModule) {
+    MergeDriverOptions Direct = Options;
+    Direct.CrossModule = false; // the session drives the pipeline itself
+    CrossModuleMerger Session(Direct);
+    Session.addModule(M);
+    return Session.run().Driver;
+  }
+
   MergeDriverStats Stats;
   Context &Ctx = M.getContext();
   auto T0 = std::chrono::steady_clock::now();

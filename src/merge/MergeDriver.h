@@ -63,6 +63,14 @@ struct MergeDriverOptions {
   /// (bounds speculative memory and staleness). 0 picks
   /// max(32, 8 x threads). Ignored in the serial path.
   unsigned CommitWindow = 0;
+  /// A/B guard for the cross-module machinery: when true,
+  /// runFunctionMerging routes through a CrossModuleMerger session with
+  /// this one module registered. The contract — enforced by
+  /// tests/cross_module_test.cpp — is that the result is bit-identical
+  /// to the direct path (same merges, records, names, module bytes), so
+  /// any divergence the cross-module generalization ever introduces
+  /// into the single-module driver is caught immediately.
+  bool CrossModule = false;
 };
 
 /// One committed/attempted merge record (drives Fig 19/21/22/23).
@@ -91,6 +99,10 @@ struct MergeDriverStats {
   unsigned Attempts = 0;         ///< serial-order attempts (see Records)
   unsigned ProfitableMerges = 0; ///< the Fig 21 metric
   unsigned CommittedMerges = 0;
+  /// Committed merges whose inputs lived in different modules. Always 0
+  /// for single-module runs; cross-module sessions (CrossModuleMerger)
+  /// use it to report how much of the win the module boundary was hiding.
+  unsigned CrossModuleMerges = 0;
   double AlignmentSeconds = 0; ///< CPU s, per-worker accumulators summed
   double CodeGenSeconds = 0;   ///< CPU s, per-worker accumulators summed
   double RankingSeconds = 0;   ///< pairing phase only (candidate ranking)

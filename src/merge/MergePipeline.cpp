@@ -28,7 +28,7 @@ std::vector<CandidateIndex::Hit> bruteForceRank(const PoolTy &Pool, size_t I,
     uint64_t D = fingerprintDistance(Pool[I].FP, Pool[J].FP);
     if (D == UINT64_MAX)
       continue; // incompatible return types
-    Candidates.push_back({D, static_cast<uint32_t>(J)});
+    Candidates.push_back({D, static_cast<uint32_t>(J), Pool[J].ModuleId});
   }
   std::stable_sort(Candidates.begin(), Candidates.end(),
                    [](const CandidateIndex::Hit &A,
@@ -53,10 +53,27 @@ MergeAttempt takeAttempt(MergeAttempt &Slot) {
 MergePipeline::MergePipeline(Module &M, const MergeDriverOptions &Options,
                              const std::map<Function *, unsigned> &BaselineSize,
                              MergeDriverStats &Stats)
-    : M(M), Options(Options), BaselineSize(BaselineSize), Stats(Stats),
+    : MergePipeline(std::vector<Module *>{&M}, M, Options, BaselineSize,
+                    Stats) {}
+
+MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
+                             Module &Host, const MergeDriverOptions &Options,
+                             const std::map<Function *, unsigned> &BaselineSize,
+                             MergeDriverStats &Stats)
+    : Modules(Modules), Host(Host), Options(Options),
+      BaselineSize(BaselineSize), Stats(Stats),
       CGOpts(MergeCodeGenOptions::forTechnique(Options.Technique,
                                                Options.EnablePhiCoalescing)),
       UseIndex(Options.Ranking == RankingStrategy::CandidateIndex) {
+  assert(!this->Modules.empty() && "pipeline needs at least one module");
+  auto HostIt = std::find(this->Modules.begin(), this->Modules.end(), &Host);
+  assert(HostIt != this->Modules.end() && "host must be a registered module");
+  HostId = static_cast<uint32_t>(HostIt - this->Modules.begin());
+#ifndef NDEBUG
+  for (Module *M : this->Modules)
+    assert(&M->getContext() == &Host.getContext() &&
+           "cross-module merging requires a shared Context");
+#endif
   buildPool();
 }
 
@@ -67,16 +84,22 @@ MergePipeline::~MergePipeline() = default;
 //===----------------------------------------------------------------------===//
 
 void MergePipeline::buildPool() {
-  // Build the candidate pool. Like the paper, merging proceeds from the
-  // largest functions to the smallest.
-  for (Function *F : M.functions()) {
-    if (!F->isMergeable())
-      continue;
-    PoolEntry E;
-    E.F = F;
-    E.FP = Fingerprint::compute(*F);
-    E.CostSize = BaselineSize.at(F);
-    Pool.push_back(E);
+  // Build the candidate pool over every registered module. Like the
+  // paper, merging proceeds from the largest functions to the smallest;
+  // the stable sort breaks size ties by (module registration order,
+  // creation order), which is what makes a one-module cross-module run
+  // replay the single-module driver exactly.
+  for (size_t Mi = 0; Mi < Modules.size(); ++Mi) {
+    for (Function *F : Modules[Mi]->functions()) {
+      if (!F->isMergeable())
+        continue;
+      PoolEntry E;
+      E.F = F;
+      E.FP = Fingerprint::compute(*F);
+      E.CostSize = BaselineSize.at(F);
+      E.ModuleId = static_cast<uint32_t>(Mi);
+      Pool.push_back(E);
+    }
   }
   std::stable_sort(Pool.begin(), Pool.end(),
                    [](const PoolEntry &A, const PoolEntry &B) {
@@ -88,7 +111,7 @@ void MergePipeline::buildPool() {
   // remerge entries are inserted, so no pool rescan ever happens.
   if (UseIndex)
     for (size_t I = 0; I < Pool.size(); ++I)
-      Index.insert(static_cast<uint32_t>(I), Pool[I].FP);
+      Index.insert(static_cast<uint32_t>(I), Pool[I].FP, Pool[I].ModuleId);
 }
 
 std::vector<CandidateIndex::Hit> MergePipeline::rank(size_t I) {
@@ -127,7 +150,7 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     return;
   }
   Function *F1 = Pool[I].F;
-  Context &Ctx = M.getContext();
+  Context &Ctx = Host.getContext();
 
   // Pairing phase: rank the other live candidates by fingerprint
   // distance and keep the top-t. In the parallel path this re-ranks
@@ -168,10 +191,14 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       A = takeAttempt(Spec->Attempts[static_cast<size_t>(SpecSlot)]);
       // Replay the name id the serial generator would have consumed for
       // this attempt; the winner is adopted under it below.
-      StagedName = M.makeUniqueName(F1->getName() + ".m");
+      StagedName = Host.makeUniqueName(F1->getName() + ".m");
     } else {
+      // Inline attempts generate directly into the host module — for a
+      // single registered module that is F1's own module (the legacy
+      // behaviour, same name-counter burn per attempt), and for a
+      // cross-module run it is where the winner must end up anyway.
       A = attemptMerge(*F1, *F2, CGOpts, Options.Arch, Pool[I].CostSize,
-                       Pool[R.Id].CostSize);
+                       Pool[R.Id].CostSize, &Host);
       // Driver-thread accumulator (workers own theirs; see
       // MergeDriverStats).
       Stats.AlignmentSeconds += A.Stats.AlignmentSeconds;
@@ -209,12 +236,15 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   if (!Best.Valid)
     return;
 
-  // Commit: thunk both inputs, retire them from the pool, and offer the
-  // merged function for further merging.
+  // Commit: thunk both inputs (each in its own module), retire them from
+  // the pool, and offer the merged function — which lives in the host
+  // module — for further merging.
   if (!BestName.empty())
-    adoptMergedFunction(Best, M, BestName);
+    adoptMergedFunction(Best, Host, BestName);
   commitMerge(Best, Ctx);
   ++Stats.CommittedMerges;
+  if (Pool[I].ModuleId != Pool[BestIdx].ModuleId)
+    ++Stats.CrossModuleMerges;
   // Mark the exact attempt that won by record index: name matching
   // could flag the wrong record when the same pair is re-attempted
   // across pool iterations.
@@ -230,9 +260,11 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     E.F = Best.Gen.Merged;
     E.FP = Fingerprint::compute(*E.F);
     E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
+    E.ModuleId = HostId;
     Pool.push_back(E);
     if (UseIndex)
-      Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP);
+      Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP,
+                   HostId);
   }
 }
 
@@ -251,9 +283,11 @@ void MergePipeline::runSerial() {
 void MergePipeline::runParallel(unsigned NumThreads) {
   ThreadPool Workers(NumThreads);
   std::vector<WorkerState> State(Workers.numThreads());
-  for (size_t W = 0; W < State.size(); ++W)
+  for (size_t W = 0; W < State.size(); ++W) {
     State[W].Staging = std::make_unique<Module>(
-        M.getName() + ".staging" + std::to_string(W), M.getContext());
+        Host.getName() + ".staging" + std::to_string(W), Host.getContext());
+    State[W].Staging->setStaging(true);
+  }
 
   const size_t Window = Options.CommitWindow
                             ? Options.CommitWindow

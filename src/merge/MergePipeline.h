@@ -38,6 +38,18 @@
 /// Unique-name allocation is replayed at commit time so that even the
 /// name counters advance exactly as in the serial driver.
 ///
+/// The pipeline is module-set-agnostic: it runs over a list of registered
+/// modules with one designated *host* module (CrossModuleMerger drives
+/// that mode; see its header for the session semantics). Pool entries
+/// carry their module id, the CandidateIndex ranks all modules' live
+/// candidates in one structure, attempts pair functions across module
+/// boundaries exactly like intra-module pairs, and every merged function
+/// — speculative or inline — is generated into (or adopted by) the host
+/// module, with thunks committed in the inputs' own modules. With a
+/// single registered module every code path degenerates to the
+/// single-module driver bit for bit, and the determinism contract above
+/// holds unchanged for any module count at any thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SALSSA_MERGE_MERGEPIPELINE_H
@@ -59,7 +71,17 @@ class Module;
 /// the timing fields.
 class MergePipeline {
 public:
+  /// Single-module run over \p M (the classic driver).
   MergePipeline(Module &M, const MergeDriverOptions &Options,
+                const std::map<Function *, unsigned> &BaselineSize,
+                MergeDriverStats &Stats);
+  /// Cross-module run over \p Modules. All modules must share one
+  /// Context; \p Host (which must be a member of \p Modules) receives
+  /// every merged function. \p BaselineSize must cover every definition
+  /// of every module. Registration order is part of the determinism
+  /// contract: it fixes pool order among equal-sized functions.
+  MergePipeline(const std::vector<Module *> &Modules, Module &Host,
+                const MergeDriverOptions &Options,
                 const std::map<Function *, unsigned> &BaselineSize,
                 MergeDriverStats &Stats);
   ~MergePipeline();
@@ -75,7 +97,8 @@ private:
   struct PoolEntry {
     Function *F = nullptr;
     Fingerprint FP;
-    unsigned CostSize = 0; ///< profitability baseline (pre-demotion size)
+    unsigned CostSize = 0;  ///< profitability baseline (pre-demotion size)
+    uint32_t ModuleId = 0;  ///< index into Modules (0 when single-module)
     bool Consumed = false;
   };
 
@@ -116,7 +139,9 @@ private:
   void runSerial();
   void runParallel(unsigned NumThreads);
 
-  Module &M;
+  std::vector<Module *> Modules;
+  Module &Host; ///< receives every merged function; a member of Modules
+  uint32_t HostId = 0; ///< Host's index in Modules (remerge entries' id)
   const MergeDriverOptions &Options;
   const std::map<Function *, unsigned> &BaselineSize;
   MergeDriverStats &Stats;

@@ -139,11 +139,20 @@ void salssa::remapInstruction(Instruction *I, const CloneMaps &Maps) {
 
 Function *salssa::cloneFunction(const Function *F,
                                 const std::string &NewName) {
-  Module *M = F->getParent();
-  Context &Ctx = M->getContext();
-  Function *NewF = M->createFunction(NewName, F->getFunctionType());
+  return cloneFunctionInto(F, *F->getParent(), NewName, {}, {});
+}
+
+Function *salssa::cloneFunctionInto(
+    const Function *F, Module &TargetModule, const std::string &NewName,
+    const std::map<const Value *, Value *> &ValueMap,
+    const std::map<const Function *, Function *> &CalleeMap) {
+  Context &Ctx = TargetModule.getContext();
+  assert(&Ctx == &F->getParent()->getContext() &&
+         "cross-module clone requires a shared Context");
+  Function *NewF = TargetModule.createFunction(NewName, F->getFunctionType());
 
   CloneMaps Maps;
+  Maps.Values.insert(ValueMap.begin(), ValueMap.end());
   for (unsigned I = 0; I < F->getNumArgs(); ++I) {
     Maps.Values[F->getArg(I)] = NewF->getArg(I);
     NewF->getArg(I)->setName(F->getArg(I)->getName());
@@ -160,7 +169,14 @@ Function *salssa::cloneFunction(const Function *F,
     }
   }
   for (BasicBlock *BB : *NewF)
-    for (Instruction *I : *BB)
+    for (Instruction *I : *BB) {
       remapInstruction(I, Maps);
+      // Callees are direct Function pointers, outside CloneMaps' reach.
+      if (auto *CB = dyn_cast<CallBase>(I)) {
+        auto It = CalleeMap.find(CB->getCallee());
+        if (It != CalleeMap.end())
+          CB->setCallee(It->second);
+      }
+    }
   return NewF;
 }

@@ -24,6 +24,7 @@ namespace salssa {
 class BasicBlock;
 class Context;
 class Function;
+class GlobalVariable;
 class Instruction;
 class Module;
 class Value;
@@ -50,6 +51,22 @@ void remapInstruction(Instruction *I, const CloneMaps &Maps);
 
 /// Deep-copies \p F into a new function \p NewName in the same module.
 Function *cloneFunction(const Function *F, const std::string &NewName);
+
+/// Deep-copies \p F into \p TargetModule (which must share F's Context)
+/// as \p NewName. \p ValueMap pre-seeds operand remapping — the caller
+/// supplies it to redirect module-owned values (globals) from F's module
+/// to their counterparts in \p TargetModule; unmapped values (constants,
+/// Context-owned) pass through unchanged. \p CalleeMap rewrites
+/// call/invoke targets: callees are direct Function pointers, not
+/// operands, so CloneMaps cannot carry them. Cross-module clones with an
+/// incomplete ValueMap keep operand references into the source module;
+/// such module sets must then be owned by a ModuleGroup (see ir/Module.h)
+/// so teardown stays safe.
+Function *
+cloneFunctionInto(const Function *F, Module &TargetModule,
+                  const std::string &NewName,
+                  const std::map<const Value *, Value *> &ValueMap,
+                  const std::map<const Function *, Function *> &CalleeMap);
 
 } // namespace salssa
 

@@ -13,9 +13,12 @@ using namespace salssa;
 
 WorkloadEnvironment::WorkloadEnvironment(Module &M, RNG &Rng,
                                          unsigned NumLibFunctions,
-                                         unsigned NumGlobals)
+                                         unsigned NumGlobals,
+                                         const std::string &SymbolSuffix)
     : Mod(M) {
   Context &Ctx = M.getContext();
+  const std::string &Suffix =
+      SymbolSuffix.empty() ? M.getName() : SymbolSuffix;
   Type *I32 = Ctx.int32Ty();
   // Library declarations come in a handful of signatures so that drifted
   // clones can retarget calls without changing types.
@@ -24,12 +27,11 @@ WorkloadEnvironment::WorkloadEnvironment(Module &M, RNG &Rng,
     Type *FnTy = Ctx.types().getFunctionTy(
         I32, Sigs[Rng.nextBelow(3)]);
     LibFns.push_back(
-        M.createFunction("lib" + std::to_string(I) + "_" + M.getName(),
-                         FnTy));
+        M.createFunction("lib" + std::to_string(I) + "_" + Suffix, FnTy));
   }
   for (unsigned I = 0; I < NumGlobals; ++I)
-    Globals.push_back(M.createGlobal(
-        "tbl" + std::to_string(I) + "_" + M.getName(), I32, 16));
+    Globals.push_back(
+        M.createGlobal("tbl" + std::to_string(I) + "_" + Suffix, I32, 16));
 }
 
 namespace {
@@ -276,8 +278,40 @@ Function *salssa::generateRandomFunction(WorkloadEnvironment &Env, RNG &Rng,
 Function *salssa::cloneWithDrift(Function *Base, const std::string &Name,
                                  WorkloadEnvironment &Env, RNG &Rng,
                                  const DriftOptions &Options) {
-  Function *F = cloneFunction(Base, Name);
-  Context &Ctx = Env.getModule().getContext();
+  Module *SrcM = Base->getParent();
+  Module &DstM = Env.getModule();
+  Function *F;
+  if (SrcM == &DstM) {
+    F = cloneFunction(Base, Name);
+  } else {
+    // Cross-module clone: remap the source module's globals and library
+    // declarations positionally onto the target environment's. The two
+    // environments were built from identical RNG streams (see
+    // buildBenchmarkModuleGroup), so counts and types line up.
+    std::map<const Value *, Value *> ValueMap;
+    const auto &SrcGlobals = SrcM->globals();
+    const auto &DstGlobals = Env.globals();
+    assert(SrcGlobals.size() >= DstGlobals.size() &&
+           "source module missing environment globals");
+    for (size_t I = 0; I < DstGlobals.size(); ++I)
+      ValueMap[SrcGlobals[I].get()] = DstGlobals[I];
+
+    std::vector<Function *> SrcLibs;
+    for (Function *SrcF : SrcM->functions())
+      if (SrcF->isDeclaration())
+        SrcLibs.push_back(SrcF);
+    const std::vector<Function *> &DstLibs = Env.libFunctions();
+    assert(SrcLibs.size() == DstLibs.size() &&
+           "library environments differ in shape");
+    std::map<const Function *, Function *> CalleeMap;
+    for (size_t I = 0; I < SrcLibs.size(); ++I) {
+      assert(SrcLibs[I]->getFunctionType() == DstLibs[I]->getFunctionType() &&
+             "library environments differ in signatures");
+      CalleeMap[SrcLibs[I]] = DstLibs[I];
+    }
+    F = cloneFunctionInto(Base, DstM, Name, ValueMap, CalleeMap);
+  }
+  Context &Ctx = DstM.getContext();
 
   for (BasicBlock *BB : *F) {
     // Snapshot: insertions must not be revisited.

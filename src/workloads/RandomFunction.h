@@ -51,10 +51,19 @@ struct RandomFunctionOptions {
 
 /// Shared context for generating one module's functions: the external
 /// "library" declarations and global tables calls and memory ops target.
+///
+/// \p SymbolSuffix names the library/global symbols ("libN_<suffix>",
+/// "tblN_<suffix>"); it defaults to the module's own name, which keeps
+/// symbols distinct when many benchmark modules share a Context. Module
+/// groups pass one shared suffix instead, so every "translation unit"
+/// declares the *same-named* externals — the shape real TUs compiled
+/// from common headers have, and what cross-module symbol resolution
+/// (ir/SymbolResolution.h) binds back together at merge time.
 class WorkloadEnvironment {
 public:
   WorkloadEnvironment(Module &M, RNG &Rng, unsigned NumLibFunctions = 8,
-                      unsigned NumGlobals = 4);
+                      unsigned NumGlobals = 4,
+                      const std::string &SymbolSuffix = "");
 
   Module &getModule() { return Mod; }
   const std::vector<Function *> &libFunctions() const { return LibFns; }
@@ -85,6 +94,15 @@ struct DriftOptions {
 /// swap within their class, cmp predicates flip, commutative operands
 /// swap, call targets retarget to same-signature library functions, and
 /// extra instructions appear. The result is always verifier-clean.
+///
+/// \p Env may belong to a *different* module than \p Base (the
+/// cross-module suites place clone-family members in different
+/// "translation units"). The clone then lands in Env's module with its
+/// library-call targets and global references remapped positionally to
+/// Env's counterparts — which requires both modules' environments to
+/// have been built from identical RNG streams, so their library
+/// signatures and global shapes line up (buildBenchmarkModuleGroup
+/// guarantees this, modelling TUs compiled from the same headers).
 Function *cloneWithDrift(Function *Base, const std::string &Name,
                          WorkloadEnvironment &Env, RNG &Rng,
                          const DriftOptions &Options);

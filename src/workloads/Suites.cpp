@@ -92,6 +92,104 @@ salssa::buildBenchmarkModule(const BenchmarkProfile &Profile, Context &Ctx) {
   return M;
 }
 
+ModuleGroup salssa::buildBenchmarkModuleGroup(const BenchmarkProfile &Profile,
+                                              Context &Ctx,
+                                              unsigned NumModules) {
+  assert(NumModules >= 1 && "a module group needs at least one module");
+  ModuleGroup Group;
+  RNG Rng(Profile.Seed * 0x9e3779b97f4a7c15ULL + 0xC0DE5);
+
+  // Identically-shaped environments: every module's WorkloadEnvironment
+  // consumes a *copy* of the same RNG state, so library signatures and
+  // global shapes match positionally across modules (the cross-module
+  // cloneWithDrift remap depends on this).
+  RNG EnvRng = Rng.fork(0x7E05);
+  std::vector<std::unique_ptr<WorkloadEnvironment>> Envs;
+  for (unsigned K = 0; K < NumModules; ++K) {
+    Module &M = Group.add(std::make_unique<Module>(
+        Profile.Name + ".tu" + std::to_string(K), Ctx));
+    RNG Copy = EnvRng;
+    // The shared symbol suffix gives every TU the *same-named* externals
+    // (one set of headers); cross-module symbol resolution binds them.
+    Envs.push_back(std::make_unique<WorkloadEnvironment>(
+        M, Copy, 8, 4, Profile.Name));
+  }
+
+  auto sampleSize = [&](RNG &R) {
+    int64_t S = static_cast<int64_t>(Profile.AvgSize);
+    int64_t Spread = std::max<int64_t>(2, S);
+    int64_t V = S + R.nextRange(-Spread / 2, Spread) *
+                        (R.chancePercent(25) ? 2 : 1);
+    V = std::max<int64_t>(Profile.MinSize, V);
+    V = std::min<int64_t>(Profile.MaxSize, V);
+    return static_cast<unsigned>(V);
+  };
+
+  // Same population as buildBenchmarkModule, dealt round-robin: function
+  // i lands in module i % NumModules, so consecutive clone-family
+  // members land in *different* modules — per-module merging cannot see
+  // those pairs, a cross-module session can.
+  unsigned Made = 0;
+  unsigned FamilyId = 0;
+  while (Made < Profile.NumFunctions) {
+    RandomFunctionOptions FO;
+    FO.TargetSize = sampleSize(Rng);
+    FO.LoopPercent = Profile.LoopPercent;
+    FO.InvokePercent = Profile.InvokePercent;
+    std::string BaseName = Profile.Name + "_fn" + std::to_string(Made);
+    RNG FnRng = Rng.fork(Made);
+    Function *Base = generateRandomFunction(*Envs[Made % NumModules], FnRng,
+                                            BaseName, FO);
+    ++Made;
+
+    if (Rng.chancePercent(Profile.CloneFamilyPercent) &&
+        Made < Profile.NumFunctions) {
+      unsigned Family =
+          Profile.MinFamily +
+          static_cast<unsigned>(Rng.nextBelow(
+              Profile.MaxFamily - Profile.MinFamily + 1));
+      DriftOptions DO;
+      DO.MutatePercent = Profile.FamilyDriftPercent;
+      DO.InsertPercent = Profile.FamilyDriftPercent / 2;
+      for (unsigned K = 1; K < Family && Made < Profile.NumFunctions; ++K) {
+        RNG DriftRng = Rng.fork(Made * 131 + K);
+        cloneWithDrift(Base,
+                       Profile.Name + "_fam" + std::to_string(FamilyId) +
+                           "_v" + std::to_string(K),
+                       *Envs[Made % NumModules], DriftRng, DO);
+        ++Made;
+      }
+      ++FamilyId;
+    }
+  }
+
+  // The giant pair lands in two different modules, so its alignment cost
+  // (and win) is only reachable cross-module.
+  if (Profile.GiantPairSize > 0) {
+    RandomFunctionOptions FO;
+    FO.TargetSize = Profile.GiantPairSize;
+    FO.LoopPercent = Profile.LoopPercent;
+    FO.MaxDepth = 4;
+    RNG GiantRng = Rng.fork(0x61616E74);
+    Function *Recog16 = generateRandomFunction(
+        *Envs[0], GiantRng, Profile.Name + "_recog_16", FO);
+    DriftOptions DO;
+    DO.MutatePercent = 6;
+    DO.InsertPercent = 2;
+    RNG DriftRng = Rng.fork(0x61616E75);
+    cloneWithDrift(Recog16, Profile.Name + "_recog_26",
+                   *Envs[1 % NumModules], DriftRng, DO);
+  }
+
+  for (const std::unique_ptr<Module> &M : Group.modules()) {
+    for (Function *F : M->functions())
+      if (!F->isDeclaration())
+        simplifyFunction(*F, Ctx);
+    assert(verifyModule(*M).ok() && "workload generator emitted invalid IR");
+  }
+  return Group;
+}
+
 std::vector<BenchmarkProfile> salssa::spec2006Profiles() {
   // Tuned per benchmark: C++ template-heavy programs get large clone
   // families (dealII's >40% reduction in the paper); phi/loop-rich C

@@ -56,6 +56,19 @@ struct BenchmarkProfile {
 std::unique_ptr<Module> buildBenchmarkModule(const BenchmarkProfile &Profile,
                                              Context &Ctx);
 
+/// Builds one profile's function population split across \p NumModules
+/// modules ("translation units") round-robin, so clone families span
+/// module boundaries — the workload cross-module merging exists for.
+/// Every module gets an identically-shaped library/global environment
+/// (same signatures, same table shapes — like TUs compiled from the same
+/// headers), which is what lets family members in different modules stay
+/// alignable. Deterministic in (Profile, NumModules): rebuilding with
+/// the same arguments yields byte-identical modules. Returned as a
+/// ModuleGroup because cross-module merging leaves cross-module operand
+/// references that require group teardown (see ir/Module.h).
+ModuleGroup buildBenchmarkModuleGroup(const BenchmarkProfile &Profile,
+                                      Context &Ctx, unsigned NumModules);
+
 /// The 19 C/C++ SPEC CPU2006 benchmarks evaluated in the paper.
 std::vector<BenchmarkProfile> spec2006Profiles();
 
