@@ -50,6 +50,18 @@ inline BenchmarkProfile scaled(BenchmarkProfile P) {
   return P;
 }
 
+inline const char *selectionName(SelectionStrategy S) {
+  switch (S) {
+  case SelectionStrategy::Distance:
+    return "distance";
+  case SelectionStrategy::Profit:
+    return "profit";
+  case SelectionStrategy::Adaptive:
+    return "adaptive";
+  }
+  return "?";
+}
+
 /// Result of one (benchmark, configuration) cell.
 struct SuiteResult {
   std::string Benchmark;

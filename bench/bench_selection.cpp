@@ -1,0 +1,203 @@
+//===- bench/bench_selection.cpp - Selection-strategy A/B ----------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Measures what profit-guided candidate selection buys over the paper's
+// distance ranking. One clone-heavy suite is merged three ways —
+//
+//   distance   SelectionStrategy::Distance, the paper's top-t by
+//              fingerprint distance (the PR 3 baseline, bit-identical);
+//   profit     widened slate re-ranked by the calibrated ProfitModel
+//              estimate with same-module tie-breaking;
+//   adaptive   profit ranking plus the outcome-driven exploration
+//              threshold and (in parallel runs) the conflict-driven
+//              commit window.
+//
+// and the table reports committed merges, size reduction, attempts, and
+// the pairing-phase cost (Stats.RankingSeconds) of each.
+//
+// Modes:
+//   (default)  the A/B table over three pool sizes.
+//   --smoke    one pool, and FAILS (exit 1) unless profit mode commits
+//              at least as many merges and reduces at least as much as
+//              distance mode, and its pairing phase stays within 10% of
+//              distance mode's. The pairing bar is enforced on the
+//              deterministic work counter (exact distance evaluations,
+//              MergeDriverStats::PairingDistanceCalls) — the
+//              load-independent form of "pairing time"; wall-clock
+//              numbers are reported best-of-3 for humans, and skipped
+//              when SALSSA_BENCH_NO_TIMING=1 (sanitizer configurations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include <cstring>
+
+using namespace salssa;
+using namespace salssa::bench;
+
+namespace {
+
+BenchmarkProfile selectionProfile(unsigned NumFunctions) {
+  BenchmarkProfile P;
+  P.Name = "sel" + std::to_string(NumFunctions);
+  P.NumFunctions = NumFunctions;
+  P.MinSize = 6;
+  P.AvgSize = 50;
+  P.MaxSize = 240;
+  P.CloneFamilyPercent = 50;
+  P.MinFamily = 2;
+  P.MaxFamily = 6;
+  P.FamilyDriftPercent = 12;
+  P.LoopPercent = 50;
+  P.Seed = 0x5E1EC7;
+  return P;
+}
+
+struct ModeResult {
+  uint64_t SizeBefore = 0;
+  uint64_t SizeAfter = 0;
+  unsigned Commits = 0;
+  unsigned Attempts = 0;
+  double RankingSeconds = 0;
+  uint64_t PairingDistanceCalls = 0;
+  bool VerifierOk = true;
+
+  double reduction() const {
+    return 100.0 * (1.0 - double(SizeAfter) / double(SizeBefore));
+  }
+};
+
+ModeResult runMode(unsigned NumFunctions, SelectionStrategy Selection) {
+  const BenchmarkProfile P = selectionProfile(NumFunctions);
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  ModeResult R;
+  R.SizeBefore = estimateModuleSize(*M, TargetArch::X86Like);
+  MergeDriverOptions DO;
+  DO.Technique = MergeTechnique::SalSSA;
+  DO.ExplorationThreshold = 5;
+  DO.Selection = Selection;
+  MergeDriverStats S = runFunctionMerging(*M, DO);
+  R.SizeAfter = estimateModuleSize(*M, TargetArch::X86Like);
+  R.Commits = S.CommittedMerges;
+  R.Attempts = S.Attempts;
+  R.RankingSeconds = S.RankingSeconds;
+  R.PairingDistanceCalls = S.PairingDistanceCalls;
+  R.VerifierOk = verifyModule(*M).ok();
+  return R;
+}
+
+int smokeMode() {
+  const unsigned PoolFns = std::max(32u, 256u / benchScale());
+  printHeader("bench_selection --smoke (pool " + std::to_string(PoolFns) +
+              ")");
+
+  ModeResult Distance = runMode(PoolFns, SelectionStrategy::Distance);
+  ModeResult Profit = runMode(PoolFns, SelectionStrategy::Profit);
+  std::printf("distance: %u commits, %.2f%%, %u attempts | "
+              "profit: %u commits, %.2f%%, %u attempts\n",
+              Distance.Commits, Distance.reduction(), Distance.Attempts,
+              Profit.Commits, Profit.reduction(), Profit.Attempts);
+  if (!Distance.VerifierOk || !Profit.VerifierOk) {
+    std::printf("FAIL: verifier errors after merging\n");
+    return 1;
+  }
+  if (Profit.Commits < Distance.Commits) {
+    std::printf("FAIL: profit selection committed fewer merges than "
+                "distance selection (%u vs %u)\n",
+                Profit.Commits, Distance.Commits);
+    return 1;
+  }
+  if (Profit.SizeAfter > Distance.SizeAfter) {
+    std::printf("FAIL: profit selection reduced less than distance "
+                "selection (%llu B vs %llu B after)\n",
+                (unsigned long long)Profit.SizeAfter,
+                (unsigned long long)Distance.SizeAfter);
+    return 1;
+  }
+
+  // Pairing leg, part 1 — deterministic: the bounded-extension contract
+  // is that profit-guided slates never widen the search walk, so the
+  // exact-distance-evaluation count must stay within 10% of distance
+  // mode's. This is the noise-free form of the "pairing must not
+  // regress" bar and runs in every configuration, TSan included.
+  double WorkRatio = Distance.PairingDistanceCalls
+                         ? double(Profit.PairingDistanceCalls) /
+                               double(Distance.PairingDistanceCalls)
+                         : 1.0;
+  std::printf("pairing work: distance %llu evals, profit %llu evals "
+              "(ratio %.3f)\n",
+              (unsigned long long)Distance.PairingDistanceCalls,
+              (unsigned long long)Profit.PairingDistanceCalls, WorkRatio);
+  if (WorkRatio > 1.10) {
+    std::printf("FAIL: profit pairing does more than 10%% extra distance "
+                "work (ratio %.3f) — the bounded extension leaked\n",
+                WorkRatio);
+    return 1;
+  }
+
+  // Pairing leg, part 2 — wall clock, best of 3 per mode, *reported*
+  // but never enforced: the phase totals a few milliseconds, so under a
+  // loaded CI machine (ctest -j next to a sanitizer build) the ratio
+  // can inflate arbitrarily without any code regression. The
+  // deterministic work ratio above carries the 10% bar in a
+  // load-independent form; the wall numbers are for humans reading the
+  // log. Skipped entirely under sanitizers (SALSSA_BENCH_NO_TIMING=1,
+  // set by CMakeLists.txt in the TSan configuration).
+  if (const char *NoTiming = std::getenv("SALSSA_BENCH_NO_TIMING");
+      NoTiming && NoTiming[0] == '1') {
+    std::printf("PASS (wall-clock report skipped: SALSSA_BENCH_NO_TIMING)\n");
+    return 0;
+  }
+  double BestDistance = Distance.RankingSeconds;
+  double BestProfit = Profit.RankingSeconds;
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    BestDistance = std::min(
+        BestDistance,
+        runMode(PoolFns, SelectionStrategy::Distance).RankingSeconds);
+    BestProfit = std::min(
+        BestProfit, runMode(PoolFns, SelectionStrategy::Profit).RankingSeconds);
+  }
+  std::printf("pairing time (informational): distance %.4fs, profit %.4fs "
+              "(ratio %.2f)\n",
+              BestDistance, BestProfit,
+              BestDistance > 0 ? BestProfit / BestDistance : 1.0);
+  std::printf("PASS: profit >= distance on commits and reduction, pairing "
+              "work within 10%%\n");
+  return 0;
+}
+
+int tableMode() {
+  printHeader("Selection strategies: distance vs profit vs adaptive");
+  std::printf("%-8s %-9s %12s %12s %10s %10s %12s\n", "pool", "select",
+              "base (B)", "after (B)", "red %", "commits", "pairing (s)");
+  printRule(80);
+  for (unsigned PoolFns : {128u, 256u, 512u}) {
+    unsigned Scaled = std::max(16u, PoolFns / benchScale());
+    for (SelectionStrategy Sel :
+         {SelectionStrategy::Distance, SelectionStrategy::Profit,
+          SelectionStrategy::Adaptive}) {
+      ModeResult R = runMode(Scaled, Sel);
+      std::printf("%-8u %-9s %12llu %12llu %9.2f%% %10u %12.4f%s\n", Scaled,
+                  selectionName(Sel), (unsigned long long)R.SizeBefore,
+                  (unsigned long long)R.SizeAfter, R.reduction(), R.Commits,
+                  R.RankingSeconds, R.VerifierOk ? "" : "  VERIFIER-FAIL");
+      std::fflush(stdout);
+    }
+    printRule(80);
+  }
+  std::printf("\nprofit re-ranks a widened distance slate by the calibrated "
+              "ProfitModel estimate; adaptive additionally drives the "
+              "exploration threshold from selection outcomes.\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      return smokeMode();
+  return tableMode();
+}

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "merge/CandidateIndex.h"
+#include "merge/FunctionMerger.h"
 #include <algorithm>
 #include <cassert>
 
@@ -98,8 +99,8 @@ void CandidateIndex::retire(uint32_t Id) {
 }
 
 std::vector<CandidateIndex::Hit>
-CandidateIndex::query(const Fingerprint &FP, unsigned K,
-                      uint32_t ExcludeId) const {
+CandidateIndex::query(const Fingerprint &FP, unsigned K, uint32_t ExcludeId,
+                      const ProfitModel *Model, unsigned ExtraK) const {
   ++Counters.Queries;
   std::vector<Hit> Heap; // max-heap under ranksBefore: front = worst kept
   if (K == 0)
@@ -133,8 +134,27 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
   auto bound = [&]() {
     return Heap.size() == K ? Heap.front().Distance : UINT64_MAX;
   };
+  // Bounded extension (see the header): candidates the walk examined
+  // anyway that fell inside the running top-K bound but not into the
+  // top-K itself. Kept as a size-capped max-heap under ranksBefore, so
+  // at the end it holds exactly the best ExtraK of everything admitted.
+  std::vector<Hit> Ext;
+  Ext.reserve(ExtraK);
+  auto extAdmit = [&](const Hit &H) {
+    if (ExtraK == 0)
+      return;
+    if (Ext.size() < ExtraK) {
+      Ext.push_back(H);
+      std::push_heap(Ext.begin(), Ext.end(), ranksBefore);
+    } else if (ranksBefore(H, Ext.front())) {
+      std::pop_heap(Ext.begin(), Ext.end(), ranksBefore);
+      Ext.back() = H;
+      std::push_heap(Ext.begin(), Ext.end(), ranksBefore);
+    }
+  };
   // Examines one live candidate: exact (early-exit) distance, admit into
-  // the running top-k if it beats the current worst.
+  // the running top-k if it beats the current worst (spilling into the
+  // extension otherwise).
   auto consider = [&](uint32_t Id) {
     if (Id == ExcludeId || VisitEpoch[Id] == CurrentEpoch)
       return;
@@ -155,9 +175,13 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
       Heap.push_back(H);
       std::push_heap(Heap.begin(), Heap.end(), ranksBefore);
     } else if (ranksBefore(H, Heap.front())) {
+      Hit Evicted = Heap.front();
       std::pop_heap(Heap.begin(), Heap.end(), ranksBefore);
       Heap.back() = H;
       std::push_heap(Heap.begin(), Heap.end(), ranksBefore);
+      extAdmit(Evicted);
+    } else {
+      extAdmit(H);
     }
   };
 
@@ -209,5 +233,24 @@ CandidateIndex::query(const Fingerprint &FP, unsigned K,
   }
 
   std::sort_heap(Heap.begin(), Heap.end(), ranksBefore); // ascending
+  // Append the bounded extension: every candidate with distance within
+  // the *final* k-th-best bound was provably examined by the walk (its
+  // size gap is <= its distance <= every intermediate bound), so Ext
+  // holds the exact (distance, id)-ranked continuation — re-filtered
+  // against the final bound, since entries may have been admitted under
+  // a looser intermediate one.
+  if (!Ext.empty() && Heap.size() == K) {
+    uint64_t FinalBound = Heap.back().Distance;
+    std::sort_heap(Ext.begin(), Ext.end(), ranksBefore);
+    for (const Hit &H : Ext)
+      if (H.Distance <= FinalBound)
+        Heap.push_back(H);
+  }
+  // Annotation only: the hits selected (and their order) are fixed
+  // above, so estimating on the final slate costs one model evaluation
+  // per returned hit instead of one per candidate examined.
+  if (Model)
+    for (Hit &H : Heap)
+      H.EstProfit = Model->estimate(FP, Entries[H.Id].FP, H.Distance);
   return Heap;
 }

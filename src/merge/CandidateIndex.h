@@ -52,6 +52,8 @@
 
 namespace salssa {
 
+struct ProfitModel;
+
 /// Incremental top-k nearest-fingerprint index over a pool of live
 /// candidates. Ids are dense pool indices assigned by the caller.
 class CandidateIndex {
@@ -61,11 +63,16 @@ public:
   /// a caller-supplied payload echoed back from insert — cross-module
   /// sessions register every module's candidates in one index and use it
   /// to tell intra- from cross-module pairs; single-module drivers leave
-  /// it 0. It never participates in the ordering.
+  /// it 0. EstProfit is a ProfitModel estimate filled in only when the
+  /// caller passes a model to query() (the profit-guided selection
+  /// modes); neither payload ever participates in the index's ordering —
+  /// re-ranking by profit is the *caller's* move (MergePipeline), so the
+  /// index's exactness contract stays purely distance-based.
   struct Hit {
     uint64_t Distance = 0;
     uint32_t Id = 0;
     uint32_t ModuleId = 0;
+    int64_t EstProfit = 0;
   };
 
   /// Cumulative instrumentation (for benchmarks and tests).
@@ -92,9 +99,25 @@ public:
   /// Returns the \p K live candidates nearest to \p FP — exactly the
   /// first K entries of the brute-force (distance, id)-sorted ranking,
   /// excluding \p ExcludeId and any candidate with a different return
-  /// type. Sorted ascending.
+  /// type. Sorted ascending. When \p Model is non-null every returned
+  /// hit additionally carries Model->estimate(FP, candidate, distance)
+  /// in EstProfit (annotation only — it never changes which K are
+  /// selected or their order).
+  ///
+  /// \p ExtraK is the *bounded extension* used by the profit-guided
+  /// selection modes to widen their slate at (nearly) the plain query's
+  /// cost: up to ExtraK additional candidates are returned — the next
+  /// entries of the same brute-force ranking, but only those whose
+  /// distance does not exceed the K-th best. The search bound (hence
+  /// the size-bucket walk, hence the cost) stays exactly the top-K
+  /// bound; the extension recycles candidates the walk examined anyway.
+  /// The result is deterministic: the first min(K, live) hits are the
+  /// exact top-K, the rest are the (distance, id)-ranked continuation
+  /// truncated at the K-th-best distance.
   std::vector<Hit> query(const Fingerprint &FP, unsigned K,
-                         uint32_t ExcludeId = UINT32_MAX) const;
+                         uint32_t ExcludeId = UINT32_MAX,
+                         const ProfitModel *Model = nullptr,
+                         unsigned ExtraK = 0) const;
 
   const Stats &stats() const { return Counters; }
 

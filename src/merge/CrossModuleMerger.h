@@ -55,6 +55,17 @@
 /// module the session reproduces runFunctionMerging bit for bit
 /// (MergeDriverOptions::CrossModule A/Bs exactly that).
 ///
+/// Candidate selection: the session's global greedy order can consume
+/// partners that per-module runs pair better — at a coarse split (K=2)
+/// distance-ranked sessions can land a hair below per-module merging.
+/// MergeDriverOptions::Selection = Profit/Adaptive re-ranks each
+/// entry's slate by estimated profit with same-module tie-breaking
+/// (prefer the local partner at equal score, leaving other modules'
+/// partners for their own near-clones), which restores session >=
+/// per-module at every split (bench_cross_module enforces it; the K=2
+/// regression lives in tests/cross_module_test.cpp). See "Candidate
+/// selection" in the directory README.
+///
 /// Ownership/teardown: after a session, merged functions in the host keep
 /// operand references to input modules' globals. Own the registered
 /// modules with a ModuleGroup (ir/Module.h) so teardown order cannot

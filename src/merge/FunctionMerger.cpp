@@ -13,6 +13,45 @@
 
 using namespace salssa;
 
+ProfitModel ProfitModel::forArch(TargetArch Arch) {
+  ProfitModel M;
+  if (Arch == TargetArch::X86Like) {
+    // Average lowered instruction on the CISC model is ~3-4 bytes; the
+    // per-commit toll mirrors attemptMerge's thunk estimate (two thunks
+    // of overhead + call + ret, a few argument moves each).
+    M.BytesPerOverlap = 3.5;
+    M.BytesPerMismatch = 1.0;
+    M.OverheadBytes = 2 * (12 + 5 + 1 + 2 * 3);
+  } else {
+    M.BytesPerOverlap = 2.5;
+    M.BytesPerMismatch = 1.0;
+    M.OverheadBytes = 2 * (8 + 4 + 2 + 2 * 3);
+  }
+  return M;
+}
+
+void ProfitModel::observe(uint64_t Overlap, uint64_t Distance,
+                          int ActualProfit) {
+  if (Overlap == 0)
+    return;
+  // Invert the estimate at the observed profit: the bytes-per-aligned-
+  // slot this attempt actually realized, given the fixed mismatch and
+  // overhead terms. |A| + |B| = 2·overlap + D reconstructs the
+  // similarity discount without needing the fingerprints here. Clamp
+  // before folding so one pathological attempt (tiny overlap, huge
+  // negative profit) cannot capsize the model.
+  double Expected = double(Overlap) * (2.0 * double(Overlap) /
+                                       double(2 * Overlap + Distance));
+  double Implied = (double(ActualProfit) + OverheadBytes +
+                    BytesPerMismatch * double(Distance)) /
+                   Expected;
+  if (Implied < MinBytesPerOverlap)
+    Implied = MinBytesPerOverlap;
+  else if (Implied > MaxBytesPerOverlap)
+    Implied = MaxBytesPerOverlap;
+  BytesPerOverlap = (1.0 - Alpha) * BytesPerOverlap + Alpha * Implied;
+}
+
 MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
                                   const MergeCodeGenOptions &Options,
                                   TargetArch Arch, unsigned SizeF1,

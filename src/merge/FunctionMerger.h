@@ -17,7 +17,9 @@
 #define SALSSA_MERGE_FUNCTIONMERGER_H
 
 #include "codesize/SizeModel.h"
+#include "merge/Fingerprint.h"
 #include "merge/MergedFunctionGenerator.h"
+#include <cstdint>
 
 namespace salssa {
 
@@ -35,6 +37,88 @@ struct MergeAttempt {
     return static_cast<int>(Stats.SizeF1) + static_cast<int>(Stats.SizeF2) -
            static_cast<int>(Stats.SizeMerged);
   }
+};
+
+/// A cheap, calibrated estimator of merge profit from fingerprints alone
+/// — no linearization, no alignment, no code generation. The driver's
+/// profit-guided selection modes (SelectionStrategy::Profit/Adaptive)
+/// use it to re-rank a widened distance slate before spending alignment
+/// time, so the estimate must cost O(1) given a precomputed distance.
+///
+/// Model: the opcode-histogram overlap |A ∩ B| = (|A| + |B| − D) / 2
+/// (D = Manhattan distance) upper-bounds how many instruction slots the
+/// aligner can share — but only an *ordered* alignment realizes them,
+/// and histogram intersection is blind to order. The expected aligned
+/// fraction is discounted by the pair's similarity ratio
+/// sim = 2·overlap / (|A| + |B|) ∈ [0, 1]: near-clones (sim → 1) realize
+/// almost all of their overlap, structurally different pairs almost none
+/// (this quadratic-in-sim shape is what stops the estimate from chasing
+/// big far-away partners whose raw overlap is large). Each expected
+/// aligned slot is worth ~BytesPerOverlap of the size model's lowered
+/// bytes, every mismatched slot (D of them) costs a fraction of a
+/// select/dispatch (BytesPerMismatch), and a committed merge pays a
+/// fixed toll (OverheadBytes: two thunks + the fid parameter plumbing):
+///
+///   estimate = BytesPerOverlap·overlap·sim
+///            − BytesPerMismatch·D − OverheadBytes
+///
+/// The estimate is monotone: it strictly increases in overlap (at fixed
+/// |A|+|B|) and strictly decreases in distance (selection_test.cpp pins
+/// both).
+///
+/// BytesPerOverlap is *calibrated online* against FunctionMerger attempt
+/// stats: every executed attempt reveals its actual profit()
+/// (SizeF1 + SizeF2 − SizeMerged), and observe() folds the implied
+/// bytes-per-overlap into an EMA, clamped to a sane range so degenerate
+/// attempts cannot capsize the model. Calibration happens only at the
+/// serial commit stage, in record order — records are identical at every
+/// thread count, so the model (and everything ranked with it) is too.
+struct ProfitModel {
+  double BytesPerOverlap = 3.5;  ///< EMA-calibrated (seeded per arch)
+  double BytesPerMismatch = 0.5; ///< select/dispatch toll per unmatched op
+  double OverheadBytes = 48.0;   ///< thunks + fid plumbing per commit
+
+  /// EMA smoothing and clamp bounds for the online calibration.
+  static constexpr double Alpha = 0.125;
+  static constexpr double MinBytesPerOverlap = 0.25;
+  static constexpr double MaxBytesPerOverlap = 12.0;
+
+  /// Seeds the constants from the target's size model (average lowered
+  /// instruction bytes, thunk overhead for a small signature).
+  static ProfitModel forArch(TargetArch Arch);
+
+  /// Opcode-histogram intersection size: the number of instruction slots
+  /// both functions can cover with the same opcode, (|A|+|B|−D)/2.
+  static uint64_t overlap(const Fingerprint &A, const Fingerprint &B,
+                          uint64_t Distance) {
+    uint64_t Total = uint64_t(A.Size) + uint64_t(B.Size);
+    return Distance >= Total ? 0 : (Total - Distance) / 2;
+  }
+
+  /// Expected aligned slots: the histogram overlap discounted by the
+  /// similarity ratio (see the model note above).
+  static double expectedAligned(const Fingerprint &A, const Fingerprint &B,
+                                uint64_t Distance) {
+    uint64_t Total = uint64_t(A.Size) + uint64_t(B.Size);
+    if (Total == 0)
+      return 0;
+    double Ov = double(overlap(A, B, Distance));
+    return Ov * (2.0 * Ov / double(Total));
+  }
+
+  /// Estimated commit profit in size-model bytes (positive = shrink).
+  int64_t estimate(const Fingerprint &A, const Fingerprint &B,
+                   uint64_t Distance) const {
+    return static_cast<int64_t>(BytesPerOverlap *
+                                    expectedAligned(A, B, Distance) -
+                                BytesPerMismatch * double(Distance) -
+                                OverheadBytes);
+  }
+
+  /// Folds one executed attempt into the calibration: \p Overlap and
+  /// \p Distance as passed to estimate(), \p ActualProfit from
+  /// MergeAttempt::profit(). No-op for zero overlap.
+  void observe(uint64_t Overlap, uint64_t Distance, int ActualProfit);
 };
 
 /// Runs the full pipeline on \p F1 and \p F2 (which must share a return

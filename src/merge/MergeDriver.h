@@ -54,6 +54,16 @@ struct MergeDriverOptions {
   /// Candidate ranking implementation; results are identical, only the
   /// pairing-phase cost differs.
   RankingStrategy Ranking = RankingStrategy::CandidateIndex;
+  /// Candidate *selection* policy layered on top of the ranking (see
+  /// SelectionStrategy, MergeOptions.h). Distance (the default) keeps
+  /// the paper's scheme and is bit-identical to the pre-selection-layer
+  /// driver; Profit re-ranks a widened slate by estimated profit with
+  /// same-module tie-breaking; Adaptive additionally drives the
+  /// exploration threshold from observed selection outcomes. All three
+  /// honor the determinism contract: same merges/records/bytes at every
+  /// thread count (selection state only ever advances at the serial
+  /// commit stage).
+  SelectionStrategy Selection = SelectionStrategy::Distance;
   /// Worker threads for the attempt stage (see MergePipeline). 1 (the
   /// default) runs the legacy serial driver bit-identically; 0 resolves
   /// to the hardware concurrency. Any value produces identical merges,
@@ -120,8 +130,31 @@ struct MergeDriverStats {
   unsigned SpeculativeAttempts = 0; ///< attempts executed by workers
   unsigned SpeculativeDiscarded = 0; ///< speculative attempts thrown away
   unsigned InlineReattempts = 0; ///< commit-stage re-runs after conflicts
-  unsigned CommitConflicts = 0;  ///< entries whose snapshot ranking staled
+  /// Entries that speculated and whose snapshot ranking staled by commit
+  /// time. Entries the pipeline chose NOT to speculate for (their top
+  /// candidate was already claimed earlier in the window) are counted in
+  /// SpeculationsSkipped instead — keeping the two apart is what gives
+  /// the adaptive commit window an unpolluted staleness signal (a
+  /// skipped entry is a *predicted* conflict, not an observed one).
+  unsigned CommitConflicts = 0;
+  unsigned SpeculationsSkipped = 0; ///< window entries not speculated
   double AttemptStageSeconds = 0; ///< wall time of parallel attempt stages
+
+  // Selection instrumentation (SelectionStrategy::Adaptive; for the
+  // other modes both fields echo Options.ExplorationThreshold). The
+  // adaptive t evolves only at the serial commit stage, so these are
+  // identical at every thread count.
+  unsigned AdaptiveThresholdMax = 0;   ///< peak exploration threshold
+  unsigned AdaptiveThresholdFinal = 0; ///< threshold after the last entry
+
+  // Pairing-work counters (RankingStrategy::CandidateIndex only; 0 for
+  // brute force). Deterministic — unlike RankingSeconds — so regression
+  // guards can compare pairing *work* across selection modes without
+  // wall-clock noise: the bounded-extension contract is precisely that
+  // profit-guided slates do not widen the walk (bench_selection
+  // enforces the ratio).
+  uint64_t PairingDistanceCalls = 0; ///< exact distance evaluations
+  uint64_t PairingProbes = 0; ///< LSH seed probes + size-bucket steps
 };
 
 /// Runs function merging over \p M, mutating it in place.

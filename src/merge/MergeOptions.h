@@ -28,6 +28,29 @@ enum class MergeTechnique : uint8_t {
   SalSSA, ///< this paper: direct SSA-form merging
 };
 
+/// How the driver selects which of a function's nearest candidates to
+/// attempt (MergeDriverOptions::Selection). Fingerprint distance is only
+/// a proxy for the real objective — code-size profit — so the non-paper
+/// modes re-rank a widened distance slate by a cheap calibrated profit
+/// estimate (ProfitModel, FunctionMerger.h) before spending alignment
+/// time on the top-t.
+enum class SelectionStrategy : uint8_t {
+  /// The paper's scheme verbatim: top-t by (Manhattan distance, pool
+  /// position). Bit-identical to the pre-selection-layer driver.
+  Distance,
+  /// Query a widened distance slate, annotate each hit with a ProfitModel
+  /// estimate, re-rank by (estimated profit, same-module preference,
+  /// distance, pool position), keep the top-t. Deterministic at every
+  /// thread count (the model calibrates only from serial-order records).
+  Profit,
+  /// Profit ranking plus an exploration threshold t driven per round
+  /// from observed selection outcomes (deep wins widen t, top-1 wins
+  /// shrink it, bounded in [t, t+4]), and — in parallel runs — a commit
+  /// window sized from the observed conflict + skip rate. The adaptive
+  /// window never changes outcomes, only speculation waste.
+  Adaptive,
+};
+
 /// Code-generator options.
 struct MergeCodeGenOptions {
   /// §4.4: coalesce disjoint definitions into one slot before SSA

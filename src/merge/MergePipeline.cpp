@@ -10,6 +10,7 @@
 #include "support/ThreadPool.h"
 #include <algorithm>
 #include <atomic>
+#include <unordered_set>
 
 using namespace salssa;
 
@@ -17,10 +18,15 @@ namespace {
 
 /// Brute-force ranking, the paper's scheme verbatim: scan every live
 /// pool entry, sort by (distance, pool position), truncate to top-k.
-/// Kept bit-compatible with CandidateIndex::query for A/B comparison.
+/// Kept bit-compatible with CandidateIndex::query for A/B comparison —
+/// including the EstProfit annotation and the bounded extension (up to
+/// \p ExtraK continuation entries within the K-th-best distance) when
+/// the profit-guided selection modes ask for them, so every selection
+/// mode is ranking-strategy-agnostic.
 template <typename PoolTy>
-std::vector<CandidateIndex::Hit> bruteForceRank(const PoolTy &Pool, size_t I,
-                                                unsigned K) {
+std::vector<CandidateIndex::Hit>
+bruteForceRank(const PoolTy &Pool, size_t I, unsigned K,
+               const ProfitModel *Model = nullptr, unsigned ExtraK = 0) {
   std::vector<CandidateIndex::Hit> Candidates;
   for (size_t J = 0; J < Pool.size(); ++J) {
     if (J == I || Pool[J].Consumed)
@@ -35,8 +41,16 @@ std::vector<CandidateIndex::Hit> bruteForceRank(const PoolTy &Pool, size_t I,
                       const CandidateIndex::Hit &B) {
                      return A.Distance < B.Distance;
                    });
-  if (Candidates.size() > K)
-    Candidates.resize(K);
+  if (Candidates.size() > K) {
+    uint64_t KthBest = Candidates[K - 1].Distance;
+    size_t End = std::min(Candidates.size(), size_t(K) + ExtraK);
+    while (End > K && Candidates[End - 1].Distance > KthBest)
+      --End;
+    Candidates.resize(End);
+  }
+  if (Model)
+    for (CandidateIndex::Hit &H : Candidates)
+      H.EstProfit = Model->estimate(Pool[I].FP, Pool[H.Id].FP, H.Distance);
   return Candidates;
 }
 
@@ -74,6 +88,10 @@ MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
     assert(&M->getContext() == &Host.getContext() &&
            "cross-module merging requires a shared Context");
 #endif
+  Profit = ProfitModel::forArch(Options.Arch);
+  BaseT = std::max(1u, Options.ExplorationThreshold);
+  CurrentT = BaseT;
+  MaxT = BaseT + AdaptiveRange;
   buildPool();
 }
 
@@ -114,15 +132,100 @@ void MergePipeline::buildPool() {
       Index.insert(static_cast<uint32_t>(I), Pool[I].FP, Pool[I].ModuleId);
 }
 
+unsigned MergePipeline::effectiveThreshold() const {
+  return Options.Selection == SelectionStrategy::Adaptive
+             ? CurrentT
+             : std::max(1u, Options.ExplorationThreshold);
+}
+
+void MergePipeline::profitRerank(std::vector<CandidateIndex::Hit> &Hits,
+                                 uint32_t SelfModule, unsigned T) const {
+  // (estimated profit desc, same-module-as-entry first, distance asc,
+  // id asc). The same-module preference is the candidate-aware
+  // tie-breaker that recovers the cross-module greedy gap: at equal
+  // estimated profit a partner from the entry's own module leaves
+  // partners in *other* modules unconsumed for their own local
+  // near-clones, instead of the global greedy order eating them.
+  // "Equal" is judged at the model's resolution, not to the byte: the
+  // estimate is a calibrated EMA, so scores are compared in
+  // ScoreBucketBytes-wide buckets (floor division, exact for negatives
+  // too) — a model this coarse earns trust only for *large* profit
+  // gaps, while inside a bucket the same-module preference and then the
+  // distance ranking (the signal the paper trusts) decide.
+  auto scoreOf = [](const CandidateIndex::Hit &H) {
+    int64_t S = H.EstProfit;
+    return S >= 0 ? S / ScoreBucketBytes
+                  : -((-S + ScoreBucketBytes - 1) / ScoreBucketBytes);
+  };
+  // The incoming slate is distance-sorted, so Hits[0] is the nearest
+  // candidate — the one Distance selection would attempt first. It is
+  // guaranteed a seat in the final slate: the estimate is a model, the
+  // commit stage decides by *actual* attempt profit, and keeping the
+  // distance pick attemptable caps how much a misprediction can cost.
+  const CandidateIndex::Hit Nearest = Hits.empty() ? CandidateIndex::Hit{}
+                                                   : Hits.front();
+  // Plain sort, not stable_sort: the comparator totally orders hits
+  // (ids are unique), so the result is deterministic either way, and
+  // stable_sort's temporary buffer is a malloc per rank() — measurable
+  // on clone-heavy pools where the query itself is a few probes.
+  std::sort(Hits.begin(), Hits.end(),
+            [&scoreOf, SelfModule](const CandidateIndex::Hit &A,
+                                   const CandidateIndex::Hit &B) {
+              int64_t SA = scoreOf(A), SB = scoreOf(B);
+              if (SA != SB)
+                return SA > SB;
+              bool SameA = A.ModuleId == SelfModule;
+              bool SameB = B.ModuleId == SelfModule;
+              if (SameA != SameB)
+                return SameA;
+              if (A.Distance != B.Distance)
+                return A.Distance < B.Distance;
+              return A.Id < B.Id;
+            });
+  if (Hits.size() > T) {
+    bool NearestKept = false;
+    for (unsigned J = 0; J < T; ++J)
+      NearestKept |= Hits[J].Id == Nearest.Id;
+    Hits.resize(T);
+    if (!NearestKept)
+      Hits.back() = Nearest;
+  }
+}
+
 std::vector<CandidateIndex::Hit> MergePipeline::rank(size_t I) {
-  // Both strategies produce the same list; only the cost differs (this
-  // is the Stats.RankingSeconds A/B that bench_ranking_scaling
-  // measures).
+  // Both ranking strategies produce the same list; only the cost differs
+  // (this is the Stats.RankingSeconds A/B that bench_ranking_scaling
+  // measures). The selection mode then decides what the driver does
+  // with the distance ranking.
   auto RankT0 = std::chrono::steady_clock::now();
-  std::vector<CandidateIndex::Hit> Candidates =
-      UseIndex ? Index.query(Pool[I].FP, Options.ExplorationThreshold,
-                             static_cast<uint32_t>(I))
-               : bruteForceRank(Pool, I, Options.ExplorationThreshold);
+  std::vector<CandidateIndex::Hit> Candidates;
+  const unsigned T = effectiveThreshold();
+  if (Options.Selection == SelectionStrategy::Distance) {
+    // The paper's scheme verbatim — bit-identical to the
+    // pre-selection-layer driver.
+    Candidates = UseIndex
+                     ? Index.query(Pool[I].FP, T, static_cast<uint32_t>(I))
+                     : bruteForceRank(Pool, I, T);
+  } else if (Pool[I].IsRemerge) {
+    // Merged functions re-entering the pool sit outside the model's
+    // calibration (their fingerprints carry fid-dispatch overhead), so
+    // their entries keep the paper's distance ordering.
+    Candidates = UseIndex
+                     ? Index.query(Pool[I].FP, T, static_cast<uint32_t>(I))
+                     : bruteForceRank(Pool, I, T);
+  } else {
+    // Profit-guided: distance is only a proxy for profit, and the exact
+    // top-t by *estimated profit* is not index-computable (overlap does
+    // not shrink with the size gap), so widen the distance slate with
+    // the bounded extension — continuation candidates within the t-th
+    // best distance, recycled from the walk the top-t query pays for
+    // anyway — and re-rank the slate by the model.
+    Candidates = UseIndex
+                     ? Index.query(Pool[I].FP, T, static_cast<uint32_t>(I),
+                                   &Profit, SlateExtra)
+                     : bruteForceRank(Pool, I, T, &Profit, SlateExtra);
+    profitRerank(Candidates, Pool[I].ModuleId, T);
+  }
   Stats.RankingSeconds += secondsSince(RankT0);
   return Candidates;
 }
@@ -175,8 +278,11 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   MergeAttempt Best;
   size_t BestIdx = 0;
   size_t BestRecord = 0;
+  size_t BestSlate = 0; // Best's position in the selection slate
   std::string BestName; // non-empty iff Best is a staged (reused) attempt
-  for (const CandidateIndex::Hit &R : Candidates) {
+  const bool ProfitGuided = Options.Selection != SelectionStrategy::Distance;
+  for (size_t Slate = 0; Slate < Candidates.size(); ++Slate) {
+    const CandidateIndex::Hit &R = Candidates[Slate];
     Function *F2 = Pool[R.Id].F;
     MergeAttempt A;
     std::string StagedName;
@@ -217,6 +323,14 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     Stats.Records.push_back(Rec);
     if (!A.Valid)
       continue;
+    // Online calibration: every executed attempt reveals its actual
+    // profit; fold it into the model. Serial commit order (records are
+    // identical at every thread count) keeps the model — and every
+    // ranking derived from it — deterministic.
+    if (ProfitGuided)
+      Profit.observe(ProfitModel::overlap(Pool[I].FP, Pool[R.Id].FP,
+                                          R.Distance),
+                     R.Distance, A.profit());
     if (A.Stats.Profitable)
       ++Stats.ProfitableMerges;
     if (A.Stats.Profitable && (!Best.Valid || A.profit() > Best.profit())) {
@@ -225,6 +339,7 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       Best = A;
       BestIdx = R.Id;
       BestRecord = RecIdx;
+      BestSlate = Slate;
       BestName = StagedName;
     } else {
       discardMerge(A);
@@ -232,6 +347,38 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   }
   if (Spec)
     discardRemaining(*Spec);
+
+  // Adaptive exploration: widen t when profit keeps showing up at the
+  // tail of a full slate (exploration is paying), shrink it back toward
+  // the base when the top pick wins or the entry comes up dry (it is
+  // not). A top-pick win always votes shrink — even when it is also the
+  // slate tail (slate of one), otherwise t ratchets up exactly on the
+  // pools that need no exploration. Entries with an empty slate carry
+  // no selection signal and are not tallied — they are also the entries
+  // the parallel snapshot loop never routes through commitEntry, so
+  // tallying them would make the adaptive trajectory (hence attempts
+  // and records) thread-count-dependent. Votes are tallied over
+  // AdaptRoundSize entries so a single outlier cannot thrash t; the
+  // range is clamped to [BaseT, MaxT], which is the convergence bound
+  // selection_test pins.
+  if (Options.Selection == SelectionStrategy::Adaptive &&
+      !Candidates.empty()) {
+    ++RoundEntries;
+    if (!Best.Valid || BestSlate == 0)
+      ++ShrinkVotes;
+    else if (Candidates.size() >= CurrentT &&
+             BestSlate + 1 == Candidates.size())
+      ++WidenVotes;
+    if (RoundEntries >= AdaptRoundSize) {
+      if (WidenVotes > ShrinkVotes && CurrentT < MaxT)
+        ++CurrentT;
+      else if (ShrinkVotes > WidenVotes && CurrentT > BaseT)
+        --CurrentT;
+      Stats.AdaptiveThresholdMax =
+          std::max(Stats.AdaptiveThresholdMax, CurrentT);
+      RoundEntries = WidenVotes = ShrinkVotes = 0;
+    }
+  }
 
   if (!Best.Valid)
     return;
@@ -261,6 +408,7 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     E.FP = Fingerprint::compute(*E.F);
     E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
     E.ModuleId = HostId;
+    E.IsRemerge = true;
     Pool.push_back(E);
     if (UseIndex)
       Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP,
@@ -289,25 +437,54 @@ void MergePipeline::runParallel(unsigned NumThreads) {
     State[W].Staging->setStaging(true);
   }
 
-  const size_t Window = Options.CommitWindow
-                            ? Options.CommitWindow
-                            : std::max<size_t>(32, 8 * Workers.numThreads());
+  const size_t DefaultWindow = Options.CommitWindow
+                                   ? Options.CommitWindow
+                                   : std::max<size_t>(32, 8 * Workers.numThreads());
+  // SelectionStrategy::Adaptive sizes the window from the observed
+  // per-round staleness (conflicts + predicted conflicts): high
+  // staleness means snapshots rot before commit — shrink; low staleness
+  // means barriers dominate — grow. The window NEVER changes outcomes
+  // (pipeline_test pins that), only speculation waste, so adapting it is
+  // outcome-neutral by construction. An explicit CommitWindow pins it.
+  const bool AdaptWindow = Options.Selection == SelectionStrategy::Adaptive &&
+                           Options.CommitWindow == 0;
+  const size_t MinWindow = std::max<size_t>(8, Workers.numThreads());
+  const size_t MaxWindow = DefaultWindow * 4;
+  size_t Window = DefaultWindow;
+  const bool ProfitGuided = Options.Selection != SelectionStrategy::Distance;
 
   size_t Cursor = 0;
   while (Cursor < Pool.size()) {
     size_t End = std::min(Pool.size(), Cursor + Window);
+    const unsigned ConflictsBefore =
+        Stats.CommitConflicts + Stats.SpeculationsSkipped;
 
     // Rank stage: snapshot the top-t list of every live entry in the
-    // window against the current pool.
+    // window against the current pool. The profit-guided modes predict
+    // commit conflicts while snapshotting: once an earlier entry in the
+    // window has claimed a candidate as its top pick (the pair an
+    // earlier serial commit will most likely consume), any later entry
+    // whose own top pick is already claimed skips speculation — its
+    // attempt would very likely be thrown away at commit — and runs
+    // inline at the commit stage instead, exactly like the serial path.
     std::vector<AttemptTask> Tasks;
+    std::unordered_set<uint32_t> Claimed;
     for (size_t I = Cursor; I < End; ++I) {
       if (Pool[I].Consumed)
         continue;
       AttemptTask T;
       T.PoolIdx = static_cast<uint32_t>(I);
       T.Hits = rank(I);
-      if (!T.Hits.empty())
-        Tasks.push_back(std::move(T));
+      if (T.Hits.empty())
+        continue;
+      if (ProfitGuided) {
+        T.Speculate = !Claimed.count(T.PoolIdx) && !Claimed.count(T.Hits[0].Id);
+        Claimed.insert(T.PoolIdx);
+        Claimed.insert(T.Hits[0].Id);
+        if (!T.Speculate)
+          ++Stats.SpeculationsSkipped;
+      }
+      Tasks.push_back(std::move(T));
     }
 
     // Attempt stage: run every snapshot attempt on the worker pool.
@@ -325,6 +502,8 @@ void MergePipeline::runParallel(unsigned NumThreads) {
             if (T >= Tasks.size())
               return;
             AttemptTask &Task = Tasks[T];
+            if (!Task.Speculate)
+              continue; // predicted conflict: commit will run it inline
             const PoolEntry &E1 = Pool[Task.PoolIdx];
             Task.Attempts.reserve(Task.Hits.size());
             for (const CandidateIndex::Hit &R : Task.Hits) {
@@ -345,11 +524,23 @@ void MergePipeline::runParallel(unsigned NumThreads) {
     }
 
     // Commit stage: serial, in pool order, with optimistic
-    // re-validation (see commitEntry).
+    // re-validation (see commitEntry). Entries that skipped speculation
+    // commit exactly like the serial path (no conflict bookkeeping —
+    // their staleness was predicted, not observed).
     for (AttemptTask &T : Tasks)
-      commitEntry(T.PoolIdx, &T);
+      commitEntry(T.PoolIdx, T.Speculate ? &T : nullptr);
 
     Cursor = End;
+
+    if (AdaptWindow && !Tasks.empty()) {
+      const unsigned RoundStale =
+          Stats.CommitConflicts + Stats.SpeculationsSkipped - ConflictsBefore;
+      const double StaleRate = double(RoundStale) / double(Tasks.size());
+      if (StaleRate > 0.5)
+        Window = std::max(MinWindow, Window / 2);
+      else if (StaleRate < 0.125)
+        Window = std::min(MaxWindow, Window * 2);
+    }
   }
 
   // Join the per-worker accumulators in worker order. PeakAlignmentBytes
@@ -364,6 +555,8 @@ void MergePipeline::runParallel(unsigned NumThreads) {
 }
 
 void MergePipeline::run() {
+  Stats.AdaptiveThresholdMax =
+      std::max(Stats.AdaptiveThresholdMax, effectiveThreshold());
   unsigned NumThreads = ThreadPool::resolveThreadCount(Options.NumThreads);
   if (NumThreads <= 1 || Pool.size() < 2) {
     Stats.NumThreadsUsed = 1; // tiny pools fall back to the serial path
@@ -371,5 +564,11 @@ void MergePipeline::run() {
   } else {
     Stats.NumThreadsUsed = NumThreads;
     runParallel(NumThreads);
+  }
+  Stats.AdaptiveThresholdFinal = effectiveThreshold();
+  if (UseIndex) {
+    Stats.PairingDistanceCalls = Index.stats().DistanceCalls;
+    Stats.PairingProbes =
+        Index.stats().SeedProbes + Index.stats().ExpansionSteps;
   }
 }

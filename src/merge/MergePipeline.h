@@ -100,6 +100,11 @@ private:
     unsigned CostSize = 0;  ///< profitability baseline (pre-demotion size)
     uint32_t ModuleId = 0;  ///< index into Modules (0 when single-module)
     bool Consumed = false;
+    /// True for merged functions re-offered to the pool. Their bodies
+    /// carry fid-dispatch overhead (selects, label selection, phis) the
+    /// ProfitModel's original-function calibration does not fit, so the
+    /// profit-guided modes keep plain distance ordering for them.
+    bool IsRemerge = false;
   };
 
   /// Snapshot work unit for one pool entry in an optimistic round.
@@ -107,6 +112,11 @@ private:
     uint32_t PoolIdx = 0;
     std::vector<CandidateIndex::Hit> Hits; ///< snapshot top-t ranking
     std::vector<MergeAttempt> Attempts;    ///< parallel results, 1:1 with Hits
+    /// False when the profit-guided modes predicted this entry's attempt
+    /// would stale (its top candidate was already claimed by an earlier
+    /// entry in the window): workers leave it alone and the commit stage
+    /// runs it inline, exactly like the serial path.
+    bool Speculate = true;
   };
 
   /// Per-worker accumulators, merged into Stats in worker order at join
@@ -122,8 +132,22 @@ private:
   // --- rank stage -----------------------------------------------------------
   void buildPool();
   /// Top-t live candidates for pool entry \p I under the configured
-  /// ranking strategy (instrumented into Stats.RankingSeconds).
+  /// ranking strategy and selection mode (instrumented into
+  /// Stats.RankingSeconds). Under SelectionStrategy::Profit/Adaptive the
+  /// distance slate is widened with the bounded extension, annotated
+  /// with ProfitModel estimates and re-ranked by (bucketed profit,
+  /// same-module, distance, id) before truncation to t. rank() itself
+  /// never advances selection state (model EMA, adaptive t) — only the
+  /// serial commit stage does — so parallel snapshot calls and the
+  /// authoritative commit-stage re-rank share this one entry point.
   std::vector<CandidateIndex::Hit> rank(size_t I);
+  /// The exploration threshold this entry will use: the configured t, or
+  /// the adaptively driven one under SelectionStrategy::Adaptive.
+  unsigned effectiveThreshold() const;
+  /// Re-orders \p Hits by (estimated profit desc, same-module-as-entry,
+  /// distance asc, id asc) and truncates to \p T.
+  void profitRerank(std::vector<CandidateIndex::Hit> &Hits,
+                    uint32_t SelfModule, unsigned T) const;
 
   // --- commit stage ---------------------------------------------------------
   /// Processes pool entry \p I to completion: re-ranks against the
@@ -150,6 +174,35 @@ private:
   std::vector<PoolEntry> Pool;
   CandidateIndex Index;
   bool UseIndex = false;
+
+  // --- profit-guided selection state ----------------------------------------
+  // Everything below only ever advances inside commitEntry (the serial
+  // commit stage), in pool order — which is what keeps the Profit and
+  // Adaptive modes deterministic at every thread count.
+  ProfitModel Profit;       ///< calibrated online from committed records
+  unsigned CurrentT = 1;    ///< adaptive exploration threshold
+  unsigned BaseT = 1;       ///< == Options.ExplorationThreshold
+  unsigned MaxT = 1;        ///< adaptation ceiling (BaseT + AdaptiveRange)
+  unsigned RoundEntries = 0; ///< entries since the last t adjustment
+  unsigned WidenVotes = 0;   ///< deep wins (profit found at the slate tail)
+  unsigned ShrinkVotes = 0;  ///< top-1 wins / dry entries
+  /// Adaptation geometry: how far t may rise above the configured base,
+  /// how wide the distance slate is queried relative to t, and how many
+  /// committed entries form one adaptation round.
+  static constexpr unsigned AdaptiveRange = 4;
+  static constexpr unsigned AdaptRoundSize = 8;
+  /// Resolution at which profit scores are compared during re-ranking:
+  /// scores in the same ScoreBucketBytes-wide bucket count as equal and
+  /// the finer signals (same-module preference, then distance) break
+  /// the tie. This is what keeps the model from evicting a
+  /// near-by-distance candidate over an estimate gap smaller than its
+  /// own error bars — and what gives the same-module preference real
+  /// traction (it decides whole buckets, not exact-to-the-byte ties).
+  static constexpr int64_t ScoreBucketBytes = 64;
+  /// How many bounded-extension candidates (CandidateIndex::query
+  /// ExtraK) widen the profit slate beyond the exact top-t. The
+  /// extension reuses the top-t walk's bound, so it is nearly free.
+  static constexpr unsigned SlateExtra = 2;
 };
 
 } // namespace salssa

@@ -226,6 +226,54 @@ TEST(CrossModuleTest, SplitSuiteMergesStrictlyBetterCrossModule) {
       << PerModuleCommits << " per-module commits did";
 }
 
+TEST(CrossModuleTest, ProfitSelectionClosesTheTwoWayGreedyGap) {
+  // The K=2 greedy-gap regression (ROADMAP "Next" items 1/3, closed by
+  // the profit-guided selection layer): at a 2-way split the global
+  // greedy order can consume partners that per-module runs pair better,
+  // landing the distance-ranked session *above* per-module merging.
+  // Profit-ranked selection — widened slate, estimate re-ranking,
+  // same-module tie-breaking — must recover it: session reduction >=
+  // per-module reduction. Both configurations here gap under Distance
+  // (asserted, so the scenario stays a real one) and close under
+  // Profit. The suite-scale version of this bar (every K in {1,2,4,8})
+  // is enforced by bench_cross_module.
+  struct Config {
+    uint64_t Seed;
+    unsigned NumFns;
+  };
+  for (Config C : {Config{83, 72}, Config{31, 56}}) {
+    BenchmarkProfile P = crossProfile(C.Seed, C.NumFns);
+    auto splitVsSession = [&](SelectionStrategy Sel) {
+      MergeDriverOptions DO = defaultOptions(1);
+      DO.ExplorationThreshold = 2;
+      DO.Selection = Sel;
+      uint64_t PerModuleAfter = 0;
+      {
+        Context Ctx;
+        ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+        for (size_t I = 0; I < Group.size(); ++I) {
+          runFunctionMerging(Group[I], DO);
+          PerModuleAfter += estimateModuleSize(Group[I], DO.Arch);
+          EXPECT_TRUE(verifyModule(Group[I]).ok());
+        }
+      }
+      GroupOutcome Session = runSession(P, 2, DO);
+      EXPECT_TRUE(Session.VerifierOk);
+      return std::make_pair(PerModuleAfter, Session);
+    };
+    auto [DistancePer, DistanceSession] =
+        splitVsSession(SelectionStrategy::Distance);
+    EXPECT_GT(DistanceSession.SizeAfter, DistancePer)
+        << "seed " << C.Seed << ": the distance-mode greedy gap this "
+        << "regression guards closed on its own — pick a gapping config";
+    auto [ProfitPer, ProfitSession] = splitVsSession(SelectionStrategy::Profit);
+    EXPECT_GT(ProfitSession.CrossModuleMerges, 0u) << "seed " << C.Seed;
+    EXPECT_LE(ProfitSession.SizeAfter, ProfitPer)
+        << "seed " << C.Seed << ": profit-ranked session must merge at "
+        << "least as well as per-module runs at a 2-way split";
+  }
+}
+
 TEST(CrossModuleTest, GroupRebuildIsDeterministic) {
   // buildBenchmarkModuleGroup's own contract: same (profile, K) twice →
   // byte-identical modules. Everything above leans on this.
