@@ -14,6 +14,11 @@
 /// Environment knobs:
 ///   SALSSA_BENCH_SCALE  - divide every profile's function count by this
 ///                         factor (quick smoke runs); default 1.
+///   SALSSA_BENCH_JSON   - when set, every benchmark's smoke run appends
+///                         one JSON object (name + headline metrics) per
+///                         line to this file; CI assembles the lines
+///                         into the BENCH_ci.json artifact that tracks
+///                         the perf trajectory per PR (JsonSummary).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -131,6 +136,48 @@ inline double geomean(const std::vector<double> &Values) {
   }
   return N == 0 ? 0 : std::exp(LogSum / N);
 }
+
+/// One benchmark's machine-readable summary line. Collects (key, value)
+/// pairs and, when the SALSSA_BENCH_JSON environment variable names a
+/// file, appends them as a single JSON object line on destruction —
+/// nothing happens without the variable, so interactive runs stay
+/// byte-identical. Values are numbers or plain identifier-ish strings;
+/// keys are snake_case literals (no escaping is attempted beyond
+/// quoting, by construction of the call sites).
+class JsonSummary {
+public:
+  explicit JsonSummary(const std::string &Bench) {
+    Line = "{\"bench\": \"" + Bench + "\"";
+  }
+  JsonSummary(const JsonSummary &) = delete;
+  JsonSummary &operator=(const JsonSummary &) = delete;
+
+  void add(const std::string &Key, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Line += ", \"" + Key + "\": " + Buf;
+  }
+  void add(const std::string &Key, uint64_t V) {
+    Line += ", \"" + Key + "\": " + std::to_string(V);
+  }
+  void add(const std::string &Key, unsigned V) { add(Key, uint64_t(V)); }
+  void add(const std::string &Key, const std::string &V) {
+    Line += ", \"" + Key + "\": \"" + V + "\"";
+  }
+
+  ~JsonSummary() {
+    const char *Path = std::getenv("SALSSA_BENCH_JSON");
+    if (!Path)
+      return;
+    if (std::FILE *F = std::fopen(Path, "a")) {
+      std::fprintf(F, "%s}\n", Line.c_str());
+      std::fclose(F);
+    }
+  }
+
+private:
+  std::string Line;
+};
 
 inline void printHeader(const std::string &Title) {
   std::printf("\n=== %s ===\n", Title.c_str());

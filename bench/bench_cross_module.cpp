@@ -180,6 +180,13 @@ int smokeMode() {
                 (unsigned long long)P2.PerModuleAfter);
     return 1;
   }
+  JsonSummary Json("bench_cross_module");
+  Json.add("pool_functions", uint64_t(PoolFns));
+  Json.add("cross_reduction_pct", R.crossReduction());
+  Json.add("per_module_reduction_pct", R.perModuleReduction());
+  Json.add("cross_commits", R.CrossCommits);
+  Json.add("cross_module_commits", R.CrossOfWhichCrossModule);
+  Json.add("cross_seconds", R.CrossSeconds);
   std::printf("PASS: distance K=4 cross %.2f%% > per-module %.2f%%; "
               "profit K=2 cross %.2f%% >= per-module %.2f%%\n",
               R.crossReduction(), R.perModuleReduction(),

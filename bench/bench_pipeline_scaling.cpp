@@ -133,6 +133,13 @@ int smokeMode() {
                 Attempt + 1, Serial.TotalSeconds, MT, Multi.TotalSeconds,
                 Speedup, Multi.CommittedMerges, Multi.CommitConflicts);
     if (Speedup >= NeedSpeedup) {
+      JsonSummary Json("bench_pipeline_scaling");
+      Json.add("pool_functions", uint64_t(PoolFns));
+      Json.add("threads", MT);
+      Json.add("speedup_vs_serial", Speedup);
+      Json.add("serial_seconds", Serial.TotalSeconds);
+      Json.add("multi_seconds", Multi.TotalSeconds);
+      Json.add("commits", Multi.CommittedMerges);
       std::printf("PASS: multi-thread throughput is %.2fx of serial "
                   "(threshold %.2fx)\n", Speedup, NeedSpeedup);
       return 0;

@@ -119,6 +119,11 @@ int smokeMode() {
                 Index.RankingSeconds * 1e3, Ratio, Index.CommittedMerges,
                 (unsigned long long)Index.SizeAfter);
     if (Ratio <= 1.5) {
+      JsonSummary Json("bench_ranking_scaling");
+      Json.add("pool_functions", uint64_t(PoolSize));
+      Json.add("pairing_ratio_vs_brute", Ratio);
+      Json.add("index_pairing_seconds", Index.RankingSeconds);
+      Json.add("commits", Index.CommittedMerges);
       std::printf("PASS: index pairing is %.2fx of brute force "
                   "(threshold 1.5x)\n", Ratio);
       return 0;

@@ -137,6 +137,14 @@ int smokeMode() {
     return 1;
   }
 
+  JsonSummary Json("bench_selection");
+  Json.add("pool_functions", uint64_t(PoolFns));
+  Json.add("profit_commits", Profit.Commits);
+  Json.add("profit_reduction_pct", Profit.reduction());
+  Json.add("distance_reduction_pct", Distance.reduction());
+  Json.add("pairing_work_ratio", WorkRatio);
+  Json.add("pairing_distance_calls", Profit.PairingDistanceCalls);
+
   // Pairing leg, part 2 — wall clock, best of 3 per mode, *reported*
   // but never enforced: the phase totals a few milliseconds, so under a
   // loaded CI machine (ctest -j next to a sanitizer build) the ratio

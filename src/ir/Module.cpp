@@ -101,6 +101,12 @@ Module &ModuleGroup::add(std::unique_ptr<Module> M) {
   return *Members.back();
 }
 
+void ModuleGroup::adopt(ModuleGroup &&Other) {
+  for (std::unique_ptr<Module> &M : Other.Members)
+    Members.push_back(std::move(M));
+  Other.Members.clear();
+}
+
 std::string Module::makeUniqueName(const std::string &Prefix) {
   std::string Candidate;
   do {

@@ -123,6 +123,11 @@ public:
   /// Takes ownership of \p M and returns a reference to it.
   Module &add(std::unique_ptr<Module> M);
 
+  /// Moves every module of \p Other into this group, preserving order
+  /// (\p Other is left empty). Used to assemble heterogeneous groups
+  /// from independently built sub-groups (workloads/Suites.h).
+  void adopt(ModuleGroup &&Other);
+
   size_t size() const { return Members.size(); }
   Module &operator[](size_t I) const { return *Members[I]; }
   const std::vector<std::unique_ptr<Module>> &modules() const {

@@ -31,7 +31,10 @@ bool ranksBefore(const CandidateIndex::Hit &A, const CandidateIndex::Hit &B) {
 } // namespace
 
 CandidateIndex::Partition &CandidateIndex::partitionFor(Type *RetTy) {
-  return Partitions[RetTy];
+  auto Inserted = Partitions.try_emplace(RetTy);
+  if (Inserted.second)
+    PartitionOrder.push_back(RetTy); // first-insertion order, never erased
+  return Inserted.first->second;
 }
 
 const CandidateIndex::Partition *
@@ -56,6 +59,10 @@ void CandidateIndex::insert(uint32_t Id, const Fingerprint &FP,
   P.MinSize = std::min(P.MinSize, FP.Size);
   P.MaxSize = std::max(P.MaxSize, FP.Size);
   ++P.NumLive;
+  P.SizeSum += FP.Size;
+  P.CostSum += uint64_t(FP.Size) * uint64_t(FP.Size);
+  for (size_t G = 0; G < Fingerprint::NumGroups; ++G)
+    P.GroupAgg[G] += FP.GroupSum[G];
   for (size_t B = 0; B < Fingerprint::SketchBands; ++B)
     P.Bands[FP.bandHash(B)].push_back(Id);
   ++NumLive;
@@ -86,6 +93,10 @@ void CandidateIndex::retire(uint32_t Id) {
   Partition &P = partitionFor(E.FP.RetTy);
   swapAndPop(P.SizeBuckets[E.FP.Size], Id);
   --P.NumLive;
+  P.SizeSum -= E.FP.Size;
+  P.CostSum -= uint64_t(E.FP.Size) * uint64_t(E.FP.Size);
+  for (size_t G = 0; G < Fingerprint::NumGroups; ++G)
+    P.GroupAgg[G] -= E.FP.GroupSum[G];
   for (size_t B = 0; B < Fingerprint::SketchBands; ++B) {
     auto BucketIt = P.Bands.find(E.FP.bandHash(B));
     if (BucketIt == P.Bands.end())
@@ -96,6 +107,26 @@ void CandidateIndex::retire(uint32_t Id) {
   }
   E.Live = false;
   --NumLive;
+}
+
+std::vector<CandidateIndex::PartitionSummary>
+CandidateIndex::partitionSummaries() const {
+  std::vector<PartitionSummary> Summaries;
+  Summaries.reserve(PartitionOrder.size());
+  for (size_t I = 0; I < PartitionOrder.size(); ++I) {
+    const Partition &P = Partitions.at(PartitionOrder[I]);
+    PartitionSummary S;
+    S.RetTy = PartitionOrder[I];
+    S.FirstSeen = static_cast<uint32_t>(I);
+    S.Live = P.NumLive;
+    S.SizeSum = P.SizeSum;
+    S.CostSum = P.CostSum;
+    for (size_t G = 1; G < Fingerprint::NumGroups; ++G)
+      if (P.GroupAgg[G] > P.GroupAgg[S.CoarseBucket])
+        S.CoarseBucket = static_cast<uint32_t>(G);
+    Summaries.push_back(S);
+  }
+  return Summaries;
 }
 
 std::vector<CandidateIndex::Hit>

@@ -83,6 +83,40 @@ public:
     uint64_t DistanceCalls = 0;   ///< exact distance evaluations
   };
 
+  /// Aggregate view of one merge-compatibility partition (all live
+  /// entries sharing a return type — the only candidates ever at finite
+  /// distance from each other, hence the provable independence boundary
+  /// sharded sessions split on; see ShardedSessionRunner.h). Summaries
+  /// are reported in *first-insertion order*, which is deterministic
+  /// given the caller's insertion order — never in hash-map order.
+  struct PartitionSummary {
+    Type *RetTy = nullptr;
+    /// First-insertion rank of this partition (== its index in the
+    /// summary vector): a stable partition id across runs.
+    uint32_t FirstSeen = 0;
+    size_t Live = 0;
+    /// Σ Fingerprint::Size over live entries.
+    uint64_t SizeSum = 0;
+    /// Σ Size² over live entries — the alignment-cost proxy shard
+    /// balancing weighs partitions by (attempt cost is quadratic in
+    /// function size, so SizeSum alone under-weights giant-function
+    /// partitions).
+    uint64_t CostSum = 0;
+    /// The partition's dominant coarse-histogram group (argmax of the
+    /// live entries' summed Fingerprint::GroupSum; ties to the lowest
+    /// group): a cheap structural signature, mixed into the shard
+    /// assignment seed so equal-weight partitions spread deterministically
+    /// rather than by insertion accident.
+    uint32_t CoarseBucket = 0;
+  };
+
+  /// Live-partition summaries in first-insertion order. Partitions whose
+  /// every entry has been retired are still reported (Live == 0) so the
+  /// FirstSeen ranks stay stable.
+  std::vector<PartitionSummary> partitionSummaries() const;
+
+  size_t numPartitions() const { return PartitionOrder.size(); }
+
   /// Registers \p FP under \p Id and makes it live. \p Id must not be
   /// currently live; ids should be dense (they index an internal vector).
   /// \p ModuleId tags the entry with its owning module (see Hit).
@@ -142,6 +176,11 @@ private:
     uint32_t MinSize = UINT32_MAX;
     uint32_t MaxSize = 0;
     size_t NumLive = 0;
+    /// Aggregates over the live entries, maintained by insert/retire,
+    /// backing partitionSummaries().
+    uint64_t SizeSum = 0;
+    uint64_t CostSum = 0;
+    std::array<uint64_t, Fingerprint::NumGroups> GroupAgg{};
     /// LSH band buckets: band-salted hash -> live ids.
     std::unordered_map<uint64_t, std::vector<uint32_t>> Bands;
   };
@@ -151,6 +190,9 @@ private:
 
   std::vector<Entry> Entries;
   std::unordered_map<Type *, Partition> Partitions;
+  /// Return types in first-insertion order (never erased): the
+  /// deterministic iteration order partitionSummaries() reports in.
+  std::vector<Type *> PartitionOrder;
   size_t NumLive = 0;
 
   // Query-scoped scratch: epoch-stamped visited marks, reused across

@@ -9,6 +9,7 @@
 #include "ir/Module.h"
 #include "ir/SymbolResolution.h"
 #include "merge/MergePipeline.h"
+#include "merge/ShardedSessionRunner.h"
 #include "support/Chrono.h"
 #include "transforms/Mem2Reg.h"
 #include "transforms/Reg2Mem.h"
@@ -40,6 +41,7 @@ void CrossModuleMerger::setHostModule(Module &M) {
   assert(std::find(Modules.begin(), Modules.end(), &M) != Modules.end() &&
          "host must be a registered module");
   Host = &M;
+  ExplicitHost = true;
 }
 
 CrossModuleStats CrossModuleMerger::run() {
@@ -47,11 +49,24 @@ CrossModuleStats CrossModuleMerger::run() {
   assert(!Ran && "a session runs exactly once");
   Ran = true;
 
+  // Sharded execution of this very session: same modules, same host
+  // rules, split by merge-compatibility class (ShardedSessionRunner.h).
+  if (Options.ShardCount != 1) {
+    ShardedSessionRunner Sharded(Options);
+    for (Module *M : Modules)
+      Sharded.addModule(*M);
+    if (ExplicitHost)
+      Sharded.setHostModule(*Host);
+    CrossModuleStats S = Sharded.run();
+    Host = Sharded.hostModule();
+    return S;
+  }
+
   CrossModuleStats Stats;
   Stats.NumModules = static_cast<unsigned>(Modules.size());
   auto T0 = std::chrono::steady_clock::now();
   const bool IsFMSA = Options.Technique == MergeTechnique::FMSA;
-  Context &Ctx = Host->getContext();
+  Context &Ctx = Modules.front()->getContext();
 
   for (Module *M : Modules)
     Stats.SizeBefore += estimateModuleSize(*M, Options.Arch);
@@ -65,6 +80,12 @@ CrossModuleStats CrossModuleMerger::run() {
   SymbolResolutionStats Resolution = resolveCalleesAcrossModules(Modules);
   Stats.CanonicalSymbols = Resolution.CanonicalSymbols;
   Stats.RetargetedCalls = Resolution.RetargetedCalls;
+
+  // Host policy resolves after symbol resolution so HostPolicy::Hottest
+  // counts cross-TU call sites against their canonical definitions'
+  // module (see selectHostModule).
+  if (!ExplicitHost)
+    Host = selectHostModule(Modules, Options.Host, Options.Arch);
 
   // Mirror runFunctionMerging stage for stage, just over the whole module
   // set — this parallelism of structure is what makes the N=1 session

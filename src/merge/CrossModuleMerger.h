@@ -124,20 +124,29 @@ public:
   void addModule(Module &M);
 
   /// Designates \p M (already registered) as the host module that will
-  /// own every merged function. Defaults to the first registered module.
+  /// own every merged function, overriding MergeDriverOptions::Host.
+  /// Without an explicit host, run() resolves the configured HostPolicy
+  /// (First — the legacy default —, Biggest, or Hottest; see
+  /// selectHostModule in ShardedSessionRunner.h).
   void setHostModule(Module &M);
 
+  /// The explicitly designated host; before run() resolves a policy this
+  /// reports the would-be HostPolicy::First choice.
   Module *hostModule() const { return Host; }
   size_t numModules() const { return Modules.size(); }
 
   /// Runs the session to quiescence. Call exactly once, after all
-  /// addModule calls.
+  /// addModule calls. When MergeDriverOptions::ShardCount != 1 the
+  /// session delegates to a ShardedSessionRunner over the same module
+  /// set and host — the sharded execution of exactly this session (see
+  /// ShardedSessionRunner.h for the equivalence contract).
   CrossModuleStats run();
 
 private:
   MergeDriverOptions Options;
   std::vector<Module *> Modules;
   Module *Host = nullptr;
+  bool ExplicitHost = false;
   bool Ran = false;
 };
 

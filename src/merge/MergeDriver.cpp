@@ -20,8 +20,10 @@ using namespace salssa;
 MergeDriverStats salssa::runFunctionMerging(Module &M,
                                             const MergeDriverOptions &Options) {
   // A/B route: the cross-module session with one registered module must
-  // reproduce the direct path bit for bit (cross_module_test enforces it).
-  if (Options.CrossModule) {
+  // reproduce the direct path bit for bit (cross_module_test enforces
+  // it). Sharded runs (ShardCount != 1) take the same route — the
+  // session layer owns shard orchestration.
+  if (Options.CrossModule || Options.ShardCount != 1) {
     MergeDriverOptions Direct = Options;
     Direct.CrossModule = false; // the session drives the pipeline itself
     CrossModuleMerger Session(Direct);

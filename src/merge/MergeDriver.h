@@ -81,6 +81,25 @@ struct MergeDriverOptions {
   /// any divergence the cross-module generalization ever introduces
   /// into the single-module driver is caught immediately.
   bool CrossModule = false;
+  /// Parallel sharding of a whole-program session (ShardedSessionRunner):
+  /// the pool's merge-compatibility classes (per-return-type partitions —
+  /// provably independent, since cross-type pairs rank at +inf) are
+  /// packed onto this many shards, each run as an independent serial
+  /// pipeline on the worker pool, then spliced back serially with the
+  /// unsharded session's exact record order and name allocation.
+  ///   1 (default)  unsharded (the plain CrossModuleMerger pipeline);
+  ///   0            auto: min(resolved NumThreads, live classes);
+  ///   N > 1        clamped to the number of live classes.
+  /// Under the default Distance selection the sharded result is
+  /// bit-identical to the unsharded session at every shard x thread
+  /// count (sharded_session_test pins it). The profit-guided modes stay
+  /// deterministic per (ShardCount, any thread count) but calibrate
+  /// their ProfitModel per shard — a shard is its own session — so their
+  /// merge set matches the unsharded run only at ShardCount 1.
+  unsigned ShardCount = 1;
+  /// Host-module selection for whole-program sessions when the caller
+  /// does not pick one explicitly (see HostPolicy, MergeOptions.h).
+  HostPolicy Host = HostPolicy::First;
 };
 
 /// One committed/attempted merge record (drives Fig 19/21/22/23).
@@ -146,6 +165,16 @@ struct MergeDriverStats {
   // identical at every thread count.
   unsigned AdaptiveThresholdMax = 0;   ///< peak exploration threshold
   unsigned AdaptiveThresholdFinal = 0; ///< threshold after the last entry
+
+  // Sharded-session instrumentation (ShardedSessionRunner; both keep
+  // their defaults on unsharded runs). ShardCount is the *effective*
+  // shard count after clamping to the number of live compatibility
+  // classes. ShardImbalance is max shard weight / mean shard weight
+  // under the balancer's alignment-cost proxy (Σ size² per class), 1.0 =
+  // perfectly balanced, 0 when the pool was empty — the number to watch
+  // when sharded wall-clock stops tracking 1/ShardCount.
+  unsigned ShardCount = 1;
+  double ShardImbalance = 1.0;
 
   // Pairing-work counters (RankingStrategy::CandidateIndex only; 0 for
   // brute force). Deterministic — unlike RankingSeconds — so regression

@@ -51,6 +51,27 @@ enum class SelectionStrategy : uint8_t {
   Adaptive,
 };
 
+/// How a whole-program session picks the *host* module — the one module
+/// every merged function materializes in (CrossModuleMerger,
+/// ShardedSessionRunner). An explicit setHostModule always wins over the
+/// policy.
+enum class HostPolicy : uint8_t {
+  /// The first registered module (the legacy behaviour).
+  First,
+  /// The module with the largest estimated size (SizeModel under the
+  /// session's TargetArch). Rationale: the biggest module contributes the
+  /// most pool entries, so hosting there maximizes intra-module commits
+  /// (no cross-module operand references, cheaper link layouts). Ties go
+  /// to the earlier-registered module.
+  Biggest,
+  /// The module whose *definitions* receive the most call sites across
+  /// the whole registered set (a static hotness proxy: no profile data is
+  /// modelled, so call-site in-degree stands in for call frequency).
+  /// Merged bodies land next to the callers that reach them most often.
+  /// Ties go to the earlier-registered module.
+  Hottest,
+};
+
 /// Code-generator options.
 struct MergeCodeGenOptions {
   /// §4.4: coalesce disjoint definitions into one slot before SSA

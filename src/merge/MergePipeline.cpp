@@ -74,12 +74,29 @@ MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
                              Module &Host, const MergeDriverOptions &Options,
                              const std::map<Function *, unsigned> &BaselineSize,
                              MergeDriverStats &Stats)
-    : Modules(Modules), Host(Host), Options(Options),
+    : MergePipeline(Modules, Host, Options, BaselineSize, Stats,
+                    PipelineShardScope()) {}
+
+MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
+                             Module &Host, const MergeDriverOptions &Options,
+                             const std::map<Function *, unsigned> &BaselineSize,
+                             MergeDriverStats &Stats,
+                             const PipelineShardScope &Scope)
+    : Modules(Modules), Host(Host),
+      Materialize(Scope.Materialize ? Scope.Materialize : &Host),
+      PoolFilter(Scope.PoolFilter), PrecomputedFPs(Scope.Fingerprints),
+      Journal(Scope.Journal), Options(Options),
       BaselineSize(BaselineSize), Stats(Stats),
       CGOpts(MergeCodeGenOptions::forTechnique(Options.Technique,
                                                Options.EnablePhiCoalescing)),
       UseIndex(Options.Ranking == RankingStrategy::CandidateIndex) {
   assert(!this->Modules.empty() && "pipeline needs at least one module");
+  assert((Materialize == &Host ||
+          (std::find(this->Modules.begin(), this->Modules.end(),
+                     Materialize) == this->Modules.end() &&
+           &Materialize->getContext() == &Host.getContext())) &&
+         "a scratch materialization module must be outside the module set "
+         "and share the host's Context");
   auto HostIt = std::find(this->Modules.begin(), this->Modules.end(), &Host);
   assert(HostIt != this->Modules.end() && "host must be a registered module");
   HostId = static_cast<uint32_t>(HostIt - this->Modules.begin());
@@ -109,11 +126,28 @@ void MergePipeline::buildPool() {
   // replay the single-module driver exactly.
   for (size_t Mi = 0; Mi < Modules.size(); ++Mi) {
     for (Function *F : Modules[Mi]->functions()) {
-      if (!F->isMergeable())
+      // Under a shard scope the filter is the authoritative pool
+      // predicate: the runner computed it from mergeable functions
+      // before any shard launched, and checking it FIRST keeps this
+      // shard from reading a foreign function's body state (its block
+      // list) while another shard's commit stage is rewriting it into a
+      // thunk — a data race isMergeable() would otherwise introduce.
+      if (PoolFilter) {
+        if (!PoolFilter->count(F))
+          continue; // outside this shard's merge-compatibility classes
+      } else if (!F->isMergeable()) {
         continue;
+      }
       PoolEntry E;
       E.F = F;
-      E.FP = Fingerprint::compute(*F);
+      if (PrecomputedFPs) {
+        auto FPIt = PrecomputedFPs->find(F);
+        assert(FPIt != PrecomputedFPs->end() &&
+               "precomputed fingerprints must cover the filtered pool");
+        E.FP = *FPIt->second;
+      } else {
+        E.FP = Fingerprint::compute(*F);
+      }
       E.CostSize = BaselineSize.at(F);
       E.ModuleId = static_cast<uint32_t>(Mi);
       Pool.push_back(E);
@@ -250,8 +284,12 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     // snapshot attempts already ran).
     if (Spec)
       discardRemaining(*Spec);
+    if (Journal)
+      Journal->push_back(PipelineEntryTrace());
     return;
   }
+  PipelineEntryTrace Trace;
+  Trace.EntryFn = Pool[I].F;
   Function *F1 = Pool[I].F;
   Context &Ctx = Host.getContext();
 
@@ -297,14 +335,15 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       A = takeAttempt(Spec->Attempts[static_cast<size_t>(SpecSlot)]);
       // Replay the name id the serial generator would have consumed for
       // this attempt; the winner is adopted under it below.
-      StagedName = Host.makeUniqueName(F1->getName() + ".m");
+      StagedName = Materialize->makeUniqueName(F1->getName() + ".m");
     } else {
-      // Inline attempts generate directly into the host module — for a
-      // single registered module that is F1's own module (the legacy
-      // behaviour, same name-counter burn per attempt), and for a
-      // cross-module run it is where the winner must end up anyway.
+      // Inline attempts generate directly into the materialization
+      // module — normally the host (for a single registered module that
+      // is F1's own module: the legacy behaviour, same name-counter burn
+      // per attempt; for a cross-module run it is where the winner must
+      // end up anyway), the shard scratch host under a shard scope.
       A = attemptMerge(*F1, *F2, CGOpts, Options.Arch, Pool[I].CostSize,
-                       Pool[R.Id].CostSize, &Host);
+                       Pool[R.Id].CostSize, Materialize);
       // Driver-thread accumulator (workers own theirs; see
       // MergeDriverStats).
       Stats.AlignmentSeconds += A.Stats.AlignmentSeconds;
@@ -313,6 +352,7 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
         ++Stats.InlineReattempts;
     }
     ++Stats.Attempts;
+    Trace.Partners.push_back(F2);
     Stats.PeakAlignmentBytes =
         std::max(Stats.PeakAlignmentBytes, A.Stats.AlignmentBytes);
     MergeRecord Rec;
@@ -380,14 +420,17 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     }
   }
 
-  if (!Best.Valid)
+  if (!Best.Valid) {
+    if (Journal)
+      Journal->push_back(std::move(Trace));
     return;
+  }
 
   // Commit: thunk both inputs (each in its own module), retire them from
-  // the pool, and offer the merged function — which lives in the host
-  // module — for further merging.
+  // the pool, and offer the merged function — which lives in the
+  // materialization module — for further merging.
   if (!BestName.empty())
-    adoptMergedFunction(Best, Host, BestName);
+    adoptMergedFunction(Best, *Materialize, BestName);
   commitMerge(Best, Ctx);
   ++Stats.CommittedMerges;
   if (Pool[I].ModuleId != Pool[BestIdx].ModuleId)
@@ -396,6 +439,10 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   // could flag the wrong record when the same pair is re-attempted
   // across pool iterations.
   Stats.Records[BestRecord].Committed = true;
+  if (Journal) {
+    Trace.WinnerRecord = static_cast<int32_t>(BestSlate);
+    Trace.Merged = Best.Gen.Merged;
+  }
   Pool[I].Consumed = true;
   Pool[BestIdx].Consumed = true;
   if (UseIndex) {
@@ -414,6 +461,8 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP,
                    HostId);
   }
+  if (Journal)
+    Journal->push_back(std::move(Trace));
 }
 
 //===----------------------------------------------------------------------===//
@@ -526,9 +575,22 @@ void MergePipeline::runParallel(unsigned NumThreads) {
     // Commit stage: serial, in pool order, with optimistic
     // re-validation (see commitEntry). Entries that skipped speculation
     // commit exactly like the serial path (no conflict bookkeeping —
-    // their staleness was predicted, not observed).
-    for (AttemptTask &T : Tasks)
-      commitEntry(T.PoolIdx, T.Speculate ? &T : nullptr);
+    // their staleness was predicted, not observed). Entries the snapshot
+    // loop never turned into tasks (already consumed, or silent: no live
+    // same-class candidate existed — and none can appear later, see the
+    // snapshot loop) still get their empty journal slot so the journal
+    // stays 1:1 with serial pool order at every thread count.
+    size_t TaskCursor = 0;
+    for (size_t I = Cursor; I < End; ++I) {
+      if (TaskCursor < Tasks.size() && Tasks[TaskCursor].PoolIdx == I) {
+        AttemptTask &T = Tasks[TaskCursor++];
+        commitEntry(T.PoolIdx, T.Speculate ? &T : nullptr);
+      } else if (Journal) {
+        PipelineEntryTrace Trace;
+        Trace.EntryFn = Pool[I].Consumed ? nullptr : Pool[I].F;
+        Journal->push_back(std::move(Trace));
+      }
+    }
 
     Cursor = End;
 

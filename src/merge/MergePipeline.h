@@ -59,10 +59,62 @@
 #include "merge/MergeDriver.h"
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace salssa {
 
 class Module;
+
+/// Journal record of one commitEntry invocation, appended in serial pool
+/// order (exactly one per pool entry, empty for entries that produced no
+/// attempts). ShardedSessionRunner replays these journals to splice
+/// per-shard results back into the host module with the exact attempt
+/// order, record order and unique-name sequence of an unsharded run:
+/// names are re-derived from the Function pointers at splice time (by
+/// then every earlier merged function already carries its final host
+/// name), so shard-local staging names never leak into the result.
+struct PipelineEntryTrace {
+  /// The pool entry's function (null for entries consumed before their
+  /// turn — they emit nothing and burn nothing).
+  Function *EntryFn = nullptr;
+  /// One partner per record this entry emitted, in attempt order.
+  std::vector<Function *> Partners;
+  /// Offset of the committed attempt within Partners, -1 when the entry
+  /// committed nothing.
+  int32_t WinnerRecord = -1;
+  /// The committed merged function (in the Materialize module), null
+  /// when WinnerRecord is -1.
+  Function *Merged = nullptr;
+};
+
+/// Narrowing scope for one shard of a sharded session (see
+/// ShardedSessionRunner.h). All three fields are optional; a
+/// default-constructed scope reproduces the plain cross-module pipeline.
+struct PipelineShardScope {
+  /// Module that receives every generated merged function instead of the
+  /// host (a shard-local scratch host). The pipeline's *logical* host —
+  /// remerge module ids, cross-module accounting, same-module
+  /// tie-breaking — stays the real host; only materialization (function
+  /// creation, unique-name burning, adoption) is redirected. Must not be
+  /// one of the registered modules and must share their Context.
+  Module *Materialize = nullptr;
+  /// When set, only functions in this set enter the candidate pool. The
+  /// caller guarantees the set is merge-closed (no function outside it
+  /// can ever rank against one inside — per-return-type partitions have
+  /// this property; see ShardedSessionRunner.h).
+  const std::unordered_set<const Function *> *PoolFilter = nullptr;
+  /// Optional precomputed fingerprints covering (at least) every
+  /// function in PoolFilter, captured at the same lifecycle point
+  /// buildPool would compute them (post FMSA demotion, pre merging).
+  /// Saves the sharded runner's planning pass from being recomputed
+  /// once more per shard. Pointees must outlive the pipeline.
+  const std::unordered_map<const Function *, const Fingerprint *>
+      *Fingerprints = nullptr;
+  /// When set, one PipelineEntryTrace is appended per pool entry in
+  /// serial pool order.
+  std::vector<PipelineEntryTrace> *Journal = nullptr;
+};
 
 /// One run of the staged merge driver over a module. Constructed with the
 /// pool's profitability baselines (captured before any preprocessing),
@@ -84,6 +136,13 @@ public:
                 const MergeDriverOptions &Options,
                 const std::map<Function *, unsigned> &BaselineSize,
                 MergeDriverStats &Stats);
+  /// Sharded variant: like the cross-module constructor, additionally
+  /// narrowed by \p Scope (see PipelineShardScope). ShardedSessionRunner
+  /// is the only intended caller.
+  MergePipeline(const std::vector<Module *> &Modules, Module &Host,
+                const MergeDriverOptions &Options,
+                const std::map<Function *, unsigned> &BaselineSize,
+                MergeDriverStats &Stats, const PipelineShardScope &Scope);
   ~MergePipeline();
 
   MergePipeline(const MergePipeline &) = delete;
@@ -164,7 +223,16 @@ private:
   void runParallel(unsigned NumThreads);
 
   std::vector<Module *> Modules;
-  Module &Host; ///< receives every merged function; a member of Modules
+  Module &Host; ///< the logical host; a member of Modules
+  /// Where merged functions are actually generated/adopted and unique
+  /// names burned: &Host normally, the shard scratch host under a
+  /// PipelineShardScope (ShardedSessionRunner re-burns the real host's
+  /// names at splice time).
+  Module *Materialize = nullptr;
+  const std::unordered_set<const Function *> *PoolFilter = nullptr;
+  const std::unordered_map<const Function *, const Fingerprint *>
+      *PrecomputedFPs = nullptr;
+  std::vector<PipelineEntryTrace> *Journal = nullptr;
   uint32_t HostId = 0; ///< Host's index in Modules (remerge entries' id)
   const MergeDriverOptions &Options;
   const std::map<Function *, unsigned> &BaselineSize;

@@ -1,0 +1,366 @@
+//===- merge/ShardedSessionRunner.cpp - Sharded whole-program sessions ---------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/ShardedSessionRunner.h"
+#include "codesize/SizeModel.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/SymbolResolution.h"
+#include "merge/MergePipeline.h"
+#include "support/Chrono.h"
+#include "support/ThreadPool.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/Reg2Mem.h"
+#include "transforms/Simplify.h"
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <unordered_map>
+
+using namespace salssa;
+
+Module *salssa::selectHostModule(const std::vector<Module *> &Modules,
+                                 HostPolicy Policy, TargetArch Arch) {
+  if (Modules.empty())
+    return nullptr;
+  if (Policy == HostPolicy::First || Modules.size() == 1)
+    return Modules.front();
+
+  std::vector<uint64_t> Score(Modules.size(), 0);
+  if (Policy == HostPolicy::Biggest) {
+    for (size_t I = 0; I < Modules.size(); ++I)
+      Score[I] = estimateModuleSize(*Modules[I], Arch);
+  } else { // HostPolicy::Hottest
+    // Call-site in-degree of each module's definitions, counted over the
+    // whole registered set. Both sessions resolve the policy AFTER
+    // linker-style symbol resolution, so cross-TU calls — retargeted
+    // from per-module extern declarations onto their canonical
+    // definitions — count toward the definition's module. Callees still
+    // left as declarations host no body to be "hot" and are skipped.
+    std::unordered_map<const Module *, size_t> Rank;
+    for (size_t I = 0; I < Modules.size(); ++I)
+      Rank[Modules[I]] = I;
+    for (Module *M : Modules)
+      for (Function *F : M->functions())
+        for (BasicBlock *BB : *F)
+          for (Instruction *I : *BB) {
+            auto *CB = dyn_cast<CallBase>(I);
+            if (!CB || !CB->getCallee() || CB->getCallee()->isDeclaration())
+              continue;
+            auto It = Rank.find(CB->getCallee()->getParent());
+            if (It != Rank.end())
+              ++Score[It->second];
+          }
+  }
+  // Max score, ties to the earlier-registered module.
+  size_t BestIdx = 0;
+  for (size_t I = 1; I < Modules.size(); ++I)
+    if (Score[I] > Score[BestIdx])
+      BestIdx = I;
+  return Modules[BestIdx];
+}
+
+ShardedSessionRunner::ShardedSessionRunner(const MergeDriverOptions &Options)
+    : Options(Options) {}
+
+void ShardedSessionRunner::addModule(Module &M) {
+  assert(!Ran && "modules must be registered before run()");
+  assert(std::find(Modules.begin(), Modules.end(), &M) == Modules.end() &&
+         "module registered twice");
+  assert((Modules.empty() ||
+          &M.getContext() == &Modules.front()->getContext()) &&
+         "all registered modules must share one Context");
+  Modules.push_back(&M);
+}
+
+void ShardedSessionRunner::setHostModule(Module &M) {
+  assert(!Ran && "host must be chosen before run()");
+  assert(std::find(Modules.begin(), Modules.end(), &M) != Modules.end() &&
+         "host must be a registered module");
+  Host = &M;
+}
+
+namespace {
+
+/// Everything one shard owns for its independent pipeline run.
+struct ShardState {
+  std::unique_ptr<Module> ScratchHost; ///< merged fns materialize here
+  std::unordered_set<const Function *> PoolFns;
+  MergeDriverOptions Options; ///< NumThreads = the shard's InnerThreads
+  MergeDriverStats Stats;
+  std::vector<PipelineEntryTrace> Journal;
+  uint64_t Weight = 0; ///< Σ class CostSum (the balancer's load)
+  // Splice cursors.
+  size_t JCursor = 0;
+  size_t RCursor = 0;
+};
+
+/// Deterministic spread seed for equal-weight classes: mixes the class's
+/// first-appearance rank with its fingerprint coarse bucket
+/// (splitmix64-style finalizer).
+uint64_t classSeed(uint32_t FirstSeen, uint32_t CoarseBucket) {
+  uint64_t X = (uint64_t(FirstSeen) << 32) | CoarseBucket;
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+CrossModuleStats ShardedSessionRunner::run() {
+  assert(!Modules.empty() && "run() with no registered modules");
+  assert(!Ran && "a session runs exactly once");
+  Ran = true;
+
+  CrossModuleStats Stats;
+  Stats.NumModules = static_cast<unsigned>(Modules.size());
+  auto T0 = std::chrono::steady_clock::now();
+  const bool IsFMSA = Options.Technique == MergeTechnique::FMSA;
+
+  Context &Ctx = Modules.front()->getContext();
+
+  // Session prologue — stage for stage the unsharded CrossModuleMerger
+  // prologue, so the pool the shards split is the pool the unsharded
+  // session would have built.
+  for (Module *M : Modules)
+    Stats.SizeBefore += estimateModuleSize(*M, Options.Arch);
+  SymbolResolutionStats Resolution = resolveCalleesAcrossModules(Modules);
+  Stats.CanonicalSymbols = Resolution.CanonicalSymbols;
+  Stats.RetargetedCalls = Resolution.RetargetedCalls;
+
+  // Host policy resolves after symbol resolution so HostPolicy::Hottest
+  // sees cross-TU call sites bound to their canonical definitions.
+  if (!Host)
+    Host = selectHostModule(Modules, Options.Host, Options.Arch);
+
+  std::map<Function *, unsigned> BaselineSize;
+  for (Module *M : Modules)
+    for (Function *F : M->functions())
+      if (!F->isDeclaration())
+        BaselineSize[F] = estimateFunctionSize(*F, Options.Arch);
+
+  if (IsFMSA)
+    for (Module *M : Modules)
+      for (Function *F : M->functions())
+        if (!F->isDeclaration())
+          demoteRegistersToMemory(*F, Ctx);
+
+  // --- Partition ------------------------------------------------------------
+  // Fingerprint the pool exactly as MergePipeline::buildPool will (post
+  // FMSA demotion), discover the merge-compatibility classes through a
+  // planning CandidateIndex, and remember the global size-descending
+  // walk — the splice stage replays it.
+  struct PlanEntry {
+    Function *F;
+    Fingerprint FP; ///< kept whole: shards reuse it via the shard scope
+  };
+  std::vector<PlanEntry> Plan;
+  CandidateIndex Planner;
+  for (Module *M : Modules)
+    for (Function *F : M->functions()) {
+      if (!F->isMergeable())
+        continue;
+      Fingerprint FP = Fingerprint::compute(*F);
+      Planner.insert(static_cast<uint32_t>(Plan.size()), FP, 0);
+      Plan.push_back({F, FP});
+    }
+  std::stable_sort(Plan.begin(), Plan.end(),
+                   [](const PlanEntry &A, const PlanEntry &B) {
+                     return A.FP.Size > B.FP.Size;
+                   });
+  // The plan is final now; hand every shard a pointer view of its
+  // fingerprints so buildPool does not recompute them per shard.
+  std::unordered_map<const Function *, const Fingerprint *> FPByFn;
+  FPByFn.reserve(Plan.size());
+  for (const PlanEntry &E : Plan)
+    FPByFn.emplace(E.F, &E.FP);
+
+  std::vector<CandidateIndex::PartitionSummary> Classes =
+      Planner.partitionSummaries();
+  const unsigned Requested = Options.ShardCount == 0
+                                 ? ThreadPool::resolveThreadCount(
+                                       Options.NumThreads)
+                                 : Options.ShardCount;
+  const unsigned NumShards = static_cast<unsigned>(std::min<size_t>(
+      std::max<size_t>(1, Classes.size()), std::max(1u, Requested)));
+
+  // Longest-processing-time packing: classes by (weight desc, seed) onto
+  // the currently-lightest shard. Both orders are total and
+  // deterministic, so the assignment — hence each shard's pool — is too.
+  std::stable_sort(Classes.begin(), Classes.end(),
+                   [](const CandidateIndex::PartitionSummary &A,
+                      const CandidateIndex::PartitionSummary &B) {
+                     if (A.CostSum != B.CostSum)
+                       return A.CostSum > B.CostSum;
+                     return classSeed(A.FirstSeen, A.CoarseBucket) <
+                            classSeed(B.FirstSeen, B.CoarseBucket);
+                   });
+  std::vector<ShardState> Shards(NumShards);
+  std::unordered_map<Type *, uint32_t> ShardOf; // class ret type -> shard
+  for (const CandidateIndex::PartitionSummary &C : Classes) {
+    uint32_t Lightest = 0;
+    for (uint32_t S = 1; S < NumShards; ++S)
+      if (Shards[S].Weight < Shards[Lightest].Weight)
+        Lightest = S;
+    ShardOf[C.RetTy] = Lightest;
+    Shards[Lightest].Weight += C.CostSum;
+  }
+  Stats.Driver.ShardCount = NumShards;
+  if (!Plan.empty()) {
+    uint64_t MaxW = 0, SumW = 0;
+    for (const ShardState &S : Shards) {
+      MaxW = std::max(MaxW, S.Weight);
+      SumW += S.Weight;
+    }
+    Stats.Driver.ShardImbalance =
+        SumW == 0 ? 1.0 : double(MaxW) * NumShards / double(SumW);
+  } else {
+    Stats.Driver.ShardImbalance = 0;
+  }
+
+  for (const PlanEntry &E : Plan)
+    Shards[ShardOf.at(E.FP.RetTy)].PoolFns.insert(E.F);
+
+  // --- Run the shards -------------------------------------------------------
+  // One independent serial pipeline per shard, materializing into a
+  // shard-local scratch host (never marked "staging": shard commits are
+  // real commits, and the winners move to the real host at splice time).
+  // Shards touch disjoint functions and the shared Context interns under
+  // a lock, so running them concurrently is race-free (ir/README.md).
+  const unsigned NumThreads =
+      ThreadPool::resolveThreadCount(Options.NumThreads);
+  // Threads left over after one per shard go to the shards' own attempt
+  // stages (the pipeline's optimistic inner parallelism is outcome- and
+  // journal-identical at every thread count, so this only moves
+  // wall-clock): a skewed or single-class pool still saturates the
+  // machine instead of degenerating to one serial pipeline.
+  const unsigned InnerThreads = std::max(1u, NumThreads / NumShards);
+  for (uint32_t S = 0; S < NumShards; ++S) {
+    Shards[S].ScratchHost = std::make_unique<Module>(
+        Host->getName() + ".shard" + std::to_string(S), Ctx);
+    Shards[S].Options = Options;
+    Shards[S].Options.NumThreads = InnerThreads;
+    Shards[S].Options.ShardCount = 1;
+  }
+  auto runShard = [&](ShardState &Shard) {
+    PipelineShardScope Scope;
+    Scope.Materialize = Shard.ScratchHost.get();
+    Scope.PoolFilter = &Shard.PoolFns;
+    Scope.Fingerprints = &FPByFn;
+    Scope.Journal = &Shard.Journal;
+    MergePipeline Pipeline(Modules, *Host, Shard.Options, BaselineSize,
+                           Shard.Stats, Scope);
+    Pipeline.run();
+  };
+  if (NumThreads <= 1 || NumShards <= 1) {
+    for (ShardState &Shard : Shards)
+      runShard(Shard);
+  } else {
+    auto StageT0 = std::chrono::steady_clock::now();
+    ThreadPool Workers(std::min(NumThreads, NumShards));
+    for (ShardState &Shard : Shards)
+      Workers.submit([&runShard, &Shard] { runShard(Shard); });
+    Workers.wait();
+    // The parallel shard stage is this session's "attempt stage": any
+    // inner optimistic stages run nested inside this wall interval, so
+    // their own AttemptStageSeconds are deliberately NOT summed on top.
+    Stats.Driver.AttemptStageSeconds += secondsSince(StageT0);
+  }
+  Stats.Driver.NumThreadsUsed = std::max(1u, NumThreads);
+
+  // --- Splice ---------------------------------------------------------------
+  // Replay the unsharded session's pool walk: original entries in global
+  // size-descending order, remerge entries appended at commit time.
+  // Each step consumes the owning shard's next journal entry; per-class
+  // processing is identical in the sharded and unsharded runs, so the
+  // interleaved streams reconstruct the unsharded record order exactly.
+  // One unique name is burned per record — the burn the unsharded
+  // pipeline performs once per attempt — and the committed attempt's
+  // merged function is adopted into the real host under the name burned
+  // at its own record, which is precisely the serial allocator's
+  // behaviour. Name strings are re-derived from Function pointers here:
+  // every merged function referenced by a later record was adopted (and
+  // finally named) by an earlier splice step.
+  std::vector<uint32_t> Queue;
+  Queue.reserve(Plan.size());
+  for (const PlanEntry &E : Plan)
+    Queue.push_back(ShardOf.at(E.FP.RetTy));
+  for (size_t Q = 0; Q < Queue.size(); ++Q) {
+    ShardState &Shard = Shards[Queue[Q]];
+    assert(Shard.JCursor < Shard.Journal.size() &&
+           "shard journal exhausted before the replayed walk");
+    const PipelineEntryTrace &Trace = Shard.Journal[Shard.JCursor++];
+    for (size_t R = 0; R < Trace.Partners.size(); ++R) {
+      MergeRecord Rec = Shard.Stats.Records[Shard.RCursor + R];
+      Rec.Name1 = Trace.EntryFn->getName();
+      Rec.Name2 = Trace.Partners[R]->getName();
+      std::string Burned = Host->makeUniqueName(Rec.Name1 + ".m");
+      if (static_cast<int32_t>(R) == Trace.WinnerRecord)
+        Host->adoptFunction(
+            Trace.Merged->getParent()->takeFunction(Trace.Merged), Burned);
+      Stats.Driver.Records.push_back(std::move(Rec));
+    }
+    Shard.RCursor += Trace.Partners.size();
+    if (Trace.WinnerRecord >= 0 && Options.AllowRemerge)
+      Queue.push_back(Queue[Q]); // the remerge entry joins its class's shard
+  }
+
+  // Aggregate the shard stats (records were merged above, in replay
+  // order). Timing fields are sums of per-shard accounting — CPU-second
+  // semantics across shards, exactly like the per-worker accumulators
+  // inside one pipeline.
+  for (ShardState &Shard : Shards) {
+    assert(Shard.JCursor == Shard.Journal.size() &&
+           Shard.RCursor == Shard.Stats.Records.size() &&
+           "splice must consume every shard journal entry and record");
+    Stats.Driver.Attempts += Shard.Stats.Attempts;
+    Stats.Driver.ProfitableMerges += Shard.Stats.ProfitableMerges;
+    Stats.Driver.CommittedMerges += Shard.Stats.CommittedMerges;
+    Stats.Driver.CrossModuleMerges += Shard.Stats.CrossModuleMerges;
+    Stats.Driver.AlignmentSeconds += Shard.Stats.AlignmentSeconds;
+    Stats.Driver.CodeGenSeconds += Shard.Stats.CodeGenSeconds;
+    Stats.Driver.RankingSeconds += Shard.Stats.RankingSeconds;
+    // Speculation-waste accounting from the shards' own optimistic
+    // attempt stages (non-zero whenever leftover threads gave a shard
+    // InnerThreads > 1) — sharded sessions must not report 0 waste
+    // while their inner pipelines speculate.
+    Stats.Driver.SpeculativeAttempts += Shard.Stats.SpeculativeAttempts;
+    Stats.Driver.SpeculativeDiscarded += Shard.Stats.SpeculativeDiscarded;
+    Stats.Driver.InlineReattempts += Shard.Stats.InlineReattempts;
+    Stats.Driver.CommitConflicts += Shard.Stats.CommitConflicts;
+    Stats.Driver.SpeculationsSkipped += Shard.Stats.SpeculationsSkipped;
+    Stats.Driver.PeakAlignmentBytes = std::max(
+        Stats.Driver.PeakAlignmentBytes, Shard.Stats.PeakAlignmentBytes);
+    Stats.Driver.PairingDistanceCalls += Shard.Stats.PairingDistanceCalls;
+    Stats.Driver.PairingProbes += Shard.Stats.PairingProbes;
+    Stats.Driver.AdaptiveThresholdMax = std::max(
+        Stats.Driver.AdaptiveThresholdMax, Shard.Stats.AdaptiveThresholdMax);
+    Stats.Driver.AdaptiveThresholdFinal =
+        std::max(Stats.Driver.AdaptiveThresholdFinal,
+                 Shard.Stats.AdaptiveThresholdFinal);
+    assert(Shard.ScratchHost->functions().empty() &&
+           "splice left a merged function behind in a scratch host");
+  }
+
+  // Session epilogue, as in CrossModuleMerger.
+  if (IsFMSA)
+    for (Module *M : Modules)
+      for (Function *F : M->functions()) {
+        if (F->isDeclaration())
+          continue;
+        promoteAllocasToRegisters(*F, Ctx);
+        simplifyFunction(*F, Ctx);
+      }
+
+  for (Module *M : Modules)
+    Stats.SizeAfter += estimateModuleSize(*M, Options.Arch);
+  Stats.CrossModuleMerges = Stats.Driver.CrossModuleMerges;
+  Stats.IntraModuleMerges =
+      Stats.Driver.CommittedMerges - Stats.Driver.CrossModuleMerges;
+  Stats.Driver.TotalSeconds = secondsSince(T0);
+  return Stats;
+}

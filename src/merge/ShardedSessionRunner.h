@@ -1,0 +1,123 @@
+//===- merge/ShardedSessionRunner.h - Sharded whole-program sessions ----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sharded execution of a whole-program merging session. A cross-module
+/// pool decomposes into *merge-compatibility classes*: the driver ranks
+/// candidates by fingerprint distance, pairs with different return types
+/// rank at +inf and never survive, and a merged function keeps its
+/// inputs' return type — so the per-return-type partitions of the pool
+/// are provably independent, including every remerge generation. That is
+/// exactly the decomposition "Optimistic Global Function Merger" (Lee et
+/// al., 2023) exploits to make whole-program merging tractable, and this
+/// runner turns it into parallelism:
+///
+///   partition  the pool's classes are discovered through the
+///              CandidateIndex's partition summaries (return type key;
+///              size/cost aggregates; coarse-histogram bucket) and packed
+///              onto ShardCount shards by greedy
+///              longest-processing-time assignment under an
+///              alignment-cost weight (Σ size² per class — attempt cost
+///              is quadratic in function size). Equal-weight classes are
+///              ordered by a seed mixing the class's first-appearance
+///              rank with its fingerprint coarse bucket, so ties spread
+///              deterministically. The resulting balance is reported as
+///              MergeDriverStats::ShardImbalance.
+///
+///   run        each shard is an independent serial MergePipeline over
+///              its classes' functions only (PipelineShardScope pool
+///              filter), generating merged functions into a shard-local
+///              scratch host module. Shards execute concurrently on the
+///              existing support/ThreadPool: they touch disjoint
+///              functions, the shared Context interns under a lock, and
+///              constants/globals are use-untracked (see ir/README.md),
+///              so even the commit stages are race-free across shards.
+///
+///   splice     results re-enter the real host serially, in the exact
+///              order the *unsharded* session would have produced them.
+///              The runner replays the unsharded pool walk (the global
+///              size-descending order plus remerge appends, reconstructed
+///              from each shard's PipelineEntryTrace journal), burns the
+///              host's unique-name counter once per attempt record — the
+///              same burn the unsharded pipeline performs — and adopts
+///              each winning merged function out of its scratch host
+///              under the replayed name. Record names are re-derived from
+///              Function pointers at splice time, after every earlier
+///              winner already carries its final name.
+///
+/// Contract: under SelectionStrategy::Distance (the default, the paper's
+/// scheme) the sharded session commits a bit-identical merge set to the
+/// unsharded CrossModuleMerger session — same merges, same records, same
+/// names, byte-identical module prints — at every shard count x thread
+/// count (tests/sharded_session_test.cpp pins shard counts {1,2,4,8} x
+/// thread counts {1,4}). The profit-guided modes calibrate their
+/// ProfitModel from the records a session observes; a shard is its own
+/// session, so its calibration stream is a per-class subsequence and the
+/// selected merges can legitimately differ from the unsharded run for
+/// ShardCount > 1. They remain fully deterministic in (module set,
+/// options) at every thread count, and ShardCount 1 reproduces the
+/// unsharded session bit for bit in every mode.
+///
+/// Host selection: like CrossModuleMerger, an explicit setHostModule
+/// wins; otherwise MergeDriverOptions::Host picks the module (First /
+/// Biggest / Hottest — see HostPolicy and selectHostModule).
+///
+/// Ownership: the runner borrows the registered modules (own them with a
+/// ModuleGroup); its scratch hosts are internal and are destroyed —
+/// provably empty — before run() returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_SHARDEDSESSIONRUNNER_H
+#define SALSSA_MERGE_SHARDEDSESSIONRUNNER_H
+
+#include "merge/CrossModuleMerger.h"
+
+namespace salssa {
+
+/// One sharded whole-program session: register modules, optionally pick
+/// a host, run once. Mirrors the CrossModuleMerger lifecycle; the stats
+/// additionally carry Driver.ShardCount / Driver.ShardImbalance.
+class ShardedSessionRunner {
+public:
+  explicit ShardedSessionRunner(const MergeDriverOptions &Options);
+
+  /// Registers \p M (same rules as CrossModuleMerger::addModule:
+  /// shared Context, fixed registration order = deterministic state).
+  void addModule(Module &M);
+
+  /// Pins \p M (already registered) as the host, overriding
+  /// MergeDriverOptions::Host.
+  void setHostModule(Module &M);
+
+  /// The explicit host, or — after run() — the policy-resolved one.
+  Module *hostModule() const { return Host; }
+  size_t numModules() const { return Modules.size(); }
+
+  /// Runs the session to quiescence. Call exactly once.
+  CrossModuleStats run();
+
+private:
+  MergeDriverOptions Options;
+  std::vector<Module *> Modules;
+  Module *Host = nullptr;
+  bool Ran = false;
+};
+
+/// Resolves \p Policy over \p Modules (registration order): the module
+/// every merged function will materialize in. Biggest measures
+/// estimateModuleSize under \p Arch; Hottest counts call sites across
+/// the whole set whose callee is *defined* in the candidate module —
+/// both sessions call this AFTER cross-module symbol resolution, so
+/// calls that reached a definition through a per-TU extern declaration
+/// count toward the definition's module. All ties resolve to the
+/// earlier-registered module. Returns null for an empty set.
+Module *selectHostModule(const std::vector<Module *> &Modules,
+                         HostPolicy Policy, TargetArch Arch);
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_SHARDEDSESSIONRUNNER_H

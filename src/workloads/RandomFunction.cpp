@@ -48,10 +48,18 @@ public:
   Function *build(const std::string &Name) {
     Context &C = Ctx;
     Type *I32 = C.int32Ty();
+    // Return-type palette (RandomFunctionOptions::RetTypeVariety): slot 0
+    // is the legacy i32, and with variety 1 no RNG draw happens at all —
+    // pre-variety profiles must rebuild on the exact legacy stream.
+    Type *Palette[5] = {I32, C.int64Ty(), C.int1Ty(), C.doubleTy(),
+                        C.voidTy()};
+    unsigned Variety = std::min(Options.RetTypeVariety, 5u);
+    Type *RetTy =
+        Variety > 1 ? Palette[Rng.nextBelow(Variety)] : Palette[0];
     // 1-3 i32 params.
     std::vector<Type *> Params(1 + Rng.nextBelow(3), I32);
     Function *F = Env.getModule().createFunction(
-        Name, C.types().getFunctionTy(I32, Params));
+        Name, C.types().getFunctionTy(RetTy, Params));
     BasicBlock *Entry = F->createBlock("entry");
     B.setInsertPoint(Entry);
     for (const auto &A : F->args())
@@ -61,7 +69,20 @@ public:
 
     unsigned Budget = Options.TargetSize;
     emitRegion(Budget, /*Depth=*/0);
-    B.createRet(pickValue());
+    // The value pool is i32 (bodies are integer code like the paper's C
+    // suites); non-i32 returns coerce a pool value at the exit.
+    if (RetTy->isVoid())
+      B.createRetVoid();
+    else if (RetTy == C.int64Ty())
+      B.createRet(B.createSExt(pickValue(), RetTy, "retw"));
+    else if (RetTy == C.int1Ty())
+      B.createRet(
+          B.createICmp(CmpPredicate::SLT, pickValue(), pickValue(), "retb"));
+    else if (RetTy == C.doubleTy())
+      B.createRet(
+          B.createCast(ValueKind::SIToFP, pickValue(), RetTy, "retf"));
+    else
+      B.createRet(pickValue());
     return F;
   }
 

@@ -36,6 +36,7 @@ salssa::buildBenchmarkModule(const BenchmarkProfile &Profile, Context &Ctx) {
     FO.TargetSize = sampleSize(Rng);
     FO.LoopPercent = Profile.LoopPercent;
     FO.InvokePercent = Profile.InvokePercent;
+    FO.RetTypeVariety = Profile.RetTypeVariety;
     std::string BaseName =
         Profile.Name + "_fn" + std::to_string(Made);
     RNG FnRng = Rng.fork(Made);
@@ -136,6 +137,7 @@ ModuleGroup salssa::buildBenchmarkModuleGroup(const BenchmarkProfile &Profile,
     FO.TargetSize = sampleSize(Rng);
     FO.LoopPercent = Profile.LoopPercent;
     FO.InvokePercent = Profile.InvokePercent;
+    FO.RetTypeVariety = Profile.RetTypeVariety;
     std::string BaseName = Profile.Name + "_fn" + std::to_string(Made);
     RNG FnRng = Rng.fork(Made);
     Function *Base = generateRandomFunction(*Envs[Made % NumModules], FnRng,
@@ -188,6 +190,23 @@ ModuleGroup salssa::buildBenchmarkModuleGroup(const BenchmarkProfile &Profile,
     assert(verifyModule(*M).ok() && "workload generator emitted invalid IR");
   }
   return Group;
+}
+
+ModuleGroup
+salssa::buildSuiteModuleGroup(const std::vector<BenchmarkProfile> &Profiles,
+                              Context &Ctx, unsigned ModulesPerProfile) {
+  assert(!Profiles.empty() && "a suite group needs at least one profile");
+#ifndef NDEBUG
+  for (size_t I = 0; I < Profiles.size(); ++I)
+    for (size_t J = I + 1; J < Profiles.size(); ++J)
+      assert(Profiles[I].Name != Profiles[J].Name &&
+             "suite group profiles must have distinct names (symbol "
+             "suffixes are per-profile)");
+#endif
+  ModuleGroup All;
+  for (const BenchmarkProfile &P : Profiles)
+    All.adopt(buildBenchmarkModuleGroup(P, Ctx, ModulesPerProfile));
+  return All;
 }
 
 std::vector<BenchmarkProfile> salssa::spec2006Profiles() {

@@ -49,6 +49,12 @@ struct BenchmarkProfile {
   /// When set, adds one pair of giant similar functions (the
   /// recog_16/recog_26 effect in 403.gcc driving peak memory, §5.5).
   unsigned GiantPairSize = 0;
+  /// Distinct return types drawn per function, 1-5 (see
+  /// RandomFunctionOptions::RetTypeVariety). 1 — the default for every
+  /// stock profile — keeps the legacy i32-only population and RNG
+  /// stream; > 1 populates multiple merge-compatibility classes, the
+  /// workload shape sharded sessions split on.
+  unsigned RetTypeVariety = 1;
   uint64_t Seed = 1;
 };
 
@@ -68,6 +74,19 @@ std::unique_ptr<Module> buildBenchmarkModule(const BenchmarkProfile &Profile,
 /// references that require group teardown (see ir/Module.h).
 ModuleGroup buildBenchmarkModuleGroup(const BenchmarkProfile &Profile,
                                       Context &Ctx, unsigned NumModules);
+
+/// Builds a *heterogeneous* group: every profile's population, each
+/// split round-robin across its own \p ModulesPerProfile "translation
+/// units" exactly as buildBenchmarkModuleGroup would (same per-profile
+/// determinism, same shared-header environments), all owned by one
+/// ModuleGroup in profile order — the whole-program shape where several
+/// unrelated programs (or libraries) link into one session
+/// (CrossModuleMerger / ShardedSessionRunner over the full group).
+/// Profiles must have distinct names: symbol suffixes, and hence
+/// cross-module symbol resolution, are per-profile.
+ModuleGroup
+buildSuiteModuleGroup(const std::vector<BenchmarkProfile> &Profiles,
+                      Context &Ctx, unsigned ModulesPerProfile);
 
 /// The 19 C/C++ SPEC CPU2006 benchmarks evaluated in the paper.
 std::vector<BenchmarkProfile> spec2006Profiles();

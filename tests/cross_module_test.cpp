@@ -146,8 +146,9 @@ TEST_P(CrossModuleDeterminismTest, ThreadCountsProduceIdenticalMerges) {
   GroupOutcome Serial = runSession(P, NumModules, DO);
   ASSERT_TRUE(Serial.VerifierOk);
   EXPECT_GT(Serial.CommittedMerges, 0u);
-  if (NumModules > 1) // split families must actually cross the boundary
+  if (NumModules > 1) { // split families must actually cross the boundary
     EXPECT_GT(Serial.CrossModuleMerges, 0u);
+  }
   for (unsigned NT : {2u, 4u, 8u}) {
     GroupOutcome Parallel = runSession(P, NumModules, defaultOptions(NT));
     expectSameOutcome(Parallel, Serial,
@@ -190,9 +191,10 @@ TEST(CrossModuleTest, MergedFunctionsLiveOnlyInTheHost) {
       VerifierReport VR = verifyModule(Group[I]);
       EXPECT_TRUE(VR.ok()) << "module " << I << ":\n" << VR.str();
       for (Function *F : Group[I].functions())
-        if (F->getName().find(".m") != std::string::npos)
+        if (F->getName().find(".m") != std::string::npos) {
           EXPECT_EQ(I, HostIdx)
               << "merged function " << F->getName() << " outside the host";
+        }
     }
   }
 }
