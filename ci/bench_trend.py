@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate the smoke-bench trend: current BENCH_ci.json vs the previous run's.
+
+Usage: bench_trend.py BASELINE.json CURRENT.json
+
+Each file is the artifact the smoke-bench CI job assembles: a document
+with a "benches" list of per-bench JSON objects (one per smoke bench,
+see bench/BenchUtils.h JsonSummary). Two families of keys are gated,
+everything else is informational:
+
+  *seconds         wall-clock legs. Fail when the current value exceeds
+                   the baseline by more than WALL_TOLERANCE (15%), with
+                   an absolute floor (ABS_FLOOR_SECONDS) so micro-legs
+                   whose baseline is a few milliseconds cannot fail on
+                   scheduler noise.
+  *reduction_pct   size-reduction percentages — the paper's headline
+                   metric. These are deterministic, so the tolerance is
+                   a flat REDUCTION_TOLERANCE_PCT (15% relative) and any
+                   drop beyond it fails.
+
+A missing baseline (first run on a branch, expired artifact) exits 0
+with a notice: the gate only ever compares, it never blocks bootstrap.
+Benches or keys present on one side only are reported but not failed —
+adding or retiring a bench must not break the pipeline.
+"""
+
+import json
+import sys
+
+WALL_TOLERANCE = 0.15  # +15% wall-clock allowed before failing
+REDUCTION_TOLERANCE_PCT = 0.15  # -15% (relative) reduction allowed
+ABS_FLOOR_SECONDS = 0.05  # ignore wall regressions under this baseline
+
+
+def load_benches(path):
+    """Returns {bench_name: {key: value}} or None when unreadable."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"notice: cannot read {path}: {e}")
+        return None
+    benches = {}
+    for entry in doc.get("benches", []):
+        name = entry.get("bench")
+        if isinstance(name, str):
+            benches[name] = entry
+    return benches
+
+
+def gated_keys(entry):
+    for key, value in entry.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key.endswith("seconds"):
+            yield key, float(value), "wall"
+        elif key.endswith("reduction_pct"):
+            yield key, float(value), "reduction"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load_benches(argv[1])
+    current = load_benches(argv[2])
+    if baseline is None:
+        print("notice: no usable baseline — trend gate skipped (bootstrap)")
+        return 0
+    if current is None:
+        print("error: current BENCH_ci.json unreadable")
+        return 1
+
+    failures = []
+    compared = 0
+    for name, entry in sorted(current.items()):
+        base_entry = baseline.get(name)
+        if base_entry is None:
+            print(f"notice: bench '{name}' has no baseline (new bench?)")
+            continue
+        for key, value, kind in gated_keys(entry):
+            if key not in base_entry:
+                print(f"notice: {name}.{key} has no baseline (new key?)")
+                continue
+            base = float(base_entry[key])
+            compared += 1
+            if kind == "wall":
+                if base < ABS_FLOOR_SECONDS:
+                    print(f"ok:     {name}.{key} {base:.3f}s -> {value:.3f}s "
+                          f"(under the {ABS_FLOOR_SECONDS}s floor, not gated)")
+                    continue
+                limit = base * (1 + WALL_TOLERANCE)
+                verdict = "FAIL" if value > limit else "ok"
+                print(f"{verdict + ':':7} {name}.{key} {base:.3f}s -> "
+                      f"{value:.3f}s (limit {limit:.3f}s)")
+                if value > limit:
+                    failures.append(f"{name}.{key}")
+            else:  # reduction: lower is worse
+                limit = base * (1 - REDUCTION_TOLERANCE_PCT)
+                verdict = "FAIL" if value < limit else "ok"
+                print(f"{verdict + ':':7} {name}.{key} {base:.2f}% -> "
+                      f"{value:.2f}% (floor {limit:.2f}%)")
+                if value < limit:
+                    failures.append(f"{name}.{key}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"notice: bench '{name}' vanished from the current run")
+
+    if failures:
+        print(f"\ntrend gate FAILED: {len(failures)} regression(s): "
+              + ", ".join(failures))
+        return 1
+    print(f"\ntrend gate passed: {compared} gated value(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,7 +10,15 @@
 
 using namespace salssa;
 
-thread_local unsigned salssa::detail::SuspendedUseTracking = 0;
+// The suspension count lives (and is only ever touched) in this TU; see
+// the note on detail::suspendUseTracking in Value.h.
+static thread_local unsigned SuspendedUseTracking = 0;
+
+void salssa::detail::suspendUseTracking() { ++SuspendedUseTracking; }
+void salssa::detail::resumeUseTracking() { --SuspendedUseTracking; }
+bool salssa::detail::useTrackingSuspended() {
+  return SuspendedUseTracking != 0;
+}
 
 Value::~Value() {
   assert(UserList.empty() &&

@@ -32,21 +32,28 @@ class Type;
 class User;
 
 namespace detail {
-/// When non-zero on this thread, Value::addUser is a no-op: operand
-/// slots are filled without registering in the operand's user list. Used
-/// exclusively by cloneInstruction, whose placeholder operands reference
-/// the *original* (possibly shared across threads) function's values and
-/// are always rewritten via User::initOperand before the clone is
-/// observable. Never touch this directly — use UseTrackingSuspender.
-extern thread_local unsigned SuspendedUseTracking;
+/// When the per-thread suspension count is non-zero, Value::addUser is a
+/// no-op: operand slots are filled without registering in the operand's
+/// user list. Used exclusively by cloneInstruction, whose placeholder
+/// operands reference the *original* (possibly shared across threads)
+/// function's values and are always rewritten via User::initOperand
+/// before the clone is observable. Never call these directly — use
+/// UseTrackingSuspender. All three are defined out of line in Value.cpp:
+/// touching an extern thread_local from header-inline code in another TU
+/// goes through the compiler's TLS wrapper, a pattern UBSan flags (null
+/// init-function load), so the TLS variable itself never leaves its
+/// defining TU.
+void suspendUseTracking();
+void resumeUseTracking();
+bool useTrackingSuspended();
 } // namespace detail
 
 /// RAII scope in which newly appended operands do not register users.
-/// See detail::SuspendedUseTracking for the (single) legitimate use.
+/// See detail::suspendUseTracking for the (single) legitimate use.
 class UseTrackingSuspender {
 public:
-  UseTrackingSuspender() { ++detail::SuspendedUseTracking; }
-  ~UseTrackingSuspender() { --detail::SuspendedUseTracking; }
+  UseTrackingSuspender() { detail::suspendUseTracking(); }
+  ~UseTrackingSuspender() { detail::resumeUseTracking(); }
   UseTrackingSuspender(const UseTrackingSuspender &) = delete;
   UseTrackingSuspender &operator=(const UseTrackingSuspender &) = delete;
 };
@@ -165,7 +172,7 @@ protected:
 private:
   friend class User;
   void addUser(User *U) {
-    if (isUseTracked() && detail::SuspendedUseTracking == 0)
+    if (isUseTracked() && !detail::useTrackingSuspended())
       UserList.push_back(U);
   }
   void removeUser(User *U);

@@ -46,7 +46,17 @@ public:
   }
 
 private:
+  /// Per-function error cap (see Verifier.h): the merge pipeline's
+  /// commit firewall verifies arbitrary generated bodies on every run,
+  /// so a badly corrupt function must cost a bounded report, not one
+  /// error string per broken instruction.
+  static constexpr size_t MaxErrors = 64;
+
   void error(const std::string &Msg) {
+    if (LocalErrors.size() >= MaxErrors) {
+      Truncated = true;
+      return;
+    }
     LocalErrors.push_back("function '" + F.getName() + "': " + Msg);
   }
 
@@ -57,6 +67,9 @@ private:
   void flush(VerifierReport &Report) {
     Report.Errors.insert(Report.Errors.end(), LocalErrors.begin(),
                          LocalErrors.end());
+    if (Truncated)
+      Report.Errors.push_back("function '" + F.getName() +
+                              "': ... further errors truncated");
   }
 
   void checkStructure() {
@@ -297,6 +310,7 @@ private:
 
   const Function &F;
   std::vector<std::string> LocalErrors;
+  bool Truncated = false; ///< errors past MaxErrors were dropped
 };
 
 } // namespace

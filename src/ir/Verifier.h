@@ -24,6 +24,10 @@ class Function;
 class Module;
 
 /// Result of a verification run; empty Errors means the IR is well-formed.
+/// Reports are bounded: a function contributes at most a fixed number of
+/// error strings (plus one truncation marker) however broken it is — the
+/// merge pipeline's always-on commit firewall verifies arbitrary
+/// generated bodies, and a corrupt one must cost a bounded report.
 struct VerifierReport {
   std::vector<std::string> Errors;
   bool ok() const { return Errors.empty(); }

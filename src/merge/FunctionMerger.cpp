@@ -52,25 +52,75 @@ void ProfitModel::observe(uint64_t Overlap, uint64_t Distance,
   BytesPerOverlap = (1.0 - Alpha) * BytesPerOverlap + Alpha * Implied;
 }
 
+namespace {
+
+/// Deterministically corrupts a generated merged body for the
+/// FaultKind::CodeGenCorruption fault point: appends a second terminator
+/// to the entry block, the exact shape of bug the structural verifier
+/// exists to catch ("terminator in the middle of a block" + a bogus
+/// back-edge). The body stays safe to size, print and erase — only the
+/// commit firewall may reject it.
+void corruptMergedBody(Function &Merged, Context &Ctx) {
+  BasicBlock *Entry = Merged.getEntryBlock();
+  if (!Entry || !Entry->getTerminator())
+    return;
+  IRBuilder B(Ctx, Entry);
+  B.createBr(Entry);
+}
+
+} // namespace
+
 MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
                                   const MergeCodeGenOptions &Options,
                                   TargetArch Arch, unsigned SizeF1,
-                                  unsigned SizeF2, Module *StagingModule) {
+                                  unsigned SizeF2, Module *StagingModule,
+                                  const AttemptBudget *Budget,
+                                  const FaultInjectionConfig *Faults) {
   MergeAttempt Attempt;
   Attempt.F1 = &F1;
   Attempt.F2 = &F2;
   if (F1.getReturnType() != F2.getReturnType())
-    return Attempt;
+    return Attempt; // Stats.Outcome stays TypeMismatch
+
+  // Fault point: a pair the aligner "blows up on". Thrown before any
+  // work so no partial state exists; the caller's attempt guard converts
+  // it into a skipped pair. Keyed by the pair's names — identical
+  // decision on the speculative and the inline re-attempt path.
+  if (Faults)
+    maybeInjectFault(*Faults, FaultKind::AlignmentThrow, F1.getName(),
+                     F2.getName());
 
   // Linearization + alignment (instrumented).
   auto T0 = std::chrono::steady_clock::now();
   std::vector<SeqItem> Seq1 = linearizeFunction(F1);
   std::vector<SeqItem> Seq2 = linearizeFunction(F2);
+  Attempt.Stats.SeqLen1 = Seq1.size();
+  Attempt.Stats.SeqLen2 = Seq2.size();
+
+  // Budget gate, before the quadratic stage: the DP cell count and the
+  // linear work bound are both known from the sequences alone. The
+  // BudgetBlowout fault forces this reject path without any caps
+  // configured.
+  bool BudgetHit =
+      Budget &&
+      ((Budget->MaxAlignmentCells &&
+        uint64_t(Seq1.size()) * uint64_t(Seq2.size()) >
+            Budget->MaxAlignmentCells) ||
+       (Budget->MaxAttemptSteps &&
+        uint64_t(Seq1.size()) + uint64_t(Seq2.size()) >
+            Budget->MaxAttemptSteps));
+  if (!BudgetHit && Faults)
+    BudgetHit = faultFires(*Faults, FaultKind::BudgetBlowout, F1.getName(),
+                           F2.getName());
+  if (BudgetHit) {
+    Attempt.Stats.AlignmentSeconds = secondsSince(T0);
+    Attempt.Stats.Outcome = AttemptOutcome::BudgetAlignment;
+    return Attempt;
+  }
+
   AlignmentResult Alignment =
       alignSequences(Seq1, Seq2, itemsMatch, Options.Alignment);
   Attempt.Stats.AlignmentSeconds = secondsSince(T0);
-  Attempt.Stats.SeqLen1 = Seq1.size();
-  Attempt.Stats.SeqLen2 = Seq2.size();
   Attempt.Stats.MatchedPairs = Alignment.MatchedPairs;
   Attempt.Stats.AlignmentBytes = Alignment.DPBytes;
 
@@ -79,6 +129,13 @@ MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
   Attempt.Gen = generateMergedFunction(F1, F2, Seq1, Seq2, Alignment,
                                        Options, F1.getName() + ".m",
                                        StagingModule);
+  // Fault point: a "codegen bug" — the attempt itself succeeds, the body
+  // is wrong. Only the always-on commit firewall stands between this and
+  // the host module.
+  if (Faults && faultFires(*Faults, FaultKind::CodeGenCorruption,
+                           F1.getName(), F2.getName()))
+    corruptMergedBody(*Attempt.Gen.Merged,
+                      Attempt.Gen.Merged->getParent()->getContext());
   Attempt.Stats.CodeGenSeconds = secondsSince(T1);
   Attempt.Stats.SelectsInserted = Attempt.Gen.SelectsInserted;
   Attempt.Stats.LabelSelectionBlocks = Attempt.Gen.LabelSelectionBlocks;
@@ -103,7 +160,22 @@ MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
   }
   Attempt.Stats.SizeMerged =
       estimateFunctionSize(*Attempt.Gen.Merged, Arch) + ThunkCost;
+
+  // Budget gate, post-codegen: discard oversized bodies before the
+  // profitability decision. The unique name was already burned (codegen
+  // ran) — AttemptOutcome::BudgetBody records that for the shard
+  // splicer's name replay.
+  if (Budget && Budget->MaxMergedBodySize &&
+      uint64_t(Attempt.Stats.SizeMerged) > Budget->MaxMergedBodySize) {
+    Module *M = Attempt.Gen.Merged->getParent();
+    M->eraseFunction(Attempt.Gen.Merged);
+    Attempt.Gen.Merged = nullptr;
+    Attempt.Stats.Outcome = AttemptOutcome::BudgetBody;
+    return Attempt; // Valid stays false: no merged function exists
+  }
+
   Attempt.Stats.Profitable = Attempt.profit() > 0;
+  Attempt.Stats.Outcome = AttemptOutcome::Completed;
   Attempt.Valid = true;
   return Attempt;
 }

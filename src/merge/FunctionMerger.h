@@ -19,6 +19,7 @@
 #include "codesize/SizeModel.h"
 #include "merge/Fingerprint.h"
 #include "merge/MergedFunctionGenerator.h"
+#include "support/FaultInjection.h"
 #include <cstdint>
 
 namespace salssa {
@@ -132,10 +133,23 @@ struct ProfitModel {
 /// worker owns its own staging module (see MergePipeline). A staged
 /// winner is moved into the real module with adoptMergedFunction before
 /// committing.
+///
+/// \p Budget, when non-null, bounds the attempt's resources (see
+/// AttemptBudget): a capped-out attempt returns Valid == false with
+/// Stats.Outcome reporting which stage rejected, never a partial merged
+/// function. \p Faults, when non-null and armed, arms the deterministic
+/// fault points (support/FaultInjection.h): AlignmentThrow escapes as an
+/// InjectedFault exception — callers sit behind an attempt guard —
+/// CodeGenCorruption deterministically corrupts the merged body for the
+/// commit firewall to catch, and BudgetBlowout forces the
+/// budget-rejected path. Null for both (the default, and the only mode
+/// direct callers outside the driver use) is the plain uncapped attempt.
 MergeAttempt attemptMerge(Function &F1, Function &F2,
                           const MergeCodeGenOptions &Options,
                           TargetArch Arch, unsigned SizeF1, unsigned SizeF2,
-                          Module *StagingModule = nullptr);
+                          Module *StagingModule = nullptr,
+                          const AttemptBudget *Budget = nullptr,
+                          const FaultInjectionConfig *Faults = nullptr);
 
 /// Moves \p Attempt's merged function out of its staging module into
 /// \p Dst under \p Name (which must be unique in \p Dst). No-op when the

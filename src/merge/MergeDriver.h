@@ -21,6 +21,7 @@
 #define SALSSA_MERGE_MERGEDRIVER_H
 
 #include "merge/FunctionMerger.h"
+#include "support/FaultInjection.h"
 #include <string>
 #include <vector>
 
@@ -100,6 +101,25 @@ struct MergeDriverOptions {
   /// Host-module selection for whole-program sessions when the caller
   /// does not pick one explicitly (see HostPolicy, MergeOptions.h).
   HostPolicy Host = HostPolicy::First;
+  /// Per-attempt resource caps (see AttemptBudget, MergeOptions.h). All
+  /// caps default to 0 = unlimited: the zero-budget path is bit-identical
+  /// to the uncapped driver. Capped-out attempts become budget-rejected
+  /// records (Stats.BudgetRejects) and the session continues.
+  AttemptBudget Budget;
+  /// Degradation ladder: a pool entry whose attempts fail (fault, budget
+  /// reject, or verifier reject) this many times is quarantined —
+  /// retired from the candidate pool/index without being merged, counted
+  /// in Stats.QuarantinedFunctions — so a function that poisons every
+  /// attempt cannot keep burning attempt time for the rest of the
+  /// session. Both sides of a failed attempt accrue a strike. 0 disables
+  /// quarantine. The default of 3 is invisible on healthy runs: an
+  /// attempt on a fault-free, budget-free session never fails.
+  unsigned QuarantineThreshold = 3;
+  /// Deterministic fault injection (tests/soaks only; see
+  /// support/FaultInjection.h). Disarmed by default; when disarmed here,
+  /// the pipeline falls back to the SALSSA_FAULTS environment spec, so a
+  /// stock binary can be soaked without a rebuild.
+  FaultInjectionConfig Faults;
 };
 
 /// One committed/attempted merge record (drives Fig 19/21/22/23).
@@ -158,6 +178,21 @@ struct MergeDriverStats {
   unsigned CommitConflicts = 0;
   unsigned SpeculationsSkipped = 0; ///< window entries not speculated
   double AttemptStageSeconds = 0; ///< wall time of parallel attempt stages
+
+  // Failure containment (the attempt guard / commit firewall /
+  // quarantine ladder; see "Failure containment & fault injection" in
+  // src/merge/README.md). The first four are authoritative and counted
+  // only at the serial commit stage, in record order — identical at
+  // every thread and shard count, like Records:
+  unsigned AttemptFailures = 0; ///< attempts aborted by an exception
+  unsigned BudgetRejects = 0;   ///< attempts rejected by AttemptBudget caps
+  unsigned VerifierRejects = 0; ///< would-be winners the firewall rolled back
+  unsigned QuarantinedFunctions = 0; ///< pool entries retired by the ladder
+  // The two below are parallel-only wastage counters (0 in serial runs,
+  // like SpeculativeAttempts — speculative failures are re-observed and
+  // re-counted authoritatively when the commit stage re-runs the pair):
+  unsigned SpeculativeFailures = 0; ///< worker-side attempt guard catches
+  unsigned TaskFailures = 0; ///< whole worker tasks recovered (per-task guard)
 
   // Selection instrumentation (SelectionStrategy::Adaptive; for the
   // other modes both fields echo Options.ExplorationThreshold). The

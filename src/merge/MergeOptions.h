@@ -100,6 +100,59 @@ struct MergeCodeGenOptions {
   }
 };
 
+/// How far one pairwise merge attempt got. Recorded on
+/// MergeAttemptStats (hence on every MergeRecord), and — because shard
+/// splicing replays name allocation from records — also the authority on
+/// whether an attempt burned a unique merged-function name: codegen runs
+/// for Completed and BudgetBody attempts only.
+enum class AttemptOutcome : uint8_t {
+  /// The full pipeline ran: the merged function was generated and priced
+  /// (it may still be unprofitable, or rejected later by the commit
+  /// firewall).
+  Completed = 0,
+  /// Nothing ran: the pair's return types cannot merge.
+  TypeMismatch,
+  /// Rejected before code generation: the alignment cell/step budget was
+  /// exceeded (or a BudgetBlowout fault fired).
+  BudgetAlignment,
+  /// Rejected after code generation: the merged body blew the size cap.
+  /// The body was discarded, but its unique name was already burned.
+  BudgetBody,
+  /// The attempt aborted with an exception (real or injected) and was
+  /// converted into a skipped pair by the attempt guard.
+  Faulted,
+};
+
+/// True when an attempt with this outcome consumed one unique
+/// merged-function name (i.e. its code generation stage ran).
+inline bool attemptBurnedName(AttemptOutcome O) {
+  return O == AttemptOutcome::Completed || O == AttemptOutcome::BudgetBody;
+}
+
+/// Per-attempt resource caps, enforced inside attemptMerge. Every cap
+/// defaults to 0 = unlimited, which keeps the zero-fault/zero-budget
+/// configuration bit-identical to the uncapped pipeline. A capped-out
+/// attempt is not an error: it reports AttemptOutcome::BudgetAlignment /
+/// BudgetBody and the driver counts it in MergeDriverStats::BudgetRejects
+/// and moves on.
+struct AttemptBudget {
+  /// Cap on the alignment DP size, in cells (SeqLen1 x SeqLen2). The
+  /// first line of defence against a giant pair blowing peak memory.
+  uint64_t MaxAlignmentCells = 0;
+  /// Cap on the *linear* work of one attempt (SeqLen1 + SeqLen2):
+  /// linearization items, clone counts and repair work all scale with
+  /// it.
+  uint64_t MaxAttemptSteps = 0;
+  /// Cap on the generated merged body, in size-model cost units
+  /// (estimateFunctionSize + thunks). Bodies past the cap are discarded
+  /// before the profitability decision.
+  uint64_t MaxMergedBodySize = 0;
+
+  bool any() const {
+    return MaxAlignmentCells || MaxAttemptSteps || MaxMergedBodySize;
+  }
+};
+
 /// Statistics of one pairwise merge attempt.
 struct MergeAttemptStats {
   // Alignment.
@@ -120,6 +173,11 @@ struct MergeAttemptStats {
   unsigned SizeF2 = 0;
   unsigned SizeMerged = 0; ///< merged fn + thunks, in cost-model units
   bool Profitable = false;
+  // Containment.
+  AttemptOutcome Outcome = AttemptOutcome::TypeMismatch; ///< how far it got
+  /// Set at the serial commit stage when the would-be winner failed the
+  /// always-on verifier firewall and was rolled back.
+  bool VerifierRejected = false;
 };
 
 } // namespace salssa

@@ -6,6 +6,7 @@
 
 #include "merge/MergePipeline.h"
 #include "ir/Module.h"
+#include "ir/Verifier.h"
 #include "support/Chrono.h"
 #include "support/ThreadPool.h"
 #include <algorithm>
@@ -109,6 +110,16 @@ MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
   BaseT = std::max(1u, Options.ExplorationThreshold);
   CurrentT = BaseT;
   MaxT = BaseT + AdaptiveRange;
+  // Failure containment: programmatic arming wins, otherwise a stock
+  // binary can be soaked via the SALSSA_FAULTS environment spec. Both
+  // pointers stay null on a healthy run so attemptMerge takes its exact
+  // pre-containment path (the zero-fault bit-identity invariant).
+  Faults = Options.Faults.armed() ? Options.Faults
+                                  : FaultInjectionConfig::fromEnv();
+  if (Faults.armed())
+    FaultsPtr = &Faults;
+  if (Options.Budget.any())
+    Budget = &Options.Budget;
   buildPool();
 }
 
@@ -277,11 +288,71 @@ void MergePipeline::discardRemaining(AttemptTask &Spec) {
   }
 }
 
+MergeAttempt MergePipeline::guardedAttempt(Function &F1, Function &F2,
+                                           unsigned SizeF1, unsigned SizeF2,
+                                           Module *Target,
+                                           unsigned *Failures) {
+  try {
+    return attemptMerge(F1, F2, CGOpts, Options.Arch, SizeF1, SizeF2, Target,
+                        Budget, FaultsPtr);
+  } catch (const std::exception &) {
+    // The attempt guard: one throwing pair (injected, or a real bug in
+    // alignment/codegen) becomes a skipped pair, not a dead session.
+    // attemptMerge throws before touching the target module or burning a
+    // name (the alignment fault point fires first; past it the pipeline
+    // is exception-free by construction), so there is nothing to roll
+    // back here.
+    MergeAttempt A;
+    A.F1 = &F1;
+    A.F2 = &F2;
+    A.Stats.Outcome = AttemptOutcome::Faulted;
+    if (Failures)
+      ++*Failures;
+    return A;
+  }
+}
+
+bool MergePipeline::quarantineIfStruckOut(size_t I) {
+  if (!Options.QuarantineThreshold || Pool[I].Consumed ||
+      Pool[I].Failures < Options.QuarantineThreshold)
+    return false;
+  // The degradation ladder's last rung: this function keeps poisoning
+  // attempts — retire it unmerged so the rest of the session stops
+  // paying for it. Never reached on a healthy run (attempts there never
+  // fail), so the ladder is invisible to the zero-fault contract.
+  Pool[I].Consumed = true;
+  if (UseIndex)
+    Index.retire(static_cast<uint32_t>(I));
+  ++Stats.QuarantinedFunctions;
+  return true;
+}
+
+void MergePipeline::noteAttemptFailure(size_t EntryIdx, uint32_t PartnerId) {
+  if (!Options.QuarantineThreshold)
+    return;
+  ++Pool[EntryIdx].Failures;
+  ++Pool[PartnerId].Failures;
+  // The partner is judged immediately; the entry finishes its slate
+  // first (commitEntry's epilogue judges it) so one bad partner cannot
+  // cost the entry its remaining candidates this round.
+  quarantineIfStruckOut(PartnerId);
+}
+
 void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   if (Pool[I].Consumed) {
     // Consumed by an earlier commit (serial: as the partner of an
     // earlier entry; parallel: likewise, only discovered after the
     // snapshot attempts already ran).
+    if (Spec)
+      discardRemaining(*Spec);
+    if (Journal)
+      Journal->push_back(PipelineEntryTrace());
+    return;
+  }
+  // Quarantine gate: strikes accrued as a partner of earlier entries may
+  // already have condemned this one — retire it before paying for its
+  // slate. The journal still gets this entry's (empty) slot.
+  if (quarantineIfStruckOut(I)) {
     if (Spec)
       discardRemaining(*Spec);
     if (Journal)
@@ -342,8 +413,12 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       // is F1's own module: the legacy behaviour, same name-counter burn
       // per attempt; for a cross-module run it is where the winner must
       // end up anyway), the shard scratch host under a shard scope.
-      A = attemptMerge(*F1, *F2, CGOpts, Options.Arch, Pool[I].CostSize,
-                       Pool[R.Id].CostSize, Materialize);
+      // Guarded: a faulted pair faults here exactly as it would have on
+      // the speculative path (decisions are keyed by names), so the
+      // serial record stream is thread-count-invariant even under
+      // injected faults.
+      A = guardedAttempt(*F1, *F2, Pool[I].CostSize, Pool[R.Id].CostSize,
+                         Materialize, /*Failures=*/nullptr);
       // Driver-thread accumulator (workers own theirs; see
       // MergeDriverStats).
       Stats.AlignmentSeconds += A.Stats.AlignmentSeconds;
@@ -361,6 +436,18 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     Rec.Stats = A.Stats;
     size_t RecIdx = Stats.Records.size();
     Stats.Records.push_back(Rec);
+    // Authoritative containment accounting, from serial-order record
+    // outcomes only — identical at every thread count, like Records.
+    // Guard catches and budget rejects both strike the quarantine
+    // ladder (so do firewall rejects, below).
+    if (A.Stats.Outcome == AttemptOutcome::Faulted) {
+      ++Stats.AttemptFailures;
+      noteAttemptFailure(I, R.Id);
+    } else if (A.Stats.Outcome == AttemptOutcome::BudgetAlignment ||
+               A.Stats.Outcome == AttemptOutcome::BudgetBody) {
+      ++Stats.BudgetRejects;
+      noteAttemptFailure(I, R.Id);
+    }
     if (!A.Valid)
       continue;
     // Online calibration: every executed attempt reveals its actual
@@ -374,6 +461,21 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     if (A.Stats.Profitable)
       ++Stats.ProfitableMerges;
     if (A.Stats.Profitable && (!Best.Valid || A.profit() > Best.profit())) {
+      // The always-on commit firewall: no merged body replaces Best —
+      // hence none can ever be committed — without passing ir/Verifier
+      // here at the serial commit stage. A reject is rolled back
+      // (discarded, never adopted) and the loop falls through to the
+      // next candidate, or to no-merge. Only would-be winners are
+      // verified, so the healthy-path cost is one verification per
+      // improvement, not per attempt.
+      VerifierReport Firewall = verifyFunction(*A.Gen.Merged);
+      if (!Firewall.ok()) {
+        ++Stats.VerifierRejects;
+        Stats.Records[RecIdx].Stats.VerifierRejected = true;
+        noteAttemptFailure(I, R.Id);
+        discardMerge(A);
+        continue;
+      }
       if (Best.Valid)
         discardMerge(Best);
       Best = A;
@@ -421,6 +523,11 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   }
 
   if (!Best.Valid) {
+    // Quarantine epilogue: the slate is complete — if this entry's
+    // failures (on either side of its pairs, this round or earlier)
+    // struck it out and nothing committed, retire it now instead of
+    // re-ranking it as everyone else's partner forever.
+    quarantineIfStruckOut(I);
     if (Journal)
       Journal->push_back(std::move(Trace));
     return;
@@ -554,16 +661,34 @@ void MergePipeline::runParallel(unsigned NumThreads) {
             if (!Task.Speculate)
               continue; // predicted conflict: commit will run it inline
             const PoolEntry &E1 = Pool[Task.PoolIdx];
-            Task.Attempts.reserve(Task.Hits.size());
-            for (const CandidateIndex::Hit &R : Task.Hits) {
-              const PoolEntry &E2 = Pool[R.Id];
-              MergeAttempt A =
-                  attemptMerge(*E1.F, *E2.F, CGOpts, Options.Arch,
-                               E1.CostSize, E2.CostSize, WS.Staging.get());
-              ++WS.AttemptsRun;
-              WS.AlignmentSeconds += A.Stats.AlignmentSeconds;
-              WS.CodeGenSeconds += A.Stats.CodeGenSeconds;
-              Task.Attempts.push_back(std::move(A));
+            // Per-task guard: a failure *outside* the per-attempt guard
+            // (the TaskFailure fault point models infrastructure dying
+            // between attempts) drops the task's partial results and
+            // demotes it to the inline path — the commit stage re-runs
+            // the entry exactly like the serial driver, so task
+            // failures can only ever waste work, never change outcomes.
+            try {
+              if (FaultsPtr)
+                maybeInjectFault(*FaultsPtr, FaultKind::TaskFailure,
+                                 E1.F->getName());
+              Task.Attempts.reserve(Task.Hits.size());
+              for (const CandidateIndex::Hit &R : Task.Hits) {
+                const PoolEntry &E2 = Pool[R.Id];
+                MergeAttempt A =
+                    guardedAttempt(*E1.F, *E2.F, E1.CostSize, E2.CostSize,
+                                   WS.Staging.get(), &WS.FailuresRun);
+                ++WS.AttemptsRun;
+                WS.AlignmentSeconds += A.Stats.AlignmentSeconds;
+                WS.CodeGenSeconds += A.Stats.CodeGenSeconds;
+                Task.Attempts.push_back(std::move(A));
+              }
+            } catch (const std::exception &) {
+              for (MergeAttempt &A : Task.Attempts)
+                if (A.Valid)
+                  discardMerge(A);
+              Task.Attempts.clear();
+              Task.Speculate = false;
+              ++WS.TaskFailuresRun;
             }
           }
         });
@@ -611,6 +736,8 @@ void MergePipeline::runParallel(unsigned NumThreads) {
   // make the Fig 22 metric thread-count-dependent.
   for (const WorkerState &WS : State) {
     Stats.SpeculativeAttempts += WS.AttemptsRun;
+    Stats.SpeculativeFailures += WS.FailuresRun;
+    Stats.TaskFailures += WS.TaskFailuresRun;
     Stats.AlignmentSeconds += WS.AlignmentSeconds;
     Stats.CodeGenSeconds += WS.CodeGenSeconds;
   }

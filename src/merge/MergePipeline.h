@@ -50,6 +50,19 @@
 /// single-module driver bit for bit, and the determinism contract above
 /// holds unchanged for any module count at any thread count.
 ///
+/// Failure containment (see "Failure containment & fault injection" in
+/// src/merge/README.md): every attempt runs behind an attempt guard that
+/// converts exceptions and blown AttemptBudget caps into skipped pairs;
+/// an always-on commit firewall verifies each would-be winner with
+/// ir/Verifier before it can replace Best, rolling rejects back and
+/// falling through to the next candidate; and a quarantine ladder
+/// retires functions whose attempts keep failing. None of it changes a
+/// healthy run: with no armed faults and no caps the pipeline's output
+/// is bit-identical to the pre-containment driver, and a faulted run
+/// stays deterministic per (config, seed) at every thread/shard count
+/// because fault decisions are keyed by function names, not by
+/// scheduling (support/FaultInjection.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SALSSA_MERGE_MERGEPIPELINE_H
@@ -164,6 +177,12 @@ private:
     /// ProfitModel's original-function calibration does not fit, so the
     /// profit-guided modes keep plain distance ordering for them.
     bool IsRemerge = false;
+    /// Failed attempts this function took part in (either side of the
+    /// pair). At Options.QuarantineThreshold strikes the entry is
+    /// quarantined: retired from the pool/index unmerged, counted in
+    /// Stats.QuarantinedFunctions. Only ever advanced at the serial
+    /// commit stage, so the ladder is thread-count-deterministic.
+    unsigned Failures = 0;
   };
 
   /// Snapshot work unit for one pool entry in an optimistic round.
@@ -184,6 +203,8 @@ private:
   struct WorkerState {
     std::unique_ptr<Module> Staging; ///< owns this worker's speculative fns
     unsigned AttemptsRun = 0;
+    unsigned FailuresRun = 0;     ///< attempt-guard catches on this worker
+    unsigned TaskFailuresRun = 0; ///< whole tasks recovered on this worker
     double AlignmentSeconds = 0;
     double CodeGenSeconds = 0;
   };
@@ -217,6 +238,25 @@ private:
   void commitEntry(size_t I, AttemptTask *Spec);
   /// Discards every speculative attempt of \p Spec not consumed yet.
   void discardRemaining(AttemptTask &Spec);
+  /// Guarded attempt: attemptMerge behind the attempt guard. Every
+  /// exception (injected or real) is converted into an invalid attempt
+  /// with AttemptOutcome::Faulted — the session never dies on one pair.
+  /// \p Failures, when non-null, receives guard catches (the workers'
+  /// parallel-only counter; the serial commit path counts
+  /// authoritatively from record outcomes instead).
+  MergeAttempt guardedAttempt(Function &F1, Function &F2, unsigned SizeF1,
+                              unsigned SizeF2, Module *Target,
+                              unsigned *Failures);
+
+  // --- failure containment --------------------------------------------------
+  /// One strike for each side of a failed attempt (fault, budget or
+  /// verifier reject). The partner is quarantined the moment it strikes
+  /// out; the entry itself is judged by its commitEntry (gate +
+  /// epilogue). Serial-commit-stage only.
+  void noteAttemptFailure(size_t EntryIdx, uint32_t PartnerId);
+  /// Retires pool entry \p I unmerged iff quarantine is enabled and the
+  /// entry has struck out. Returns true when the entry is (now) gone.
+  bool quarantineIfStruckOut(size_t I);
 
   // --- orchestration --------------------------------------------------------
   void runSerial();
@@ -238,6 +278,14 @@ private:
   const std::map<Function *, unsigned> &BaselineSize;
   MergeDriverStats &Stats;
   MergeCodeGenOptions CGOpts;
+
+  // --- failure-containment configuration ------------------------------------
+  // Resolved once at construction. Both pointers stay null on a healthy
+  // run (no caps, no armed faults), keeping attemptMerge on its exact
+  // pre-containment path — the zero-fault bit-identity invariant.
+  FaultInjectionConfig Faults; ///< Options.Faults, else SALSSA_FAULTS env
+  const FaultInjectionConfig *FaultsPtr = nullptr; ///< &Faults iff armed
+  const AttemptBudget *Budget = nullptr; ///< &Options.Budget iff any cap
 
   std::vector<PoolEntry> Pool;
   CandidateIndex Index;

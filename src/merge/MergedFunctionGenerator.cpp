@@ -8,8 +8,6 @@
 #include "align/Matcher.h"
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
-#include "ir/Verifier.h"
-#include "ir/IRPrinter.h"
 #include "merge/SSARepair.h"
 #include "transforms/Cloning.h"
 #include "transforms/Mem2Reg.h"
@@ -47,14 +45,10 @@ public:
         repairSSA(*Merged, Ctx, Origin, Options.EnablePhiCoalescing);
     Result.RepairSlots = Repair.SlotsCreated;
     Result.CoalescedPairs = Repair.CoalescedPairs;
-#ifdef SALSSA_DEBUG_STAGES
-    {
-      VerifierReport VR = verifyFunction(*Merged);
-      if (!VR.ok())
-        fprintf(stderr, "POST-REPAIR VERIFY FAILED:\n%s\n%s\n",
-                VR.str().c_str(), printFunction(*Merged).c_str());
-    }
-#endif
+    // Post-repair verification is no longer a debug-only stderr print:
+    // the always-on commit firewall (MergePipeline::commitEntry) runs
+    // ir/Verifier on every would-be winner and rolls rejects back, so a
+    // malformed body can never reach the host module silently.
     // Clean-up stage (Fig 1): register promotion of whatever slots remain
     // promotable (for FMSA inputs: the demotion slots that merging did not
     // ruin) and general simplification.

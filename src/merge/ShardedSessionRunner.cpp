@@ -298,7 +298,14 @@ CrossModuleStats ShardedSessionRunner::run() {
       MergeRecord Rec = Shard.Stats.Records[Shard.RCursor + R];
       Rec.Name1 = Trace.EntryFn->getName();
       Rec.Name2 = Trace.Partners[R]->getName();
-      std::string Burned = Host->makeUniqueName(Rec.Name1 + ".m");
+      // An attempt burns a unique name iff its code generation ran
+      // (Completed and BudgetBody outcomes); faulted or
+      // alignment-budget-rejected attempts burned nothing, and replaying
+      // a burn for them would skew every later merged name off the
+      // unsharded run's sequence.
+      std::string Burned;
+      if (attemptBurnedName(Rec.Stats.Outcome))
+        Burned = Host->makeUniqueName(Rec.Name1 + ".m");
       if (static_cast<int32_t>(R) == Trace.WinnerRecord)
         Host->adoptFunction(
             Trace.Merged->getParent()->takeFunction(Trace.Merged), Burned);
@@ -333,6 +340,16 @@ CrossModuleStats ShardedSessionRunner::run() {
     Stats.Driver.InlineReattempts += Shard.Stats.InlineReattempts;
     Stats.Driver.CommitConflicts += Shard.Stats.CommitConflicts;
     Stats.Driver.SpeculationsSkipped += Shard.Stats.SpeculationsSkipped;
+    // Containment counters: the authoritative four are sums of per-shard
+    // serial-commit counts — deterministic because every shard's record
+    // stream is (see MergeDriverStats) — the two wastage counters sum
+    // like the other parallel-only instrumentation.
+    Stats.Driver.AttemptFailures += Shard.Stats.AttemptFailures;
+    Stats.Driver.BudgetRejects += Shard.Stats.BudgetRejects;
+    Stats.Driver.VerifierRejects += Shard.Stats.VerifierRejects;
+    Stats.Driver.QuarantinedFunctions += Shard.Stats.QuarantinedFunctions;
+    Stats.Driver.SpeculativeFailures += Shard.Stats.SpeculativeFailures;
+    Stats.Driver.TaskFailures += Shard.Stats.TaskFailures;
     Stats.Driver.PeakAlignmentBytes = std::max(
         Stats.Driver.PeakAlignmentBytes, Shard.Stats.PeakAlignmentBytes);
     Stats.Driver.PairingDistanceCalls += Shard.Stats.PairingDistanceCalls;

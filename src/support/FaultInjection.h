@@ -1,0 +1,119 @@
+//===- support/FaultInjection.h - Deterministic fault points -----------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seed-keyed fault injection for the merge pipeline's
+/// failure-containment layer. A fault point asks "does kind K fire for
+/// key (A, B)?" and the answer is a pure hash of (seed, kind, A, B) —
+/// not a thread-local RNG — so the *same* attempts fault at every thread
+/// count, every shard count, and on both the speculative and the inline
+/// re-attempt path of one pair. That is what lets fault_injection_test
+/// assert byte-identical surviving merge sets per seed while still
+/// exercising the guards from arbitrary interleavings.
+///
+/// The config is carried on MergeDriverOptions (programmatic arming) or
+/// parsed from the SALSSA_FAULTS environment variable (arming a stock
+/// binary, e.g. a bench under soak):
+///
+///   SALSSA_FAULTS="seed=42,align=100,codegen=50,task=50,budget=25"
+///
+/// Rates are per-mille (0-1000) per fault kind; a kind left out stays
+/// disarmed. This header is IR-free on purpose: what a fired fault *does*
+/// (throw, corrupt a body, blow a budget) is decided by the merge layer;
+/// support/ only answers the deterministic "does it fire" question.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_SUPPORT_FAULTINJECTION_H
+#define SALSSA_SUPPORT_FAULTINJECTION_H
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace salssa {
+
+/// The failure modes the containment layer is tested against.
+enum class FaultKind : uint8_t {
+  /// The attempt throws mid-alignment (before any code generation):
+  /// models a pathological pair blowing up the aligner. Keyed by the
+  /// pair, so the inline re-attempt of a faulted speculative attempt
+  /// faults identically.
+  AlignmentThrow = 0,
+  /// Code generation completes but the merged body is deterministically
+  /// corrupted (an extra terminator): models a codegen bug. The attempt
+  /// itself succeeds — the always-on commit firewall must catch it.
+  CodeGenCorruption,
+  /// A worker task aborts *outside* the per-attempt guard: models an
+  /// infrastructure failure. Recovered by the per-task guard + inline
+  /// re-attempt, so it must never change outcomes, only waste work.
+  TaskFailure,
+  /// The attempt reports a blown resource budget even when no explicit
+  /// caps are configured: exercises the budget-reject path.
+  BudgetBlowout,
+};
+
+constexpr unsigned NumFaultKinds = 4;
+
+/// Per-kind fault rates plus the seed that keys every decision.
+struct FaultInjectionConfig {
+  uint64_t Seed = 0;
+  /// Firing probability per kind in per-mille (0 = disarmed, 1000 =
+  /// every decision fires).
+  std::array<uint32_t, NumFaultKinds> RatePerMille{};
+
+  bool armed() const {
+    for (uint32_t R : RatePerMille)
+      if (R != 0)
+        return true;
+    return false;
+  }
+  uint32_t rate(FaultKind K) const {
+    return RatePerMille[static_cast<size_t>(K)];
+  }
+  void setRate(FaultKind K, uint32_t PerMille) {
+    RatePerMille[static_cast<size_t>(K)] = PerMille > 1000 ? 1000 : PerMille;
+  }
+
+  /// Parses a "seed=N,align=R,codegen=R,task=R,budget=R" spec. Unknown
+  /// keys and malformed numbers are ignored (a soak harness must not
+  /// crash the binary it is soaking); missing keys keep their defaults.
+  static FaultInjectionConfig parse(const std::string &Spec);
+
+  /// Config from the SALSSA_FAULTS environment variable; disarmed when
+  /// the variable is unset or empty.
+  static FaultInjectionConfig fromEnv();
+};
+
+/// Thrown by a fired throwing fault point. Deliberately a plain
+/// std::runtime_error subclass: the guards catch std::exception, so an
+/// injected fault travels exactly the path a real one would.
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(FaultKind K);
+  FaultKind kind() const { return Kind; }
+
+private:
+  FaultKind Kind;
+};
+
+/// The deterministic decision: does \p K fire for keys (\p Key1, \p Key2)
+/// under \p C? Pure in all arguments (splitmix64-style mixing of the
+/// seed, the kind, and both key strings), uniform enough that the
+/// configured per-mille rate is realized to within a few per-mille over
+/// a few hundred decisions.
+bool faultFires(const FaultInjectionConfig &C, FaultKind K,
+                std::string_view Key1, std::string_view Key2 = {});
+
+/// Throws InjectedFault(K) iff faultFires(...).
+void maybeInjectFault(const FaultInjectionConfig &C, FaultKind K,
+                      std::string_view Key1, std::string_view Key2 = {});
+
+} // namespace salssa
+
+#endif // SALSSA_SUPPORT_FAULTINJECTION_H

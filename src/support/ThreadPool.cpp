@@ -6,6 +6,7 @@
 
 #include "support/ThreadPool.h"
 #include <algorithm>
+#include <utility>
 
 using namespace salssa;
 
@@ -45,6 +46,14 @@ void ThreadPool::submit(std::function<void()> Job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   Quiescent.wait(Lock, [this] { return InFlight == 0; });
+  // Surface the first job exception on the waiting thread. Stealing the
+  // pointer before unlocking keeps the pool usable afterwards (a later
+  // batch starts with a clean slate).
+  if (FirstException) {
+    std::exception_ptr E = std::exchange(FirstException, nullptr);
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -58,7 +67,16 @@ void ThreadPool::workerLoop() {
       Job = std::move(Queue.front());
       Queue.pop_front();
     }
-    Job();
+    // A throwing job must not unwind the worker thread (std::terminate)
+    // or wedge the quiescence accounting: capture the first exception
+    // for the next wait() and keep draining.
+    try {
+      Job();
+    } catch (...) {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (!FirstException)
+        FirstException = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       if (--InFlight == 0)

@@ -16,6 +16,14 @@
 /// timer accumulators) submit one "drain" job per worker slot, each
 /// pulling shared work items off an atomic cursor.
 ///
+/// A throwing job does NOT terminate the process: the first exception a
+/// worker observes is captured (std::exception_ptr) and rethrown from
+/// the next wait() on the submitting thread; later exceptions from the
+/// same batch are dropped (first-wins). The remaining jobs still run —
+/// an exception never wedges the queue — and the pool stays usable after
+/// the rethrow. An exception still pending at destruction is dropped
+/// (there is no caller left to receive it).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SALSSA_SUPPORT_THREADPOOL_H
@@ -23,6 +31,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -46,8 +55,10 @@ public:
   /// Enqueues one job. Never blocks (the queue is unbounded).
   void submit(std::function<void()> Job);
 
-  /// Blocks until every job submitted so far has completed. Safe to call
-  /// repeatedly; the pool stays usable afterwards.
+  /// Blocks until every job submitted so far has completed, then
+  /// rethrows the first exception any of them threw (if one did). Safe
+  /// to call repeatedly; the pool stays usable afterwards — including
+  /// after a rethrow.
   void wait();
 
   /// Resolves a user-facing thread-count knob: 0 means "use the
@@ -64,6 +75,7 @@ private:
   std::condition_variable Quiescent;    ///< signalled when work drains
   size_t InFlight = 0;                  ///< queued + currently executing
   bool Stopping = false;
+  std::exception_ptr FirstException;    ///< first job throw, pending wait()
 };
 
 } // namespace salssa

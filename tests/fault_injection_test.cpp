@@ -1,0 +1,354 @@
+//===- tests/fault_injection_test.cpp - Failure-containment soak ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// The failure-containment contract (attempt guard, budget rejects,
+// always-on commit firewall, quarantine ladder — see "Failure
+// containment & fault injection" in src/merge/README.md):
+//
+//  1. Zero-fault bit-identity: arming the machinery with all rates 0 (or
+//     not at all) changes nothing — merges, records, names and module
+//     bytes equal the plain pipeline's.
+//  2. Soak: with faults injected into a double-digit percentage of
+//     attempts, every session across Selection modes x {1,4} threads x
+//     {1,4} shards completes without termination, every output module is
+//     verifier-clean, and the surviving merge set is deterministic per
+//     (config, seed) — including across thread counts, and across shard
+//     counts under Distance selection.
+//  3. Budget caps reject deterministically; a firewall-rejected winner
+//     rolls back to no-merge; repeat offenders are quarantined; task
+//     failures are recovered without changing outcomes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "merge/MergeDriver.h"
+#include "support/FaultInjection.h"
+#include "workloads/Suites.h"
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+/// Clone-heavy, multi-return-type population: enough merge traffic to
+/// give every fault kind targets, enough classes to shard.
+BenchmarkProfile faultProfile(uint64_t Seed, unsigned NumFns = 48,
+                              unsigned Variety = 4) {
+  BenchmarkProfile P;
+  P.Name = "faults";
+  P.NumFunctions = NumFns;
+  P.MinSize = 6;
+  P.AvgSize = 40;
+  P.MaxSize = 160;
+  P.CloneFamilyPercent = 55;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 10;
+  P.LoopPercent = 50;
+  P.RetTypeVariety = Variety;
+  P.Seed = Seed;
+  return P;
+}
+
+/// The soak arming: roughly 12% of pairs fault in alignment, 8% corrupt
+/// in codegen, 6% of worker tasks die, 5% blow their budget.
+FaultInjectionConfig soakFaults(uint64_t Seed) {
+  FaultInjectionConfig F;
+  F.Seed = Seed;
+  F.setRate(FaultKind::AlignmentThrow, 120);
+  F.setRate(FaultKind::CodeGenCorruption, 80);
+  F.setRate(FaultKind::TaskFailure, 60);
+  F.setRate(FaultKind::BudgetBlowout, 50);
+  return F;
+}
+
+/// Everything observable about one driver run (timings excluded).
+struct RunOutcome {
+  MergeDriverStats Stats;
+  std::vector<std::tuple<std::string, std::string, bool, int, bool>> Records;
+  std::string ModulePrint;
+  bool VerifierOk = false;
+};
+
+RunOutcome runConfig(const BenchmarkProfile &P, MergeDriverOptions DO) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  RunOutcome O;
+  O.Stats = runFunctionMerging(*M, DO);
+  for (const MergeRecord &R : O.Stats.Records)
+    O.Records.emplace_back(R.Name1, R.Name2, R.Committed,
+                           static_cast<int>(R.Stats.Outcome),
+                           R.Stats.VerifierRejected);
+  O.ModulePrint = printModule(*M);
+  O.VerifierOk = verifyModule(*M).ok();
+  return O;
+}
+
+void expectSameOutcome(const RunOutcome &Got, const RunOutcome &Want,
+                       const std::string &Tag) {
+  EXPECT_TRUE(Got.VerifierOk) << Tag;
+  EXPECT_EQ(Got.Stats.CommittedMerges, Want.Stats.CommittedMerges) << Tag;
+  EXPECT_EQ(Got.Stats.Attempts, Want.Stats.Attempts) << Tag;
+  EXPECT_EQ(Got.Stats.AttemptFailures, Want.Stats.AttemptFailures) << Tag;
+  EXPECT_EQ(Got.Stats.BudgetRejects, Want.Stats.BudgetRejects) << Tag;
+  EXPECT_EQ(Got.Stats.VerifierRejects, Want.Stats.VerifierRejects) << Tag;
+  EXPECT_EQ(Got.Stats.QuarantinedFunctions, Want.Stats.QuarantinedFunctions)
+      << Tag;
+  ASSERT_EQ(Got.Records.size(), Want.Records.size()) << Tag;
+  for (size_t I = 0; I < Got.Records.size(); ++I)
+    EXPECT_EQ(Got.Records[I], Want.Records[I]) << Tag << " record " << I;
+  EXPECT_EQ(Got.ModulePrint, Want.ModulePrint) << Tag;
+}
+
+//===----------------------------------------------------------------------===//
+// The FaultInjection subsystem itself
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectionConfigTest, ParseSpec) {
+  FaultInjectionConfig C = FaultInjectionConfig::parse(
+      "seed=42,align=100,codegen=50,task=25,budget=10");
+  EXPECT_EQ(C.Seed, 42u);
+  EXPECT_EQ(C.rate(FaultKind::AlignmentThrow), 100u);
+  EXPECT_EQ(C.rate(FaultKind::CodeGenCorruption), 50u);
+  EXPECT_EQ(C.rate(FaultKind::TaskFailure), 25u);
+  EXPECT_EQ(C.rate(FaultKind::BudgetBlowout), 10u);
+  EXPECT_TRUE(C.armed());
+  // Rates clamp to per-mille; garbage and unknown keys are ignored.
+  FaultInjectionConfig D =
+      FaultInjectionConfig::parse("align=5000,bogus=1,task=xyz,,seed=");
+  EXPECT_EQ(D.rate(FaultKind::AlignmentThrow), 1000u);
+  EXPECT_EQ(D.rate(FaultKind::TaskFailure), 0u);
+  EXPECT_EQ(D.Seed, 0u);
+  EXPECT_FALSE(FaultInjectionConfig().armed());
+  EXPECT_FALSE(FaultInjectionConfig::parse("seed=9").armed());
+}
+
+TEST(FaultInjectionConfigTest, DecisionsAreDeterministicAndRateish) {
+  FaultInjectionConfig C;
+  C.Seed = 7;
+  C.setRate(FaultKind::AlignmentThrow, 100);
+  unsigned Fired = 0;
+  for (int I = 0; I < 2000; ++I) {
+    std::string K1 = "fn_" + std::to_string(I);
+    std::string K2 = "fn_" + std::to_string(I * 31 + 7);
+    bool F = faultFires(C, FaultKind::AlignmentThrow, K1, K2);
+    EXPECT_EQ(F, faultFires(C, FaultKind::AlignmentThrow, K1, K2));
+    Fired += F;
+  }
+  // 100 per-mille over 2000 independent keys: expect ~200, allow wide
+  // slack (the decision is a hash, not a sampler — this guards against
+  // catastrophic bias like always/never firing).
+  EXPECT_GT(Fired, 100u);
+  EXPECT_LT(Fired, 400u);
+  // Kinds and seeds decide independently.
+  EXPECT_FALSE(faultFires(C, FaultKind::TaskFailure, "a", "b")); // rate 0
+  C.setRate(FaultKind::AlignmentThrow, 1000);
+  EXPECT_TRUE(faultFires(C, FaultKind::AlignmentThrow, "anything"));
+  EXPECT_THROW(maybeInjectFault(C, FaultKind::AlignmentThrow, "x"),
+               InjectedFault);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-fault bit-identity
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectionTest, ZeroRateArmingIsBitIdenticalToDisarmed) {
+  BenchmarkProfile P = faultProfile(11);
+  MergeDriverOptions Plain;
+  Plain.ExplorationThreshold = 3;
+  MergeDriverOptions Armed = Plain;
+  Armed.Faults.Seed = 42; // a seed with every rate 0 must change nothing
+  for (unsigned NT : {1u, 4u}) {
+    MergeDriverOptions A = Plain, B = Armed;
+    A.NumThreads = B.NumThreads = NT;
+    expectSameOutcome(runConfig(P, B), runConfig(P, A),
+                      "zero-rate threads=" + std::to_string(NT));
+  }
+}
+
+TEST(FaultInjectionTest, EnvSpecArmsAStockDriver) {
+  BenchmarkProfile P = faultProfile(13);
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 3;
+  RunOutcome Clean = runConfig(P, DO);
+  ASSERT_EQ(setenv("SALSSA_FAULTS", "seed=5,align=300", 1), 0);
+  RunOutcome Faulted = runConfig(P, DO);
+  ASSERT_EQ(unsetenv("SALSSA_FAULTS"), 0);
+  EXPECT_GT(Faulted.Stats.AttemptFailures, 0u);
+  EXPECT_TRUE(Faulted.VerifierOk);
+  // Programmatic arming takes precedence over the environment — and the
+  // env must not leak into runs that armed their own config.
+  EXPECT_EQ(Clean.Stats.AttemptFailures, 0u);
+  // Unsetting restores the clean pipeline exactly.
+  expectSameOutcome(runConfig(P, DO), Clean, "after unsetenv");
+}
+
+//===----------------------------------------------------------------------===//
+// The soak: modes x threads x shards
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectionTest, SoakCompletesCleanAndDeterministic) {
+  BenchmarkProfile P = faultProfile(17);
+  RunOutcome DistanceShardOne;
+  for (SelectionStrategy Mode :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive}) {
+    for (unsigned Shards : {1u, 4u}) {
+      MergeDriverOptions DO;
+      DO.ExplorationThreshold = 3;
+      DO.Selection = Mode;
+      DO.ShardCount = Shards;
+      DO.Faults = soakFaults(7);
+      std::string Tag = "mode=" + std::to_string(int(Mode)) +
+                        " shards=" + std::to_string(Shards);
+      DO.NumThreads = 1;
+      RunOutcome Serial = runConfig(P, DO);
+      // Clean completion, verifier-clean output, and real fault traffic:
+      // the session must keep merging through double-digit-percent
+      // attempt failure rates.
+      EXPECT_TRUE(Serial.VerifierOk) << Tag;
+      EXPECT_GT(Serial.Stats.CommittedMerges, 0u) << Tag;
+      unsigned Contained = Serial.Stats.AttemptFailures +
+                           Serial.Stats.BudgetRejects +
+                           Serial.Stats.VerifierRejects;
+      EXPECT_GT(Contained * 10, Serial.Stats.Attempts)
+          << Tag << ": soak must fault >=10% of attempts (got " << Contained
+          << "/" << Serial.Stats.Attempts << ")";
+      EXPECT_GT(Serial.Stats.AttemptFailures, 0u) << Tag;
+      EXPECT_GT(Serial.Stats.BudgetRejects, 0u) << Tag;
+      // Determinism across thread counts, faults and all.
+      DO.NumThreads = 4;
+      expectSameOutcome(runConfig(P, DO), Serial, Tag + " threads=4");
+      // Under Distance selection the sharded faulted run must equal the
+      // unsharded faulted run bit for bit (the profit modes calibrate
+      // per shard — per-shard-count determinism only, as documented).
+      if (Mode == SelectionStrategy::Distance) {
+        if (Shards == 1)
+          DistanceShardOne = Serial;
+        else
+          expectSameOutcome(Serial, DistanceShardOne,
+                            Tag + " vs unsharded");
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionTest, DifferentSeedsFaultDifferentPairs) {
+  BenchmarkProfile P = faultProfile(19);
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 3;
+  DO.Faults = soakFaults(1);
+  RunOutcome SeedA = runConfig(P, DO);
+  DO.Faults = soakFaults(2);
+  RunOutcome SeedB = runConfig(P, DO);
+  EXPECT_TRUE(SeedA.VerifierOk);
+  EXPECT_TRUE(SeedB.VerifierOk);
+  EXPECT_NE(SeedA.Records, SeedB.Records);
+  // ... but each seed reproduces itself exactly.
+  DO.Faults = soakFaults(1);
+  expectSameOutcome(runConfig(P, DO), SeedA, "seed=1 rerun");
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets, firewall, quarantine, task recovery
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectionTest, BudgetCapsRejectDeterministically) {
+  BenchmarkProfile P = faultProfile(23);
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 3;
+  DO.Budget.MaxAlignmentCells = 900; // ~30x30 instructions — tiny
+  DO.NumThreads = 1;
+  RunOutcome Cells = runConfig(P, DO);
+  EXPECT_TRUE(Cells.VerifierOk);
+  EXPECT_GT(Cells.Stats.BudgetRejects, 0u);
+  DO.NumThreads = 4;
+  expectSameOutcome(runConfig(P, DO), Cells, "cell cap threads=4");
+
+  MergeDriverOptions Body;
+  Body.ExplorationThreshold = 3;
+  Body.Budget.MaxMergedBodySize = 60;
+  Body.NumThreads = 1;
+  RunOutcome Bodies = runConfig(P, Body);
+  EXPECT_TRUE(Bodies.VerifierOk);
+  EXPECT_GT(Bodies.Stats.BudgetRejects, 0u);
+  Body.NumThreads = 4;
+  expectSameOutcome(runConfig(P, Body), Bodies, "body cap threads=4");
+
+  MergeDriverOptions Steps;
+  Steps.ExplorationThreshold = 3;
+  Steps.Budget.MaxAttemptSteps = 60;
+  RunOutcome Stepped = runConfig(P, Steps);
+  EXPECT_TRUE(Stepped.VerifierOk);
+  EXPECT_GT(Stepped.Stats.BudgetRejects, 0u);
+}
+
+TEST(FaultInjectionTest, FirewallRollsBackEveryCorruptWinner) {
+  // Corrupt every generated body: nothing may commit, the module must
+  // come out byte-identical to its pre-run print, and the firewall must
+  // have actually fired (verifier rejects + eventual quarantines).
+  BenchmarkProfile P = faultProfile(29);
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  std::string Before = printModule(*M);
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 3;
+  DO.Faults.Seed = 3;
+  DO.Faults.setRate(FaultKind::CodeGenCorruption, 1000);
+  MergeDriverStats S = runFunctionMerging(*M, DO);
+  EXPECT_EQ(S.CommittedMerges, 0u);
+  EXPECT_GT(S.VerifierRejects, 0u);
+  EXPECT_GT(S.QuarantinedFunctions, 0u);
+  EXPECT_TRUE(verifyModule(*M).ok());
+  EXPECT_EQ(printModule(*M), Before);
+}
+
+TEST(FaultInjectionTest, AllAttemptsFaultingStillTerminates) {
+  // The degradation ladder's worst case: every single attempt throws.
+  // The session must run to completion, commit nothing, and quarantine
+  // the repeat offenders instead of spinning on them.
+  BenchmarkProfile P = faultProfile(31);
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 3;
+  DO.Faults.Seed = 4;
+  DO.Faults.setRate(FaultKind::AlignmentThrow, 1000);
+  for (unsigned NT : {1u, 4u}) {
+    DO.NumThreads = NT;
+    RunOutcome O = runConfig(P, DO);
+    EXPECT_TRUE(O.VerifierOk) << NT;
+    EXPECT_EQ(O.Stats.CommittedMerges, 0u) << NT;
+    EXPECT_GT(O.Stats.AttemptFailures, 0u) << NT;
+    EXPECT_GT(O.Stats.QuarantinedFunctions, 0u) << NT;
+  }
+  // Quarantine off: the session still terminates (the pool walk is
+  // finite), it just pays for every failing attempt.
+  DO.QuarantineThreshold = 0;
+  DO.NumThreads = 1;
+  RunOutcome O = runConfig(P, DO);
+  EXPECT_EQ(O.Stats.QuarantinedFunctions, 0u);
+  EXPECT_EQ(O.Stats.CommittedMerges, 0u);
+}
+
+TEST(FaultInjectionTest, TaskFailuresAreRecoveredWithoutChangingOutcomes) {
+  // TaskFailure hits whole worker tasks outside the attempt guard; the
+  // per-task guard demotes them to the inline path. Against the
+  // fault-free serial run the outcomes must be identical — task deaths
+  // are pure wasted work.
+  BenchmarkProfile P = faultProfile(37);
+  MergeDriverOptions Clean;
+  Clean.ExplorationThreshold = 3;
+  Clean.NumThreads = 1;
+  RunOutcome Serial = runConfig(P, Clean);
+  MergeDriverOptions DO = Clean;
+  DO.Faults.Seed = 6;
+  DO.Faults.setRate(FaultKind::TaskFailure, 400);
+  DO.NumThreads = 4;
+  RunOutcome Faulted = runConfig(P, DO);
+  expectSameOutcome(Faulted, Serial, "task faults vs clean serial");
+  EXPECT_GT(Faulted.Stats.TaskFailures, 0u);
+  EXPECT_EQ(Faulted.Stats.AttemptFailures, 0u);
+}
+
+} // namespace
