@@ -82,7 +82,16 @@ def main(argv):
             if key not in base_entry:
                 print(f"notice: {name}.{key} has no baseline (new key?)")
                 continue
-            base = float(base_entry[key])
+            try:
+                base = float(base_entry[key])
+            except (TypeError, ValueError):
+                # A baseline written by an older bench revision may carry a
+                # non-numeric value under a now-gated key; benches evolve
+                # PR over PR, so treat it like a missing baseline rather
+                # than crashing the gate.
+                print(f"notice: {name}.{key} baseline is non-numeric "
+                      f"({base_entry[key]!r}) — not gated")
+                continue
             compared += 1
             if kind == "wall":
                 if base < ABS_FLOOR_SECONDS:

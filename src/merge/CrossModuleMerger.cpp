@@ -8,8 +8,10 @@
 #include "codesize/SizeModel.h"
 #include "ir/Module.h"
 #include "ir/SymbolResolution.h"
+#include "merge/DecisionCache.h"
 #include "merge/MergePipeline.h"
 #include "merge/ShardedSessionRunner.h"
+#include "merge/StructuralHash.h"
 #include "support/Chrono.h"
 #include "transforms/Mem2Reg.h"
 #include "transforms/Reg2Mem.h"
@@ -18,6 +20,8 @@
 #include <cassert>
 #include <chrono>
 #include <map>
+#include <unordered_set>
+#include <utility>
 
 using namespace salssa;
 
@@ -105,10 +109,59 @@ CrossModuleStats CrossModuleMerger::run() {
         if (!F->isDeclaration())
           demoteRegistersToMemory(*F, Ctx);
 
+  // Session-level fault resolution, mirroring the pipeline's own: the
+  // pre-cluster pass and the cache I/O sit outside any pipeline, so they
+  // resolve the SALSSA_FAULTS fallback themselves.
+  FaultInjectionConfig SessionFaults = Options.Faults.armed()
+                                           ? Options.Faults
+                                           : FaultInjectionConfig::fromEnv();
+  const FaultInjectionConfig *SessionFaultsPtr =
+      SessionFaults.armed() ? &SessionFaults : nullptr;
+
+  PipelineShardScope Scope;
+
+  // Structural-hash fast path: commit exact-clone groups as one body +
+  // direct thunks before pairwise ranking, and hand the pipeline the
+  // surviving pool as its include-set (thunked members are gone, the
+  // cluster bodies may merge further).
+  std::unordered_set<const Function *> ClusterPool;
+  if (Options.HashClustering) {
+    PreClusterStats PCS;
+    ClusterPool = preClusterIdenticalFunctions(Modules, *Host, Options.Arch,
+                                               BaselineSize, SessionFaultsPtr,
+                                               PCS);
+    Scope.PoolFilter = &ClusterPool;
+    Stats.Driver.HashClusterCommits = PCS.ClusterCommits;
+    Stats.Driver.FingerprintFaults = PCS.FingerprintFaults;
+  }
+
+  // Persistent decision cache: load (self-invalidating on damage or an
+  // options/version mismatch), expose read-only to the pipeline, collect
+  // its serial-commit-stage recordings, persist after the run.
+  DecisionCache Cache;
+  std::vector<DecisionCacheUpdate> CacheUpdates;
+  const bool UseCache = !Options.DecisionCachePath.empty();
+  uint64_t OptionsFP = 0;
+  if (UseCache) {
+    OptionsFP = DecisionCache::optionsFingerprint(Options);
+    if (Cache.load(Options.DecisionCachePath, OptionsFP, SessionFaultsPtr) ==
+        DecisionCache::LoadOutcome::Rejected)
+      ++Stats.Driver.CacheLoadRejected;
+    Scope.Cache = &Cache;
+    Scope.CacheUpdates = &CacheUpdates;
+  }
+
   {
     MergePipeline Pipeline(Modules, *Host, Options, BaselineSize,
-                           Stats.Driver);
+                           Stats.Driver, Scope);
     Pipeline.run();
+  }
+
+  if (UseCache) {
+    Cache.apply(std::move(CacheUpdates));
+    // A failed write (I/O error or injected CacheIO fault) means "no
+    // cache for the next run", never a failed session.
+    Cache.save(Options.DecisionCachePath, OptionsFP, SessionFaultsPtr);
   }
 
   // FMSA post-pass, in every module.

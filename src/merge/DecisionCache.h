@@ -1,0 +1,167 @@
+//===- merge/DecisionCache.h - Persistent cross-run decision cache ------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent cross-run decision cache (per *Optimistic Global
+/// Function Merger*): a content-addressed record of what the serial
+/// commit stage decided for each pool entry, keyed so a warm run over
+/// unchanged code can replay the whole entry — ranking, rejected
+/// attempts, and the winning alignment — without touching the
+/// CandidateIndex or the Needleman-Wunsch aligner.
+///
+/// Key derivation. A pool entry is addressed by
+/// (StructuralHash, occurrence index): the canonical body hash plus how
+/// many earlier pool entries (in serial pool order) share that hash.
+/// The occurrence index disambiguates exact clones and is shard- and
+/// thread-invariant: equal hashes imply equal return types, so all
+/// occurrences of one hash live in one merge-compatibility class, and
+/// within a class the pool order (stable sort by fingerprint size over
+/// module/creation order) is the same in every shard plan. Partners
+/// inside a decision are addressed the same way, which is also what
+/// lets one cache file warm sessions at any shard count.
+///
+/// Invalidation. The file carries a format-version + an options
+/// fingerprint (hash geometry, technique, selection mode, budget caps —
+/// everything that can change a decision, deliberately excluding thread
+/// and shard counts). Any mismatch, size/checksum failure or truncation
+/// rejects the load: the session counts CacheLoadRejected and runs
+/// cold. A rejected or missing cache can never produce a wrong merge —
+/// only the fast path is lost.
+///
+/// Determinism contract. A warm run replays cached entries only when
+/// every referenced partner resolves to a live pool entry; anything
+/// else falls back to the live rank/attempt path for that entry (and
+/// re-records it). For unchanged input, a warm run burns the same
+/// unique-name sequence and emits byte-identical merged modules to its
+/// cold run; for changed input the replayed subset is the *recorded*
+/// decision (optimistic content-addressed caching) — delete the cache
+/// file to force full re-ranking. Writes happen only at the serial
+/// commit stage; sharded sessions collect per-shard updates and apply
+/// them serially after splice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_DECISIONCACHE_H
+#define SALSSA_MERGE_DECISIONCACHE_H
+
+#include "merge/StructuralHash.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace salssa {
+
+struct FaultInjectionConfig;
+struct MergeDriverOptions;
+
+/// Content address of one pool entry: canonical body hash + occurrence
+/// index among equal hashes in serial pool order.
+struct DecisionKey {
+  StructuralHash Hash;
+  uint32_t Occ = 0;
+
+  bool operator==(const DecisionKey &O) const {
+    return Hash == O.Hash && Occ == O.Occ;
+  }
+  bool operator<(const DecisionKey &O) const {
+    return Hash != O.Hash ? Hash < O.Hash : Occ < O.Occ;
+  }
+};
+
+/// One attempt of a recorded slate, in attempt order. Non-winning
+/// attempts replay as skipped records (AttemptOutcome::CacheSkipped)
+/// plus a ProfitModel observation; the winning attempt additionally
+/// carries the full alignment (gaps included) so code generation runs
+/// with zero aligner work.
+struct CachedAttempt {
+  DecisionKey Partner;
+  uint64_t Distance = 0;   ///< fingerprint distance, as ranked
+  int64_t ProfitObs = 0;   ///< MergeAttempt::profit() of the attempt
+  bool Profitable = false; ///< profit() > 0
+  /// Winner-only alignment replay payload (empty for non-winners):
+  /// linearized sequence lengths for validation plus the aligner's
+  /// entry list as (Idx1, Idx2) with -1 gaps.
+  uint32_t SeqLen1 = 0;
+  uint32_t SeqLen2 = 0;
+  std::vector<std::pair<int32_t, int32_t>> Align;
+};
+
+/// The serial commit stage's full decision for one pool entry. Only
+/// clean entries are recorded: every attempt completed (no faults, no
+/// budget rejects, no verifier rejects), so replay never needs the
+/// failure-containment ladder.
+struct CachedDecision {
+  std::vector<CachedAttempt> Attempts; ///< empty = entry ranked dry
+  int32_t Winner = -1;                 ///< index into Attempts, -1 = no commit
+  /// Adaptive-threshold vote replay (SelectionStrategy::Adaptive): the
+  /// votes this entry cast when recorded.
+  bool VoteTallied = false;
+  bool VoteShrink = false;
+  bool VoteWiden = false;
+};
+
+/// One pending cache write, produced at the serial commit stage and
+/// applied by the owning session.
+struct DecisionCacheUpdate {
+  DecisionKey Key;
+  CachedDecision Decision;
+};
+
+/// The cache proper: an in-memory decision map with versioned,
+/// checksummed binary persistence. Owned by the session
+/// (CrossModuleMerger / ShardedSessionRunner); pipelines see a
+/// read-only view plus an update vector (merge/MergePipeline.h).
+class DecisionCache {
+public:
+  /// Bumped on any change to the file format, the structural-hash
+  /// algorithm, or replay semantics.
+  static constexpr uint32_t FormatVersion = 1;
+
+  enum class LoadOutcome : uint8_t {
+    Loaded,  ///< file read, verified, decisions available
+    Missing, ///< no file — a plain cold run
+    Rejected ///< damaged or incompatible — cold run + CacheLoadRejected
+  };
+
+  /// Fingerprint of every option that can change a recorded decision.
+  /// Thread count, commit window and shard count are excluded by
+  /// design: decisions are invariant across them.
+  static uint64_t optionsFingerprint(const MergeDriverOptions &Options);
+
+  /// Loads \p Path, verifying magic, version, options fingerprint,
+  /// payload size and checksum. \p Faults, when armed, may fire
+  /// FaultKind::CacheIO (keyed by path) to force the Rejected path.
+  LoadOutcome load(const std::string &Path, uint64_t OptionsFP,
+                   const FaultInjectionConfig *Faults);
+
+  /// Serializes (sorted by key — deterministic bytes) and writes via
+  /// temp + rename. Returns false on I/O failure or a fired CacheIO
+  /// fault; the session treats that as "no cache written", never as an
+  /// error.
+  bool save(const std::string &Path, uint64_t OptionsFP,
+            const FaultInjectionConfig *Faults) const;
+
+  const CachedDecision *lookup(const DecisionKey &Key) const {
+    auto It = Entries.find(Key);
+    return It == Entries.end() ? nullptr : &It->second;
+  }
+
+  /// Insert-or-replace every update (fresh recordings win over stale
+  /// entries for the same key).
+  void apply(std::vector<DecisionCacheUpdate> &&Updates);
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+private:
+  std::map<DecisionKey, CachedDecision> Entries;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_DECISIONCACHE_H

@@ -68,6 +68,45 @@ void corruptMergedBody(Function &Merged, Context &Ctx) {
   B.createBr(Entry);
 }
 
+/// Reconstructs an AlignmentResult from a cached entry list, validating
+/// every step: lengths match the current linearization, the non-gap
+/// indices cover both sequences exactly once in order, and every match
+/// entry still satisfies itemsMatch. Returns false (leaving \p Out
+/// unspecified) on the first inconsistency.
+bool replayAlignment(const AlignmentReplay &Replay,
+                     const std::vector<SeqItem> &Seq1,
+                     const std::vector<SeqItem> &Seq2,
+                     AlignmentResult &Out) {
+  if (!Replay.Entries || Replay.SeqLen1 != Seq1.size() ||
+      Replay.SeqLen2 != Seq2.size())
+    return false;
+  Out.Entries.clear();
+  Out.Entries.reserve(Replay.Entries->size());
+  Out.MatchedPairs = 0;
+  int64_t Next1 = 0, Next2 = 0;
+  for (const auto &[I1, I2] : *Replay.Entries) {
+    if (I1 < 0 && I2 < 0)
+      return false;
+    if (I1 >= 0 && I1 != Next1++)
+      return false;
+    if (I2 >= 0 && I2 != Next2++)
+      return false;
+    if (I1 >= 0 && I2 >= 0) {
+      if (!itemsMatch(Seq1[static_cast<size_t>(I1)],
+                      Seq2[static_cast<size_t>(I2)]))
+        return false;
+      ++Out.MatchedPairs;
+    }
+    Out.Entries.push_back({static_cast<int>(I1), static_cast<int>(I2)});
+  }
+  if (Next1 != static_cast<int64_t>(Seq1.size()) ||
+      Next2 != static_cast<int64_t>(Seq2.size()))
+    return false;
+  Out.DPBytes = 0; // no DP state: the whole point of the warm path
+  Out.UsedLinearSpace = false;
+  return true;
+}
+
 } // namespace
 
 MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
@@ -75,7 +114,9 @@ MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
                                   TargetArch Arch, unsigned SizeF1,
                                   unsigned SizeF2, Module *StagingModule,
                                   const AttemptBudget *Budget,
-                                  const FaultInjectionConfig *Faults) {
+                                  const FaultInjectionConfig *Faults,
+                                  const AlignmentReplay *Replay,
+                                  bool CaptureAlignment) {
   MergeAttempt Attempt;
   Attempt.F1 = &F1;
   Attempt.F2 = &F2;
@@ -118,11 +159,18 @@ MergeAttempt salssa::attemptMerge(Function &F1, Function &F2,
     return Attempt;
   }
 
-  AlignmentResult Alignment =
-      alignSequences(Seq1, Seq2, itemsMatch, Options.Alignment);
+  AlignmentResult Alignment;
+  if (!(Replay && replayAlignment(*Replay, Seq1, Seq2, Alignment)))
+    Alignment = alignSequences(Seq1, Seq2, itemsMatch, Options.Alignment);
   Attempt.Stats.AlignmentSeconds = secondsSince(T0);
   Attempt.Stats.MatchedPairs = Alignment.MatchedPairs;
   Attempt.Stats.AlignmentBytes = Alignment.DPBytes;
+  if (CaptureAlignment) {
+    Attempt.AlignEntries.reserve(Alignment.Entries.size());
+    for (const AlignedEntry &E : Alignment.Entries)
+      Attempt.AlignEntries.emplace_back(static_cast<int32_t>(E.Idx1),
+                                        static_cast<int32_t>(E.Idx2));
+  }
 
   // Code generation + clean-up (instrumented).
   auto T1 = std::chrono::steady_clock::now();

@@ -21,6 +21,8 @@
 #include "merge/MergedFunctionGenerator.h"
 #include "support/FaultInjection.h"
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace salssa {
 
@@ -33,11 +35,28 @@ struct MergeAttempt {
   Function *F1 = nullptr;
   Function *F2 = nullptr;
 
+  /// The full alignment as (Idx1, Idx2) entries with -1 gaps, captured
+  /// when attemptMerge ran with CaptureAlignment (the decision cache
+  /// records it for the committed winner so a warm run can regenerate
+  /// the identical body with zero aligner work). Empty otherwise.
+  std::vector<std::pair<int32_t, int32_t>> AlignEntries;
+
   /// Estimated profit in bytes (positive = smaller after merging).
   int profit() const {
     return static_cast<int>(Stats.SizeF1) + static_cast<int>(Stats.SizeF2) -
            static_cast<int>(Stats.SizeMerged);
   }
+};
+
+/// A recorded alignment offered back to attemptMerge by the warm
+/// decision cache. Validated entry by entry against the pair's current
+/// linearization (lengths, full coverage in order, every match passing
+/// itemsMatch); any mismatch silently falls back to the live aligner,
+/// so a stale or corrupt payload can cost speed but never correctness.
+struct AlignmentReplay {
+  uint32_t SeqLen1 = 0; ///< recorded linearized length of F1
+  uint32_t SeqLen2 = 0; ///< recorded linearized length of F2
+  const std::vector<std::pair<int32_t, int32_t>> *Entries = nullptr;
 };
 
 /// A cheap, calibrated estimator of merge profit from fingerprints alone
@@ -144,12 +163,21 @@ struct ProfitModel {
 /// commit firewall to catch, and BudgetBlowout forces the
 /// budget-rejected path. Null for both (the default, and the only mode
 /// direct callers outside the driver use) is the plain uncapped attempt.
+///
+/// \p Replay, when non-null, offers a cached alignment (see
+/// AlignmentReplay): if it validates against the pair's current
+/// linearization the Needleman-Wunsch stage is skipped entirely
+/// (Stats.AlignmentBytes reports 0); otherwise the live aligner runs as
+/// usual. \p CaptureAlignment makes the attempt fill
+/// MergeAttempt::AlignEntries for the decision cache to record.
 MergeAttempt attemptMerge(Function &F1, Function &F2,
                           const MergeCodeGenOptions &Options,
                           TargetArch Arch, unsigned SizeF1, unsigned SizeF2,
                           Module *StagingModule = nullptr,
                           const AttemptBudget *Budget = nullptr,
-                          const FaultInjectionConfig *Faults = nullptr);
+                          const FaultInjectionConfig *Faults = nullptr,
+                          const AlignmentReplay *Replay = nullptr,
+                          bool CaptureAlignment = false);
 
 /// Moves \p Attempt's merged function out of its staging module into
 /// \p Dst under \p Name (which must be unique in \p Dst). No-op when the

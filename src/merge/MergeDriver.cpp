@@ -22,8 +22,11 @@ MergeDriverStats salssa::runFunctionMerging(Module &M,
   // A/B route: the cross-module session with one registered module must
   // reproduce the direct path bit for bit (cross_module_test enforces
   // it). Sharded runs (ShardCount != 1) take the same route — the
-  // session layer owns shard orchestration.
-  if (Options.CrossModule || Options.ShardCount != 1) {
+  // session layer owns shard orchestration — and so do the structural-
+  // hash fast path and the decision cache, which are session-level
+  // stages (pre-cluster pass, cache load/save).
+  if (Options.CrossModule || Options.ShardCount != 1 ||
+      Options.HashClustering || !Options.DecisionCachePath.empty()) {
     MergeDriverOptions Direct = Options;
     Direct.CrossModule = false; // the session drives the pipeline itself
     CrossModuleMerger Session(Direct);

@@ -91,12 +91,15 @@ struct MergeDriverOptions {
   ///   1 (default)  unsharded (the plain CrossModuleMerger pipeline);
   ///   0            auto: min(resolved NumThreads, live classes);
   ///   N > 1        clamped to the number of live classes.
-  /// Under the default Distance selection the sharded result is
-  /// bit-identical to the unsharded session at every shard x thread
-  /// count (sharded_session_test pins it). The profit-guided modes stay
-  /// deterministic per (ShardCount, any thread count) but calibrate
-  /// their ProfitModel per shard — a shard is its own session — so their
-  /// merge set matches the unsharded run only at ShardCount 1.
+  /// The sharded result is bit-identical to the unsharded session at
+  /// every shard x thread count in *every* selection mode
+  /// (sharded_session_test pins it): the profit-guided modes calibrate
+  /// their ProfitModel — and drive the adaptive threshold — per
+  /// merge-compatibility class, and a class's serial observation
+  /// sequence is the same whether its pipeline runs unsharded or inside
+  /// any shard plan (cross-class pairs never rank, so classes never
+  /// exchange observations). This shard-invariance is also what lets
+  /// one DecisionCachePath warm sessions at any shard count.
   unsigned ShardCount = 1;
   /// Host-module selection for whole-program sessions when the caller
   /// does not pick one explicitly (see HostPolicy, MergeOptions.h).
@@ -120,6 +123,25 @@ struct MergeDriverOptions {
   /// the pipeline falls back to the SALSSA_FAULTS environment spec, so a
   /// stock binary can be soaked without a rebuild.
   FaultInjectionConfig Faults;
+  /// Exact structural-hash pre-clustering (merge/StructuralHash.h):
+  /// before pairwise ranking runs, hash-identical function groups are
+  /// committed as one merged body + direct thunks, with zero
+  /// CandidateIndex queries and zero alignment work. Off by default —
+  /// the default pipeline stays bit-identical to the pre-fast-path
+  /// driver. With clustering on, final reduction can only improve
+  /// (cluster bodies skip fid-dispatch overhead) and the clustered
+  /// session remains deterministic at every thread and shard count.
+  bool HashClustering = false;
+  /// Path of the persistent cross-run decision cache
+  /// (merge/DecisionCache.h). Empty (default) disables the cache; the
+  /// first run over a pool writes decisions, subsequent runs replay
+  /// them — skipping ranking and alignment for unchanged entries — and
+  /// re-record anything that no longer resolves. Invalid/corrupt files
+  /// self-invalidate (Stats.CacheLoadRejected) and the run proceeds
+  /// cold. Sharded sessions share this one cache (serial-commit-stage
+  /// writes only). Not designed to compose with armed fault injection:
+  /// replayed entries skip the fault points they would have hit.
+  std::string DecisionCachePath;
 };
 
 /// One committed/attempted merge record (drives Fig 19/21/22/23).
@@ -219,6 +241,17 @@ struct MergeDriverStats {
   // enforces the ratio).
   uint64_t PairingDistanceCalls = 0; ///< exact distance evaluations
   uint64_t PairingProbes = 0; ///< LSH seed probes + size-bucket steps
+
+  // Structural-hash fast path + decision cache (both 0 unless the
+  // corresponding MergeDriverOptions knob is on). All counted serially
+  // (pre-cluster pass / serial commit stage), so they are identical at
+  // every thread and shard count.
+  uint64_t HashClusterCommits = 0; ///< identical-function groups committed
+  uint64_t CacheHits = 0;   ///< pool entries replayed from the cache
+  uint64_t CacheMisses = 0; ///< cache-enabled entries that ran live
+  uint64_t CacheSkips = 0;  ///< cached non-winner attempts skipped outright
+  uint64_t CacheLoadRejected = 0; ///< cache files refused at load
+  uint64_t FingerprintFaults = 0; ///< functions skipped by Fingerprint faults
 };
 
 /// Runs function merging over \p M, mutating it in place.

@@ -121,12 +121,20 @@ enum class AttemptOutcome : uint8_t {
   /// The attempt aborted with an exception (real or injected) and was
   /// converted into a skipped pair by the attempt guard.
   Faulted,
+  /// Nothing ran: the warm decision cache (merge/DecisionCache.h)
+  /// recorded this attempt as a non-winner, so the whole pipeline was
+  /// skipped. The unique merged-function name a cold run would have
+  /// burned is burned anyway — replay must keep the name counter in
+  /// lockstep with the cold run for byte-identical modules.
+  CacheSkipped,
 };
 
 /// True when an attempt with this outcome consumed one unique
-/// merged-function name (i.e. its code generation stage ran).
+/// merged-function name (i.e. its code generation stage ran — or, for
+/// CacheSkipped, was replayed as if it had).
 inline bool attemptBurnedName(AttemptOutcome O) {
-  return O == AttemptOutcome::Completed || O == AttemptOutcome::BudgetBody;
+  return O == AttemptOutcome::Completed || O == AttemptOutcome::BudgetBody ||
+         O == AttemptOutcome::CacheSkipped;
 }
 
 /// Per-attempt resource caps, enforced inside attemptMerge. Every cap

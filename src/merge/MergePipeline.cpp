@@ -106,10 +106,14 @@ MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
     assert(&M->getContext() == &Host.getContext() &&
            "cross-module merging requires a shared Context");
 #endif
-  Profit = ProfitModel::forArch(Options.Arch);
+  SeedProfit = ProfitModel::forArch(Options.Arch);
   BaseT = std::max(1u, Options.ExplorationThreshold);
-  CurrentT = BaseT;
   MaxT = BaseT + AdaptiveRange;
+  // Warm decisions in, fresh recordings out (both optional, both only
+  // ever touched at the serial commit stage). Must be wired before
+  // buildPool so the pool entries get their cache keys.
+  Cache = Scope.Cache;
+  CacheUpdates = Scope.CacheUpdates;
   // Failure containment: programmatic arming wins, otherwise a stock
   // binary can be soaked via the SALSSA_FAULTS environment spec. Both
   // pointers stay null on a healthy run so attemptMerge takes its exact
@@ -175,12 +179,64 @@ void MergePipeline::buildPool() {
   if (UseIndex)
     for (size_t I = 0; I < Pool.size(); ++I)
       Index.insert(static_cast<uint32_t>(I), Pool[I].FP, Pool[I].ModuleId);
+
+  // Cache keys are assigned in serial pool order — the occurrence index
+  // is positional, so this must happen after the sort and must be the
+  // same walk a warm run performs (it is: the pool build above is
+  // deterministic at every thread and shard count).
+  if (Cache || CacheUpdates)
+    for (size_t I = 0; I < Pool.size(); ++I)
+      assignCacheKey(I);
 }
 
-unsigned MergePipeline::effectiveThreshold() const {
-  return Options.Selection == SelectionStrategy::Adaptive
-             ? CurrentT
-             : std::max(1u, Options.ExplorationThreshold);
+void MergePipeline::assignCacheKey(size_t I) {
+  Pool[I].Hash = computeStructuralHash(*Pool[I].F);
+  Pool[I].HashOcc = HashOccCounter[Pool[I].Hash]++;
+  KeyToPool.emplace(DecisionKey{Pool[I].Hash, Pool[I].HashOcc},
+                    static_cast<uint32_t>(I));
+}
+
+unsigned MergePipeline::effectiveThreshold(Type *RetTy) const {
+  if (Options.Selection != SelectionStrategy::Adaptive)
+    return BaseT;
+  auto It = Classes.find(RetTy);
+  return It == Classes.end() ? BaseT : It->second.CurrentT;
+}
+
+MergePipeline::ClassSelectionState &MergePipeline::classState(Type *RetTy) {
+  auto It = Classes.find(RetTy);
+  if (It == Classes.end()) {
+    ClassSelectionState CS;
+    CS.Profit = SeedProfit;
+    CS.CurrentT = BaseT;
+    It = Classes.emplace(RetTy, CS).first;
+  }
+  return It->second;
+}
+
+unsigned MergePipeline::maxThreshold() const {
+  unsigned T = BaseT;
+  for (const auto &KV : Classes)
+    T = std::max(T, KV.second.CurrentT);
+  return T;
+}
+
+void MergePipeline::tallyVote(ClassSelectionState &CS, bool Shrink,
+                              bool Widen) {
+  ++CS.RoundEntries;
+  if (Shrink)
+    ++CS.ShrinkVotes;
+  else if (Widen)
+    ++CS.WidenVotes;
+  if (CS.RoundEntries >= AdaptRoundSize) {
+    if (CS.WidenVotes > CS.ShrinkVotes && CS.CurrentT < MaxT)
+      ++CS.CurrentT;
+    else if (CS.ShrinkVotes > CS.WidenVotes && CS.CurrentT > BaseT)
+      --CS.CurrentT;
+    Stats.AdaptiveThresholdMax =
+        std::max(Stats.AdaptiveThresholdMax, CS.CurrentT);
+    CS.RoundEntries = CS.WidenVotes = CS.ShrinkVotes = 0;
+  }
 }
 
 void MergePipeline::profitRerank(std::vector<CandidateIndex::Hit> &Hits,
@@ -244,7 +300,7 @@ std::vector<CandidateIndex::Hit> MergePipeline::rank(size_t I) {
   // with the distance ranking.
   auto RankT0 = std::chrono::steady_clock::now();
   std::vector<CandidateIndex::Hit> Candidates;
-  const unsigned T = effectiveThreshold();
+  const unsigned T = effectiveThreshold(Pool[I].FP.RetTy);
   if (Options.Selection == SelectionStrategy::Distance) {
     // The paper's scheme verbatim — bit-identical to the
     // pre-selection-layer driver.
@@ -265,10 +321,11 @@ std::vector<CandidateIndex::Hit> MergePipeline::rank(size_t I) {
     // the bounded extension — continuation candidates within the t-th
     // best distance, recycled from the walk the top-t query pays for
     // anyway — and re-rank the slate by the model.
+    ProfitModel &PM = classState(Pool[I].FP.RetTy).Profit;
     Candidates = UseIndex
                      ? Index.query(Pool[I].FP, T, static_cast<uint32_t>(I),
-                                   &Profit, SlateExtra)
-                     : bruteForceRank(Pool, I, T, &Profit, SlateExtra);
+                                   &PM, SlateExtra)
+                     : bruteForceRank(Pool, I, T, &PM, SlateExtra);
     profitRerank(Candidates, Pool[I].ModuleId, T);
   }
   Stats.RankingSeconds += secondsSince(RankT0);
@@ -291,10 +348,15 @@ void MergePipeline::discardRemaining(AttemptTask &Spec) {
 MergeAttempt MergePipeline::guardedAttempt(Function &F1, Function &F2,
                                            unsigned SizeF1, unsigned SizeF2,
                                            Module *Target,
-                                           unsigned *Failures) {
+                                           unsigned *Failures,
+                                           const AlignmentReplay *Replay) {
   try {
+    // Alignments are captured whenever an update sink is attached: any
+    // executed attempt — worker-speculative included — may end up the
+    // committed winner whose alignment the cache must record.
     return attemptMerge(F1, F2, CGOpts, Options.Arch, SizeF1, SizeF2, Target,
-                        Budget, FaultsPtr);
+                        Budget, FaultsPtr, Replay,
+                        /*CaptureAlignment=*/CacheUpdates != nullptr);
   } catch (const std::exception &) {
     // The attempt guard: one throwing pair (injected, or a real bug in
     // alignment/codegen) becomes a skipped pair, not a dead session.
@@ -359,10 +421,24 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       Journal->push_back(PipelineEntryTrace());
     return;
   }
+  // Warm fast path: replay the recorded decision when one exists and
+  // still resolves against the live pool; otherwise fall through to the
+  // live rank/attempt path (and count the miss).
+  if (Cache) {
+    if (replayFromCache(I, Spec))
+      return;
+    ++Stats.CacheMisses;
+  }
   PipelineEntryTrace Trace;
   Trace.EntryFn = Pool[I].F;
   Function *F1 = Pool[I].F;
   Context &Ctx = Host.getContext();
+  ClassSelectionState &CS = classState(Pool[I].FP.RetTy);
+  // Live-path recording: an entry is cacheable only when its whole slate
+  // ran clean (every attempt completed, nothing verifier-rejected) — a
+  // replayed entry must never need the failure-containment ladder.
+  bool Recordable = CacheUpdates != nullptr;
+  CachedDecision Recorded;
 
   // Pairing phase: rank the other live candidates by fingerprint
   // distance and keep the top-t. In the parallel path this re-ranks
@@ -448,6 +524,18 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
       ++Stats.BudgetRejects;
       noteAttemptFailure(I, R.Id);
     }
+    if (Recordable) {
+      if (A.Stats.Outcome != AttemptOutcome::Completed) {
+        Recordable = false;
+      } else {
+        CachedAttempt CA;
+        CA.Partner = DecisionKey{Pool[R.Id].Hash, Pool[R.Id].HashOcc};
+        CA.Distance = R.Distance;
+        CA.ProfitObs = A.profit();
+        CA.Profitable = A.Stats.Profitable;
+        Recorded.Attempts.push_back(std::move(CA));
+      }
+    }
     if (!A.Valid)
       continue;
     // Online calibration: every executed attempt reveals its actual
@@ -455,9 +543,9 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     // identical at every thread count) keeps the model — and every
     // ranking derived from it — deterministic.
     if (ProfitGuided)
-      Profit.observe(ProfitModel::overlap(Pool[I].FP, Pool[R.Id].FP,
-                                          R.Distance),
-                     R.Distance, A.profit());
+      CS.Profit.observe(ProfitModel::overlap(Pool[I].FP, Pool[R.Id].FP,
+                                             R.Distance),
+                        R.Distance, A.profit());
     if (A.Stats.Profitable)
       ++Stats.ProfitableMerges;
     if (A.Stats.Profitable && (!Best.Valid || A.profit() > Best.profit())) {
@@ -474,6 +562,7 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
         Stats.Records[RecIdx].Stats.VerifierRejected = true;
         noteAttemptFailure(I, R.Id);
         discardMerge(A);
+        Recordable = false;
         continue;
       }
       if (Best.Valid)
@@ -505,21 +594,31 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   // selection_test pins.
   if (Options.Selection == SelectionStrategy::Adaptive &&
       !Candidates.empty()) {
-    ++RoundEntries;
-    if (!Best.Valid || BestSlate == 0)
-      ++ShrinkVotes;
-    else if (Candidates.size() >= CurrentT &&
-             BestSlate + 1 == Candidates.size())
-      ++WidenVotes;
-    if (RoundEntries >= AdaptRoundSize) {
-      if (WidenVotes > ShrinkVotes && CurrentT < MaxT)
-        ++CurrentT;
-      else if (ShrinkVotes > WidenVotes && CurrentT > BaseT)
-        --CurrentT;
-      Stats.AdaptiveThresholdMax =
-          std::max(Stats.AdaptiveThresholdMax, CurrentT);
-      RoundEntries = WidenVotes = ShrinkVotes = 0;
+    bool Shrink = !Best.Valid || BestSlate == 0;
+    bool Widen = !Shrink && Candidates.size() >= CS.CurrentT &&
+                 BestSlate + 1 == Candidates.size();
+    if (Recordable) {
+      Recorded.VoteTallied = true;
+      Recorded.VoteShrink = Shrink;
+      Recorded.VoteWiden = Widen;
     }
+    tallyVote(CS, Shrink, Widen);
+  }
+
+  // Recording epilogue: the slate ran clean — persist the decision
+  // (committed, dry, or ranked-empty alike; warm runs save the pairing
+  // work either way). The winner additionally carries its alignment so
+  // replay can regenerate the identical body with zero aligner work.
+  if (Recordable) {
+    if (Best.Valid) {
+      Recorded.Winner = static_cast<int32_t>(BestSlate);
+      CachedAttempt &W = Recorded.Attempts[BestSlate];
+      W.SeqLen1 = static_cast<uint32_t>(Best.Stats.SeqLen1);
+      W.SeqLen2 = static_cast<uint32_t>(Best.Stats.SeqLen2);
+      W.Align = Best.AlignEntries;
+    }
+    CacheUpdates->push_back(
+        {DecisionKey{Pool[I].Hash, Pool[I].HashOcc}, std::move(Recorded)});
   }
 
   if (!Best.Valid) {
@@ -567,9 +666,159 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
     if (UseIndex)
       Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP,
                    HostId);
+    if (Cache || CacheUpdates)
+      assignCacheKey(Pool.size() - 1);
   }
   if (Journal)
     Journal->push_back(std::move(Trace));
+}
+
+bool MergePipeline::replayFromCache(size_t I, AttemptTask *Spec) {
+  const CachedDecision *D = Cache->lookup({Pool[I].Hash, Pool[I].HashOcc});
+  if (!D)
+    return false;
+  // Resolve every recorded partner against the live pool up front: the
+  // replay is all-or-nothing, so a half-resolved decision (changed code,
+  // or an earlier miss that perturbed the pool) costs nothing and the
+  // entry re-runs — and re-records — live.
+  std::vector<uint32_t> Partner(D->Attempts.size());
+  for (size_t A = 0; A < D->Attempts.size(); ++A) {
+    auto It = KeyToPool.find(D->Attempts[A].Partner);
+    if (It == KeyToPool.end() || It->second == I || Pool[It->second].Consumed)
+      return false;
+    Partner[A] = It->second;
+  }
+  if (D->Winner >= 0 && static_cast<size_t>(D->Winner) >= D->Attempts.size())
+    return false; // defensive: load() range-checks, but stay safe
+  if (Spec)
+    discardRemaining(*Spec);
+
+  PipelineEntryTrace Trace;
+  Trace.EntryFn = Pool[I].F;
+  Function *F1 = Pool[I].F;
+  Context &Ctx = Host.getContext();
+  ClassSelectionState &CS = classState(Pool[I].FP.RetTy);
+  const bool ProfitGuided = Options.Selection != SelectionStrategy::Distance;
+
+  MergeAttempt Best;
+  uint32_t BestIdx = 0;
+  size_t BestRecord = 0;
+  for (size_t A = 0; A < D->Attempts.size(); ++A) {
+    const CachedAttempt &CA = D->Attempts[A];
+    Function *F2 = Pool[Partner[A]].F;
+    Trace.Partners.push_back(F2);
+    MergeRecord Rec;
+    Rec.Name1 = F1->getName();
+    Rec.Name2 = F2->getName();
+    if (D->Winner != static_cast<int32_t>(A)) {
+      // Skipped non-winner: no pipeline runs, but the unique name its
+      // cold-run code generation burned is burned anyway — the counter
+      // must stay in lockstep for byte-identical modules downstream.
+      Materialize->makeUniqueName(F1->getName() + ".m");
+      Rec.Stats.Outcome = AttemptOutcome::CacheSkipped;
+      Rec.Stats.SizeF1 = Pool[I].CostSize;
+      Rec.Stats.SizeF2 = Pool[Partner[A]].CostSize;
+      Rec.Stats.Profitable = CA.Profitable;
+      if (CA.Profitable)
+        ++Stats.ProfitableMerges;
+      Stats.Records.push_back(Rec);
+      ++Stats.CacheSkips;
+      // Replay the calibration the cold run's executed attempt fed the
+      // model, so live-ranked (miss) entries downstream see the same
+      // estimates.
+      if (ProfitGuided)
+        CS.Profit.observe(ProfitModel::overlap(Pool[I].FP,
+                                               Pool[Partner[A]].FP,
+                                               CA.Distance),
+                          CA.Distance, static_cast<int>(CA.ProfitObs));
+      continue;
+    }
+    // The winner: run the real pipeline with the recorded alignment —
+    // the cache is a shortcut, not an authority, so the replay payload
+    // is validated inside attemptMerge (silent fallback to the live
+    // aligner) and the commit firewall below stays on.
+    AlignmentReplay AR;
+    AR.SeqLen1 = CA.SeqLen1;
+    AR.SeqLen2 = CA.SeqLen2;
+    AR.Entries = &CA.Align;
+    MergeAttempt W = guardedAttempt(*F1, *F2, Pool[I].CostSize,
+                                    Pool[Partner[A]].CostSize, Materialize,
+                                    /*Failures=*/nullptr, &AR);
+    Stats.AlignmentSeconds += W.Stats.AlignmentSeconds;
+    Stats.CodeGenSeconds += W.Stats.CodeGenSeconds;
+    ++Stats.Attempts;
+    Stats.PeakAlignmentBytes =
+        std::max(Stats.PeakAlignmentBytes, W.Stats.AlignmentBytes);
+    Rec.Stats = W.Stats;
+    size_t RecIdx = Stats.Records.size();
+    Stats.Records.push_back(Rec);
+    if (ProfitGuided && W.Valid)
+      CS.Profit.observe(ProfitModel::overlap(Pool[I].FP, Pool[Partner[A]].FP,
+                                             CA.Distance),
+                        CA.Distance, W.profit());
+    if (W.Stats.Profitable)
+      ++Stats.ProfitableMerges;
+    if (W.Valid && W.Stats.Profitable) {
+      VerifierReport Firewall = verifyFunction(*W.Gen.Merged);
+      if (!Firewall.ok()) {
+        ++Stats.VerifierRejects;
+        Stats.Records[RecIdx].Stats.VerifierRejected = true;
+        discardMerge(W);
+      } else {
+        Best = W;
+        BestIdx = Partner[A];
+        BestRecord = RecIdx;
+        Trace.WinnerRecord = static_cast<int32_t>(A);
+      }
+    } else if (W.Valid) {
+      discardMerge(W);
+    }
+  }
+
+  // Replay the recorded adaptive vote so the per-class threshold
+  // trajectory matches the cold run for every entry that still ranks
+  // live.
+  if (Options.Selection == SelectionStrategy::Adaptive && D->VoteTallied)
+    tallyVote(CS, D->VoteShrink, D->VoteWiden);
+
+  ++Stats.CacheHits;
+
+  if (!Best.Valid) {
+    if (Journal)
+      Journal->push_back(std::move(Trace));
+    return true;
+  }
+
+  // Commit tail, verbatim from the live path (inline attempts generate
+  // directly into Materialize, so no adoption step is needed).
+  commitMerge(Best, Ctx);
+  ++Stats.CommittedMerges;
+  if (Pool[I].ModuleId != Pool[BestIdx].ModuleId)
+    ++Stats.CrossModuleMerges;
+  Stats.Records[BestRecord].Committed = true;
+  Trace.Merged = Best.Gen.Merged;
+  Pool[I].Consumed = true;
+  Pool[BestIdx].Consumed = true;
+  if (UseIndex) {
+    Index.retire(static_cast<uint32_t>(I));
+    Index.retire(BestIdx);
+  }
+  if (Options.AllowRemerge) {
+    PoolEntry E;
+    E.F = Best.Gen.Merged;
+    E.FP = Fingerprint::compute(*E.F);
+    E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
+    E.ModuleId = HostId;
+    E.IsRemerge = true;
+    Pool.push_back(E);
+    if (UseIndex)
+      Index.insert(static_cast<uint32_t>(Pool.size() - 1), Pool.back().FP,
+                   HostId);
+    assignCacheKey(Pool.size() - 1);
+  }
+  if (Journal)
+    Journal->push_back(std::move(Trace));
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -625,9 +874,58 @@ void MergePipeline::runParallel(unsigned NumThreads) {
     // inline at the commit stage instead, exactly like the serial path.
     std::vector<AttemptTask> Tasks;
     std::unordered_set<uint32_t> Claimed;
+    // Partners an earlier cache replay in this window is recorded to
+    // consume. They have no cached decision of their own (the cold run
+    // consumed them before their turn, so they never reached
+    // commitEntry), which means the lookup below cannot recognise them;
+    // without this set a warm run would rank and speculate them at full
+    // cost only to discard everything at commit.
+    std::unordered_set<uint32_t> ReplayConsumes;
     for (size_t I = Cursor; I < End; ++I) {
       if (Pool[I].Consumed)
         continue;
+      // Entries with a cached decision never rank or speculate: an
+      // empty, non-speculative task routes them through commitEntry
+      // (which replays them — or, if the recorded partners no longer
+      // resolve by commit time, re-runs them inline exactly like the
+      // serial path). The recorded winner marks its partner as
+      // replay-consumed, and additionally feeds the profit-guided
+      // conflict predictor for the rest of the window.
+      if (Cache) {
+        const CachedDecision *D =
+            Cache->lookup({Pool[I].Hash, Pool[I].HashOcc});
+        if (D) {
+          AttemptTask T;
+          T.PoolIdx = static_cast<uint32_t>(I);
+          T.Speculate = false;
+          if (D->Winner >= 0) {
+            auto It = KeyToPool.find(
+                D->Attempts[static_cast<size_t>(D->Winner)].Partner);
+            if (It != KeyToPool.end()) {
+              ReplayConsumes.insert(It->second);
+              if (ProfitGuided) {
+                Claimed.insert(T.PoolIdx);
+                Claimed.insert(It->second);
+              }
+            }
+          }
+          Tasks.push_back(std::move(T));
+          continue;
+        }
+        if (ReplayConsumes.count(static_cast<uint32_t>(I))) {
+          // Recorded as a winning partner of an earlier replay in this
+          // window: it will be consumed before its own turn comes up, so
+          // snapshot ranking would be pure waste. The empty inline task
+          // keeps the serial fallback intact — if the predicting replay
+          // failed after all, commitEntry runs this entry live (and
+          // counts the miss) exactly like the serial path.
+          AttemptTask T;
+          T.PoolIdx = static_cast<uint32_t>(I);
+          T.Speculate = false;
+          Tasks.push_back(std::move(T));
+          continue;
+        }
+      }
       AttemptTask T;
       T.PoolIdx = static_cast<uint32_t>(I);
       T.Hits = rank(I);
@@ -744,8 +1042,7 @@ void MergePipeline::runParallel(unsigned NumThreads) {
 }
 
 void MergePipeline::run() {
-  Stats.AdaptiveThresholdMax =
-      std::max(Stats.AdaptiveThresholdMax, effectiveThreshold());
+  Stats.AdaptiveThresholdMax = std::max(Stats.AdaptiveThresholdMax, BaseT);
   unsigned NumThreads = ThreadPool::resolveThreadCount(Options.NumThreads);
   if (NumThreads <= 1 || Pool.size() < 2) {
     Stats.NumThreadsUsed = 1; // tiny pools fall back to the serial path
@@ -754,7 +1051,7 @@ void MergePipeline::run() {
     Stats.NumThreadsUsed = NumThreads;
     runParallel(NumThreads);
   }
-  Stats.AdaptiveThresholdFinal = effectiveThreshold();
+  Stats.AdaptiveThresholdFinal = maxThreshold();
   if (UseIndex) {
     Stats.PairingDistanceCalls = Index.stats().DistanceCalls;
     Stats.PairingProbes =

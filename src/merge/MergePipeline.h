@@ -50,6 +50,16 @@
 /// single-module driver bit for bit, and the determinism contract above
 /// holds unchanged for any module count at any thread count.
 ///
+/// The profit-guided selection modes keep their calibration (ProfitModel
+/// EMA) and adaptive exploration state *per merge-compatibility class*
+/// (return type), which makes Profit/Adaptive outcomes invariant across
+/// shard counts too — a class never sees another class's signal, no
+/// matter how the session was partitioned. And when a PipelineShardScope
+/// attaches a warm DecisionCache, the serial commit stage replays cached
+/// entry decisions — skipping ranking and alignment while burning the
+/// exact unique-name sequence of the cold run — with a per-entry
+/// fallback to the live path (see merge/DecisionCache.h).
+///
 /// Failure containment (see "Failure containment & fault injection" in
 /// src/merge/README.md): every attempt runs behind an attempt guard that
 /// converts exceptions and blown AttemptBudget caps into skipped pairs;
@@ -69,6 +79,7 @@
 #define SALSSA_MERGE_MERGEPIPELINE_H
 
 #include "merge/CandidateIndex.h"
+#include "merge/DecisionCache.h"
 #include "merge/MergeDriver.h"
 #include <map>
 #include <memory>
@@ -127,6 +138,17 @@ struct PipelineShardScope {
   /// When set, one PipelineEntryTrace is appended per pool entry in
   /// serial pool order.
   std::vector<PipelineEntryTrace> *Journal = nullptr;
+  /// Read-only warm decision cache (merge/DecisionCache.h). When set,
+  /// every pool entry gets a (StructuralHash, occurrence) key and the
+  /// serial commit stage replays cached decisions instead of ranking —
+  /// falling back to the live path per entry whenever a recorded partner
+  /// no longer resolves.
+  const DecisionCache *Cache = nullptr;
+  /// When set, the serial commit stage records each *clean* live entry
+  /// (every attempt completed, no verifier reject) as a pending cache
+  /// update. The owning session applies and persists them after the run;
+  /// pipelines never write the cache directly.
+  std::vector<DecisionCacheUpdate> *CacheUpdates = nullptr;
 };
 
 /// One run of the staged merge driver over a module. Constructed with the
@@ -183,6 +205,11 @@ private:
     /// Stats.QuarantinedFunctions. Only ever advanced at the serial
     /// commit stage, so the ladder is thread-count-deterministic.
     unsigned Failures = 0;
+    /// Decision-cache address (assigned only when a cache or an update
+    /// sink is attached): canonical body hash plus occurrence index
+    /// among equal hashes in serial pool order (see DecisionCache.h).
+    StructuralHash Hash;
+    uint32_t HashOcc = 0;
   };
 
   /// Snapshot work unit for one pool entry in an optimistic round.
@@ -221,9 +248,10 @@ private:
   /// serial commit stage does — so parallel snapshot calls and the
   /// authoritative commit-stage re-rank share this one entry point.
   std::vector<CandidateIndex::Hit> rank(size_t I);
-  /// The exploration threshold this entry will use: the configured t, or
-  /// the adaptively driven one under SelectionStrategy::Adaptive.
-  unsigned effectiveThreshold() const;
+  /// The exploration threshold an entry of return-type class \p RetTy
+  /// will use: the configured t, or the class's adaptively driven one
+  /// under SelectionStrategy::Adaptive.
+  unsigned effectiveThreshold(Type *RetTy) const;
   /// Re-orders \p Hits by (estimated profit desc, same-module-as-entry,
   /// distance asc, id asc) and truncates to \p T.
   void profitRerank(std::vector<CandidateIndex::Hit> &Hits,
@@ -246,7 +274,25 @@ private:
   /// authoritatively from record outcomes instead).
   MergeAttempt guardedAttempt(Function &F1, Function &F2, unsigned SizeF1,
                               unsigned SizeF2, Module *Target,
-                              unsigned *Failures);
+                              unsigned *Failures,
+                              const AlignmentReplay *Replay = nullptr);
+
+  // --- decision cache -------------------------------------------------------
+  /// Assigns pool entry \p I its (hash, occurrence) cache key and
+  /// registers it in the key-to-pool map. Called for every entry at
+  /// buildPool time and for every remerge insertion, in serial pool
+  /// order — which is what makes occurrence indices stable across
+  /// thread and shard counts.
+  void assignCacheKey(size_t I);
+  /// Serial-commit-stage cache replay for entry \p I. Returns true when
+  /// a cached decision was found and every recorded partner resolved to
+  /// a live pool entry: the whole entry was then replayed (skipped
+  /// records + name burns for non-winners, codegen with the recorded
+  /// alignment for the winner, votes and model observations as
+  /// recorded) and committed/journaled exactly like the live path.
+  /// Returns false — entry untouched — on any mismatch; the caller runs
+  /// the live path and counts a CacheMiss.
+  bool replayFromCache(size_t I, AttemptTask *Spec);
 
   // --- failure containment --------------------------------------------------
   /// One strike for each side of a failed attempt (fault, budget or
@@ -295,13 +341,50 @@ private:
   // Everything below only ever advances inside commitEntry (the serial
   // commit stage), in pool order — which is what keeps the Profit and
   // Adaptive modes deterministic at every thread count.
-  ProfitModel Profit;       ///< calibrated online from committed records
-  unsigned CurrentT = 1;    ///< adaptive exploration threshold
+  //
+  // The state is *per merge-compatibility class* (keyed by the pool
+  // entries' return type): functions only ever rank, calibrate against
+  // and vote with members of their own class, and within a class the
+  // serial pool order is the same in every shard plan — so per-class
+  // calibration makes the Profit and Adaptive modes shard-count-
+  // invariant, where a single global EMA/threshold would entangle
+  // classes that sharding separates. A single-class pool degenerates to
+  // the old global state bit for bit.
+  struct ClassSelectionState {
+    ProfitModel Profit;        ///< calibrated online from this class's records
+    unsigned CurrentT = 1;     ///< adaptive exploration threshold
+    unsigned RoundEntries = 0; ///< entries since the last t adjustment
+    unsigned WidenVotes = 0;   ///< deep wins (profit found at the slate tail)
+    unsigned ShrinkVotes = 0;  ///< top-1 wins / dry entries
+  };
+  /// Lazily created per return-type class; lookup only (never iterated
+  /// in an outcome-relevant order — Type pointers are not stable across
+  /// runs).
+  std::map<Type *, ClassSelectionState> Classes;
+  /// Finds-or-creates the class state for \p RetTy (seeded from
+  /// SeedProfit / BaseT).
+  ClassSelectionState &classState(Type *RetTy);
+  /// Applies one entry's adaptive vote to its class and closes the
+  /// round when AdaptRoundSize entries have voted. Shared by the live
+  /// commit path and cache replay (which replays recorded votes so the
+  /// threshold trajectory — hence every live-ranked entry — matches the
+  /// cold run).
+  void tallyVote(ClassSelectionState &CS, bool Shrink, bool Widen);
+  /// Max CurrentT across classes (BaseT when none exists) — the value
+  /// Stats.AdaptiveThresholdFinal reports.
+  unsigned maxThreshold() const;
+  ProfitModel SeedProfit;   ///< ProfitModel::forArch seed for new classes
   unsigned BaseT = 1;       ///< == Options.ExplorationThreshold
   unsigned MaxT = 1;        ///< adaptation ceiling (BaseT + AdaptiveRange)
-  unsigned RoundEntries = 0; ///< entries since the last t adjustment
-  unsigned WidenVotes = 0;   ///< deep wins (profit found at the slate tail)
-  unsigned ShrinkVotes = 0;  ///< top-1 wins / dry entries
+
+  // --- decision cache -------------------------------------------------------
+  const DecisionCache *Cache = nullptr; ///< warm decisions (read-only)
+  std::vector<DecisionCacheUpdate> *CacheUpdates = nullptr; ///< recordings
+  /// Live pool entries by cache key (maintained alongside the pool;
+  /// consumed entries stay mapped and are rejected at resolve time).
+  std::map<DecisionKey, uint32_t> KeyToPool;
+  /// Next occurrence index per structural hash, in serial pool order.
+  std::map<StructuralHash, uint32_t> HashOccCounter;
   /// Adaptation geometry: how far t may rise above the configured base,
   /// how wide the distance slate is queried relative to t, and how many
   /// committed entries form one adaptation round.

@@ -9,7 +9,9 @@
 #include "ir/Instruction.h"
 #include "ir/Module.h"
 #include "ir/SymbolResolution.h"
+#include "merge/DecisionCache.h"
 #include "merge/MergePipeline.h"
+#include "merge/StructuralHash.h"
 #include "support/Chrono.h"
 #include "support/ThreadPool.h"
 #include "transforms/Mem2Reg.h"
@@ -19,6 +21,7 @@
 #include <cassert>
 #include <chrono>
 #include <unordered_map>
+#include <utility>
 
 using namespace salssa;
 
@@ -92,6 +95,11 @@ struct ShardState {
   MergeDriverOptions Options; ///< NumThreads = the shard's InnerThreads
   MergeDriverStats Stats;
   std::vector<PipelineEntryTrace> Journal;
+  /// This shard's serial-commit-stage cache recordings; applied to the
+  /// shared DecisionCache (and persisted) after splice. Keys never
+  /// collide across shards — a (hash, occurrence) key belongs to one
+  /// merge-compatibility class, and a class lives on one shard.
+  std::vector<DecisionCacheUpdate> CacheUpdates;
   uint64_t Weight = 0; ///< Σ class CostSum (the balancer's load)
   // Splice cursors.
   size_t JCursor = 0;
@@ -149,6 +157,43 @@ CrossModuleStats ShardedSessionRunner::run() {
         if (!F->isDeclaration())
           demoteRegistersToMemory(*F, Ctx);
 
+  // Session-level fault resolution (pre-cluster + cache I/O run outside
+  // any pipeline), mirroring the pipeline's own fallback chain.
+  FaultInjectionConfig SessionFaults = Options.Faults.armed()
+                                           ? Options.Faults
+                                           : FaultInjectionConfig::fromEnv();
+  const FaultInjectionConfig *SessionFaultsPtr =
+      SessionFaults.armed() ? &SessionFaults : nullptr;
+
+  // Structural-hash fast path, serially at session level BEFORE the
+  // plan: exact-clone groups commit into the real host (one name burn
+  // per group, ahead of every splice burn — the same prologue order the
+  // unsharded session uses, which is what keeps sharded name sequences
+  // bit-identical), and the plan below only sees the surviving pool.
+  std::unordered_set<const Function *> ClusterPool;
+  const bool Clustering = Options.HashClustering;
+  if (Clustering) {
+    PreClusterStats PCS;
+    ClusterPool = preClusterIdenticalFunctions(Modules, *Host, Options.Arch,
+                                               BaselineSize, SessionFaultsPtr,
+                                               PCS);
+    Stats.Driver.HashClusterCommits = PCS.ClusterCommits;
+    Stats.Driver.FingerprintFaults = PCS.FingerprintFaults;
+  }
+
+  // One shared decision cache for every shard: loaded (and
+  // self-invalidated) once, read-only while shards run, appended to from
+  // the shards' serial-commit recordings after splice.
+  DecisionCache Cache;
+  const bool UseCache = !Options.DecisionCachePath.empty();
+  uint64_t OptionsFP = 0;
+  if (UseCache) {
+    OptionsFP = DecisionCache::optionsFingerprint(Options);
+    if (Cache.load(Options.DecisionCachePath, OptionsFP, SessionFaultsPtr) ==
+        DecisionCache::LoadOutcome::Rejected)
+      ++Stats.Driver.CacheLoadRejected;
+  }
+
   // --- Partition ------------------------------------------------------------
   // Fingerprint the pool exactly as MergePipeline::buildPool will (post
   // FMSA demotion), discover the merge-compatibility classes through a
@@ -162,7 +207,10 @@ CrossModuleStats ShardedSessionRunner::run() {
   CandidateIndex Planner;
   for (Module *M : Modules)
     for (Function *F : M->functions()) {
-      if (!F->isMergeable())
+      // With clustering on, the include-set is the authoritative pool
+      // predicate (thunked members are still "mergeable" but gone from
+      // the session's pool; cluster bodies joined it).
+      if (Clustering ? !ClusterPool.count(F) : !F->isMergeable())
         continue;
       Fingerprint FP = Fingerprint::compute(*F);
       Planner.insert(static_cast<uint32_t>(Plan.size()), FP, 0);
@@ -252,6 +300,10 @@ CrossModuleStats ShardedSessionRunner::run() {
     Scope.PoolFilter = &Shard.PoolFns;
     Scope.Fingerprints = &FPByFn;
     Scope.Journal = &Shard.Journal;
+    if (UseCache) {
+      Scope.Cache = &Cache; // read-only while shards run
+      Scope.CacheUpdates = &Shard.CacheUpdates;
+    }
     MergePipeline Pipeline(Modules, *Host, Shard.Options, BaselineSize,
                            Shard.Stats, Scope);
     Pipeline.run();
@@ -354,6 +406,13 @@ CrossModuleStats ShardedSessionRunner::run() {
         Stats.Driver.PeakAlignmentBytes, Shard.Stats.PeakAlignmentBytes);
     Stats.Driver.PairingDistanceCalls += Shard.Stats.PairingDistanceCalls;
     Stats.Driver.PairingProbes += Shard.Stats.PairingProbes;
+    // Cache counters are serial-commit-stage counts, summed like the
+    // authoritative containment counters. (HashClusterCommits,
+    // FingerprintFaults and CacheLoadRejected are session-level and were
+    // set before any shard launched.)
+    Stats.Driver.CacheHits += Shard.Stats.CacheHits;
+    Stats.Driver.CacheMisses += Shard.Stats.CacheMisses;
+    Stats.Driver.CacheSkips += Shard.Stats.CacheSkips;
     Stats.Driver.AdaptiveThresholdMax = std::max(
         Stats.Driver.AdaptiveThresholdMax, Shard.Stats.AdaptiveThresholdMax);
     Stats.Driver.AdaptiveThresholdFinal =
@@ -361,6 +420,15 @@ CrossModuleStats ShardedSessionRunner::run() {
                  Shard.Stats.AdaptiveThresholdFinal);
     assert(Shard.ScratchHost->functions().empty() &&
            "splice left a merged function behind in a scratch host");
+  }
+
+  // Persist the cache: shard recordings applied in shard order (keys are
+  // disjoint across shards) and serialized sorted by key, so the file
+  // bytes are identical at every shard and thread count.
+  if (UseCache) {
+    for (ShardState &Shard : Shards)
+      Cache.apply(std::move(Shard.CacheUpdates));
+    Cache.save(Options.DecisionCachePath, OptionsFP, SessionFaultsPtr);
   }
 
   // Session epilogue, as in CrossModuleMerger.

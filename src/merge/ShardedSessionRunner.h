@@ -48,18 +48,18 @@
 ///              Function pointers at splice time, after every earlier
 ///              winner already carries its final name.
 ///
-/// Contract: under SelectionStrategy::Distance (the default, the paper's
-/// scheme) the sharded session commits a bit-identical merge set to the
-/// unsharded CrossModuleMerger session — same merges, same records, same
-/// names, byte-identical module prints — at every shard count x thread
-/// count (tests/sharded_session_test.cpp pins shard counts {1,2,4,8} x
-/// thread counts {1,4}). The profit-guided modes calibrate their
-/// ProfitModel from the records a session observes; a shard is its own
-/// session, so its calibration stream is a per-class subsequence and the
-/// selected merges can legitimately differ from the unsharded run for
-/// ShardCount > 1. They remain fully deterministic in (module set,
-/// options) at every thread count, and ShardCount 1 reproduces the
-/// unsharded session bit for bit in every mode.
+/// Contract: in *every* selection mode the sharded session commits a
+/// bit-identical merge set to the unsharded CrossModuleMerger session —
+/// same merges, same records, same names, byte-identical module prints —
+/// at every shard count x thread count (tests/sharded_session_test.cpp
+/// pins shard counts {1,2,4,8} x thread counts {1,4}). Distance gets
+/// this from the partition independence above; the profit-guided modes
+/// get it from per-class calibration: the pipeline keeps its ProfitModel
+/// and adaptive-threshold state per merge-compatibility class
+/// (MergePipeline.h), and a class's serial observation sequence is the
+/// same whether its pipeline runs unsharded or inside any shard plan.
+/// This shard-invariance is also what lets one DecisionCachePath warm
+/// sessions at any shard count.
 ///
 /// Host selection: like CrossModuleMerger, an explicit setHostModule
 /// wins; otherwise MergeDriverOptions::Host picks the module (First /

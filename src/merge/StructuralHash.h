@@ -1,0 +1,112 @@
+//===- merge/StructuralHash.h - Canonical function-body hashing ---------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact structural hashing of function bodies, and the pre-clustering
+/// fast path built on it (per *Optimistic Global Function Merger*):
+/// hash-identical functions merge with zero alignment work — one body,
+/// k direct thunks — before pairwise ranking ever runs.
+///
+/// The hash is *canonical*: two functions that differ only in value,
+/// block or function names, or that live in different modules of the
+/// same Context, hash equal whenever their instruction streams are
+/// structurally identical. Every position-dependent reference
+/// (instruction results, blocks, arguments) is encoded by a dense
+/// traversal index, never by name or address; types are encoded by
+/// structure (kind + width, recursing through function types), never by
+/// interned pointer — which also makes the hash stable *across
+/// processes*, the property the cross-run DecisionCache keys on.
+///
+/// Hash equality is a 128-bit filter, not a proof: clustering confirms
+/// every group member against its leader with structurallyEqual, a
+/// lockstep walk that is strict where the hash is lenient (globals and
+/// callees must be pointer-identical, so a member referencing a
+/// same-named but distinct global falls back to the ordinary pairwise
+/// pipeline, which handles mismatched operands by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_MERGE_STRUCTURALHASH_H
+#define SALSSA_MERGE_STRUCTURALHASH_H
+
+#include "codesize/SizeModel.h"
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace salssa {
+
+class Function;
+class Module;
+struct FaultInjectionConfig;
+
+/// 128-bit canonical hash of a function body (see file comment). Value
+/// semantics; totally ordered so it can key std::map and be serialized.
+struct StructuralHash {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const StructuralHash &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const StructuralHash &O) const { return !(*this == O); }
+  bool operator<(const StructuralHash &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+};
+
+/// Computes the canonical structural hash of \p F (a definition).
+StructuralHash computeStructuralHash(const Function &F);
+
+/// Exact structural equality: same signature type, same block/instruction
+/// stream, operands equivalent under the canonical index maps. Types,
+/// constants, globals and callees compare by pointer (both functions must
+/// share one Context; interning makes pointer equality value equality for
+/// types and Context-owned constants).
+bool structurallyEqual(const Function &F1, const Function &F2);
+
+/// Counters reported by preClusterIdenticalFunctions.
+struct PreClusterStats {
+  uint64_t ClusterCommits = 0;    ///< groups committed (one merged body each)
+  uint64_t FingerprintFaults = 0; ///< functions skipped by a fired
+                                  ///< FaultKind::Fingerprint point
+};
+
+/// The pre-ranking fast path: hashes every mergeable function of
+/// \p Modules (module registration order × creation order), groups
+/// hash-identical ones, confirms each group with structurallyEqual, and
+/// commits every confirmed, profitable group as one merged body in
+/// \p Host — a verbatim clone of the group leader, firewalled through
+/// ir/Verifier — with each member's body replaced by a direct thunk
+/// (no fid dispatch: all members are identical, so the merged body needs
+/// no disambiguation). Profitability gate: (k-1)·size(leader) must
+/// exceed k·thunkBytes under \p Arch's size model.
+///
+/// Returns the pool include-set for the downstream pipeline: every
+/// mergeable function that was *not* consumed by a cluster, plus the
+/// freshly committed merged bodies (which may merge further). Committed
+/// bodies are entered into \p BaselineSize at their post-commit size,
+/// exactly like the pipeline's own remerge insertions.
+///
+/// \p Faults, when non-null and armed, arms FaultKind::Fingerprint per
+/// function (keyed by name): a fired point skips that function's
+/// clustering — it stays in the returned pool untouched — and counts in
+/// PreClusterStats::FingerprintFaults. A fully faulted pre-cluster pass
+/// degrades to the ordinary pipeline, never to a wrong merge.
+///
+/// Serial and deterministic: group order is first-seen order, name
+/// burning uses Host's unique-name counter exactly once per committed
+/// group. Sessions run this once, before any sharding, so the result is
+/// identical at every thread and shard count.
+std::unordered_set<const Function *> preClusterIdenticalFunctions(
+    const std::vector<Module *> &Modules, Module &Host, TargetArch Arch,
+    std::map<Function *, unsigned> &BaselineSize,
+    const FaultInjectionConfig *Faults, PreClusterStats &Out);
+
+} // namespace salssa
+
+#endif // SALSSA_MERGE_STRUCTURALHASH_H

@@ -69,6 +69,10 @@ const char *kindName(FaultKind K) {
     return "injected fault: task failure";
   case FaultKind::BudgetBlowout:
     return "injected fault: budget blowout";
+  case FaultKind::Fingerprint:
+    return "injected fault: structural fingerprint";
+  case FaultKind::CacheIO:
+    return "injected fault: decision-cache I/O";
   }
   return "injected fault";
 }
@@ -116,6 +120,12 @@ FaultInjectionConfig FaultInjectionConfig::parse(const std::string &Spec) {
                 static_cast<uint32_t>(parseNumber(Val, 0)));
     else if (Key == "budget")
       C.setRate(FaultKind::BudgetBlowout,
+                static_cast<uint32_t>(parseNumber(Val, 0)));
+    else if (Key == "fingerprint")
+      C.setRate(FaultKind::Fingerprint,
+                static_cast<uint32_t>(parseNumber(Val, 0)));
+    else if (Key == "cacheio")
+      C.setRate(FaultKind::CacheIO,
                 static_cast<uint32_t>(parseNumber(Val, 0)));
     // Unknown keys: ignored.
   }

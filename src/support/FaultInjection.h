@@ -56,9 +56,19 @@ enum class FaultKind : uint8_t {
   /// The attempt reports a blown resource budget even when no explicit
   /// caps are configured: exercises the budget-reject path.
   BudgetBlowout,
+  /// Structural fingerprinting of one function throws during the
+  /// pre-clustering ranking stage (merge/StructuralHash.h): the
+  /// function silently loses its fast path and stays in the ordinary
+  /// pipeline pool. Keyed by the function name.
+  Fingerprint,
+  /// Decision-cache I/O fails (merge/DecisionCache.h): a fired load
+  /// point rejects the file (cold run, CacheLoadRejected counted) and a
+  /// fired save point skips the write. Keyed by the cache path plus
+  /// "load"/"save".
+  CacheIO,
 };
 
-constexpr unsigned NumFaultKinds = 4;
+constexpr unsigned NumFaultKinds = 6;
 
 /// Per-kind fault rates plus the seed that keys every decision.
 struct FaultInjectionConfig {
@@ -80,9 +90,10 @@ struct FaultInjectionConfig {
     RatePerMille[static_cast<size_t>(K)] = PerMille > 1000 ? 1000 : PerMille;
   }
 
-  /// Parses a "seed=N,align=R,codegen=R,task=R,budget=R" spec. Unknown
-  /// keys and malformed numbers are ignored (a soak harness must not
-  /// crash the binary it is soaking); missing keys keep their defaults.
+  /// Parses a "seed=N,align=R,codegen=R,task=R,budget=R,fingerprint=R,
+  /// cacheio=R" spec. Unknown keys and malformed numbers are ignored (a
+  /// soak harness must not crash the binary it is soaking); missing
+  /// keys keep their defaults.
   static FaultInjectionConfig parse(const std::string &Spec);
 
   /// Config from the SALSSA_FAULTS environment variable; disarmed when

@@ -1,0 +1,59 @@
+//===- support/Serialization.cpp - Bounds-checked binary serialization --------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Serialization.h"
+#include <cstdio>
+#include <fstream>
+
+namespace salssa {
+
+uint64_t fnv1a64(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I < Size; ++I)
+    H = (H ^ Data[I]) * 0x100000001b3ULL;
+  return H;
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out) {
+  Out.clear();
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  if (!In)
+    return false;
+  std::streamsize Size = In.tellg();
+  if (Size < 0)
+    return false;
+  Out.resize(static_cast<size_t>(Size));
+  In.seekg(0);
+  if (Size > 0 &&
+      !In.read(reinterpret_cast<char *>(Out.data()), Size)) {
+    Out.clear();
+    return false;
+  }
+  return true;
+}
+
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Data) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return false;
+    if (!Data.empty() &&
+        !OutF.write(reinterpret_cast<const char *>(Data.data()),
+                    static_cast<std::streamsize>(Data.size())))
+      return false;
+    if (!OutF.flush())
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace salssa

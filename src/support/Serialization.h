@@ -1,0 +1,113 @@
+//===- support/Serialization.h - Bounds-checked binary serialization ----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal binary serialization for on-disk artifacts (the cross-run
+/// DecisionCache is the first client). Fixed little-endian encoding —
+/// byte-for-byte identical files across platforms — and a reader that is
+/// bounds-checked on every access: a truncated or corrupted buffer turns
+/// reads into zeros and flips ok() to false, never into UB. Callers are
+/// expected to checksum payloads (fnv1a64) and treat any !ok() as "no
+/// cache", which is what keeps a damaged file a cold run instead of a
+/// crash or a wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_SUPPORT_SERIALIZATION_H
+#define SALSSA_SUPPORT_SERIALIZATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian decoder. Out-of-range reads return 0 and
+/// latch ok() to false; check ok() once after decoding a structure.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : P(Data), End(Data + Size) {}
+
+  uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return P[-1];
+  }
+  uint32_t u32() {
+    if (!take(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(P[I - 4]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!take(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(P[I - 8]) << (8 * I);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  bool ok() const { return Ok; }
+  bool atEnd() const { return P == End; }
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+
+private:
+  bool take(size_t N) {
+    if (!Ok || static_cast<size_t>(End - P) < N) {
+      Ok = false;
+      return false;
+    }
+    P += N;
+    return true;
+  }
+
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Ok = true;
+};
+
+/// FNV-1a over a byte range (the payload checksum primitive).
+uint64_t fnv1a64(const uint8_t *Data, size_t Size);
+
+/// Reads the whole file into \p Out. Returns false (leaving \p Out
+/// empty) when the file is missing or unreadable.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out);
+
+/// Writes \p Data to \p Path via a temporary + rename, so readers never
+/// observe a half-written file. Returns false on any I/O failure.
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Data);
+
+} // namespace salssa
+
+#endif // SALSSA_SUPPORT_SERIALIZATION_H

@@ -1,0 +1,398 @@
+//===- tests/decision_cache_test.cpp - Persistent decision cache contract ------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// The cross-run decision cache contract (merge/DecisionCache.h):
+//
+//  1. Cold runs (cache enabled, no file) are bit-identical to the
+//     no-cache pipeline across selection modes x threads x shards, and
+//     leave a valid cache file behind.
+//  2. Warm runs over unchanged input replay every entry — zero ranking
+//     work, zero alignment work — and emit byte-identical merged
+//     modules, at every shard and thread count, rewriting the cache
+//     file byte-identically (sorted serialization).
+//  3. Damaged or incompatible files self-invalidate: the load is
+//     refused (Stats.CacheLoadRejected), the run proceeds cold and
+//     correct, and a fresh cache is written. Missing files are plain
+//     cold runs, not rejections.
+//  4. CacheIO fault injection degrades both load and save to the
+//     no-cache behavior — a broken cache can cost the fast path, never
+//     a merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "merge/DecisionCache.h"
+#include "merge/MergeDriver.h"
+#include "support/Serialization.h"
+#include "workloads/Suites.h"
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+/// Clone-heavy, multi-class population with drift: plenty of near-miss
+/// attempts (so slates have real non-winners to skip on replay).
+BenchmarkProfile cacheProfile(uint64_t Seed) {
+  BenchmarkProfile P;
+  P.Name = "cache";
+  P.NumFunctions = 40;
+  P.MinSize = 6;
+  P.AvgSize = 36;
+  P.MaxSize = 120;
+  P.CloneFamilyPercent = 55;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 10;
+  P.LoopPercent = 50;
+  P.RetTypeVariety = 3;
+  P.Seed = Seed;
+  return P;
+}
+
+std::string cachePath(const std::string &Tag) {
+  std::string P = "salssa_dcache_" + Tag + ".bin";
+  std::remove(P.c_str()); // every test starts from a missing file
+  return P;
+}
+
+struct RunOutcome {
+  MergeDriverStats Stats;
+  /// (Name1, Name2, Committed) — attempt *outcomes* are deliberately
+  /// excluded: a warm run records skipped non-winners as CacheSkipped
+  /// where the cold run saw Completed, by design.
+  std::vector<std::tuple<std::string, std::string, bool>> Records;
+  std::string Print;
+  bool VerifierOk = false;
+};
+
+RunOutcome runConfig(const BenchmarkProfile &P, MergeDriverOptions DO) {
+  Context Ctx;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  RunOutcome O;
+  O.Stats = runFunctionMerging(*M, DO);
+  for (const MergeRecord &R : O.Stats.Records)
+    O.Records.emplace_back(R.Name1, R.Name2, R.Committed);
+  O.Print = printModule(*M);
+  O.VerifierOk = verifyModule(*M).ok();
+  return O;
+}
+
+void expectSameMerges(const RunOutcome &Got, const RunOutcome &Want,
+                      const std::string &Tag) {
+  EXPECT_TRUE(Got.VerifierOk) << Tag;
+  EXPECT_EQ(Got.Stats.CommittedMerges, Want.Stats.CommittedMerges) << Tag;
+  ASSERT_EQ(Got.Records.size(), Want.Records.size()) << Tag;
+  for (size_t I = 0; I < Got.Records.size(); ++I)
+    EXPECT_EQ(Got.Records[I], Want.Records[I]) << Tag << " record " << I;
+  EXPECT_EQ(Got.Print, Want.Print) << Tag;
+}
+
+MergeDriverOptions baseOptions() {
+  MergeDriverOptions DO;
+  DO.ExplorationThreshold = 3;
+  return DO;
+}
+
+std::vector<uint8_t> fileBytes(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  EXPECT_TRUE(readFileBytes(Path, Bytes)) << Path;
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// Cold runs
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionCacheTest, ColdRunBitIdenticalToNoCachePipeline) {
+  BenchmarkProfile P = cacheProfile(11);
+  for (SelectionStrategy Sel :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive})
+    for (unsigned Shards : {1u, 4u})
+      for (unsigned NT : {1u, 4u}) {
+        MergeDriverOptions Plain = baseOptions();
+        Plain.Selection = Sel;
+        Plain.ShardCount = Shards;
+        Plain.NumThreads = NT;
+        RunOutcome Want = runConfig(P, Plain);
+        std::string Tag = "mode=" + std::to_string(int(Sel)) +
+                          " shards=" + std::to_string(Shards) +
+                          " threads=" + std::to_string(NT);
+        MergeDriverOptions Cached = Plain;
+        Cached.DecisionCachePath = cachePath("cold_" + Tag);
+        RunOutcome Got = runConfig(P, Cached);
+        expectSameMerges(Got, Want, Tag);
+        // Stats parity on the authoritative serial counters too.
+        EXPECT_EQ(Got.Stats.Attempts, Want.Stats.Attempts) << Tag;
+        EXPECT_EQ(Got.Stats.ProfitableMerges, Want.Stats.ProfitableMerges)
+            << Tag;
+        EXPECT_EQ(Got.Stats.CacheHits, 0u) << Tag;
+        EXPECT_GT(Got.Stats.CacheMisses, 0u) << Tag;
+        EXPECT_EQ(Got.Stats.CacheLoadRejected, 0u) << Tag;
+        // ... and a cache file exists afterwards.
+        EXPECT_FALSE(fileBytes(Cached.DecisionCachePath).empty()) << Tag;
+        std::remove(Cached.DecisionCachePath.c_str());
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Warm runs
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionCacheTest, WarmRunReplaysByteIdenticallyWithZeroAlignmentWork) {
+  BenchmarkProfile P = cacheProfile(13);
+  for (SelectionStrategy Sel :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive}) {
+    MergeDriverOptions DO = baseOptions();
+    DO.Selection = Sel;
+    DO.DecisionCachePath =
+        cachePath("warm_mode" + std::to_string(int(Sel)));
+    std::string Tag = "mode=" + std::to_string(int(Sel));
+    RunOutcome Cold = runConfig(P, DO);
+    ASSERT_TRUE(Cold.VerifierOk) << Tag;
+    ASSERT_GT(Cold.Stats.CommittedMerges, 0u) << Tag;
+    std::vector<uint8_t> ColdFile = fileBytes(DO.DecisionCachePath);
+
+    RunOutcome Warm = runConfig(P, DO);
+    expectSameMerges(Warm, Cold, Tag + " warm");
+    // Every entry replays: no live entries, no ranking, no aligner.
+    EXPECT_GT(Warm.Stats.CacheHits, 0u) << Tag;
+    EXPECT_EQ(Warm.Stats.CacheMisses, 0u) << Tag;
+    EXPECT_GT(Warm.Stats.CacheSkips, 0u) << Tag;
+    EXPECT_EQ(Warm.Stats.PairingDistanceCalls, 0u) << Tag;
+    EXPECT_EQ(Warm.Stats.PeakAlignmentBytes, 0u) << Tag;
+    // Only winners execute attempts on a warm run.
+    EXPECT_EQ(Warm.Stats.Attempts, Warm.Stats.CommittedMerges) << Tag;
+    EXPECT_LT(Warm.Stats.Attempts, Cold.Stats.Attempts) << Tag;
+    // The adaptive trajectory replays too.
+    EXPECT_EQ(Warm.Stats.AdaptiveThresholdMax, Cold.Stats.AdaptiveThresholdMax)
+        << Tag;
+    // The rewritten cache file is byte-identical (sorted serialization,
+    // same decisions).
+    EXPECT_EQ(fileBytes(DO.DecisionCachePath), ColdFile) << Tag;
+    std::remove(DO.DecisionCachePath.c_str());
+  }
+}
+
+TEST(DecisionCacheTest, OneCacheFileWarmsEveryShardAndThreadCount) {
+  BenchmarkProfile P = cacheProfile(17);
+  MergeDriverOptions DO = baseOptions();
+  DO.DecisionCachePath = cachePath("warm_sharded");
+  RunOutcome Cold = runConfig(P, DO);
+  ASSERT_GT(Cold.Stats.CommittedMerges, 0u);
+  std::vector<uint8_t> ColdFile = fileBytes(DO.DecisionCachePath);
+  for (unsigned Shards : {1u, 4u})
+    for (unsigned NT : {1u, 4u}) {
+      MergeDriverOptions Warm = DO;
+      Warm.ShardCount = Shards;
+      Warm.NumThreads = NT;
+      std::string Tag = "shards=" + std::to_string(Shards) +
+                        " threads=" + std::to_string(NT);
+      RunOutcome O = runConfig(P, Warm);
+      expectSameMerges(O, Cold, Tag);
+      EXPECT_GT(O.Stats.CacheHits, 0u) << Tag;
+      EXPECT_EQ(O.Stats.CacheMisses, 0u) << Tag;
+      // Zero pairing work at every plan — including the parallel
+      // unsharded one, where the snapshot loop must predict partners the
+      // replays will consume instead of ranking them (they carry no
+      // cached decision of their own: the cold run consumed them before
+      // their turn).
+      EXPECT_EQ(O.Stats.PairingDistanceCalls, 0u) << Tag;
+      // The shared file is rewritten byte-identically by every plan.
+      EXPECT_EQ(fileBytes(DO.DecisionCachePath), ColdFile) << Tag;
+    }
+  std::remove(DO.DecisionCachePath.c_str());
+}
+
+TEST(DecisionCacheTest, ComposesWithHashClustering) {
+  BenchmarkProfile P = cacheProfile(19);
+  P.FamilyDriftPercent = 0; // exact clones: give the fast path targets
+  MergeDriverOptions DO = baseOptions();
+  DO.HashClustering = true;
+  DO.DecisionCachePath = cachePath("warm_clustered");
+  RunOutcome Cold = runConfig(P, DO);
+  ASSERT_TRUE(Cold.VerifierOk);
+  ASSERT_GT(Cold.Stats.HashClusterCommits, 0u);
+  RunOutcome Warm = runConfig(P, DO);
+  expectSameMerges(Warm, Cold, "clustered warm");
+  EXPECT_EQ(Warm.Stats.HashClusterCommits, Cold.Stats.HashClusterCommits);
+  EXPECT_EQ(Warm.Stats.CacheMisses, 0u);
+  std::remove(DO.DecisionCachePath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Invalidation
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionCacheTest, MissingFileIsAColdRunNotARejection) {
+  BenchmarkProfile P = cacheProfile(23);
+  MergeDriverOptions DO = baseOptions();
+  DO.DecisionCachePath = cachePath("missing");
+  RunOutcome O = runConfig(P, DO);
+  EXPECT_TRUE(O.VerifierOk);
+  EXPECT_EQ(O.Stats.CacheLoadRejected, 0u);
+  EXPECT_EQ(O.Stats.CacheHits, 0u);
+  EXPECT_GT(O.Stats.CacheMisses, 0u);
+  std::remove(DO.DecisionCachePath.c_str());
+}
+
+TEST(DecisionCacheTest, DamagedFilesAreRejectedWithACounterNotACrash) {
+  BenchmarkProfile P = cacheProfile(29);
+  MergeDriverOptions DO = baseOptions();
+  DO.DecisionCachePath = cachePath("damaged");
+  RunOutcome Cold = runConfig(P, DO);
+  ASSERT_GT(Cold.Stats.CommittedMerges, 0u);
+  std::vector<uint8_t> Valid = fileBytes(DO.DecisionCachePath);
+  ASSERT_GT(Valid.size(), 64u);
+
+  auto corrupt = [&](const char *Tag,
+                     std::vector<uint8_t> (*Damage)(std::vector<uint8_t>)) {
+    ASSERT_TRUE(writeFileBytes(DO.DecisionCachePath, Damage(Valid))) << Tag;
+    RunOutcome O = runConfig(P, DO);
+    expectSameMerges(O, Cold, Tag);
+    EXPECT_EQ(O.Stats.CacheLoadRejected, 1u) << Tag;
+    EXPECT_EQ(O.Stats.CacheHits, 0u) << Tag;
+    // The damaged file was replaced by a fresh, valid recording.
+    EXPECT_EQ(fileBytes(DO.DecisionCachePath), Valid) << Tag;
+  };
+  // A flipped payload byte (checksum mismatch).
+  corrupt("bitflip", +[](std::vector<uint8_t> B) {
+    B[B.size() / 2] ^= 0x40;
+    return B;
+  });
+  // Truncation (payload size mismatch).
+  corrupt("truncated", +[](std::vector<uint8_t> B) {
+    B.resize(B.size() / 2);
+    return B;
+  });
+  // A foreign file (bad magic).
+  corrupt("bad-magic", +[](std::vector<uint8_t> B) {
+    B[0] ^= 0xff;
+    return B;
+  });
+  // A future format version.
+  corrupt("version-bump", +[](std::vector<uint8_t> B) {
+    B[4] += 1;
+    return B;
+  });
+  std::remove(DO.DecisionCachePath.c_str());
+}
+
+TEST(DecisionCacheTest, OptionChangesInvalidateTheFile) {
+  // A cache recorded at t=3 must be refused by a t=1 run (the decision
+  // geometry changed), which then records its own decisions.
+  BenchmarkProfile P = cacheProfile(31);
+  MergeDriverOptions Wide = baseOptions();
+  Wide.DecisionCachePath = cachePath("options");
+  runConfig(P, Wide);
+
+  MergeDriverOptions Narrow = Wide;
+  Narrow.ExplorationThreshold = 1;
+  RunOutcome NoCacheNarrow = runConfig(P, [&] {
+    MergeDriverOptions D = Narrow;
+    D.DecisionCachePath.clear();
+    return D;
+  }());
+  RunOutcome Got = runConfig(P, Narrow);
+  expectSameMerges(Got, NoCacheNarrow, "narrow after wide");
+  EXPECT_EQ(Got.Stats.CacheLoadRejected, 1u);
+  // The file now carries the narrow fingerprint: a warm narrow run hits.
+  RunOutcome Warm = runConfig(P, Narrow);
+  EXPECT_EQ(Warm.Stats.CacheLoadRejected, 0u);
+  EXPECT_GT(Warm.Stats.CacheHits, 0u);
+  std::remove(Narrow.DecisionCachePath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// CacheIO fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionCacheTest, CacheIOFaultsDegradeToAColdRunNeverAWrongMerge) {
+  BenchmarkProfile P = cacheProfile(37);
+  MergeDriverOptions DO = baseOptions();
+  DO.DecisionCachePath = cachePath("cacheio");
+  runConfig(P, DO); // leaves a valid warm file behind
+  std::vector<uint8_t> Valid = fileBytes(DO.DecisionCachePath);
+
+  MergeDriverOptions Plain = baseOptions();
+  RunOutcome Want = runConfig(P, Plain);
+
+  MergeDriverOptions Faulted = DO;
+  Faulted.Faults = FaultInjectionConfig::parse("seed=2,cacheio=1000");
+  ASSERT_TRUE(Faulted.Faults.armed());
+  ASSERT_EQ(Faulted.Faults.rate(FaultKind::CacheIO), 1000u);
+  RunOutcome Got = runConfig(P, Faulted);
+  // The valid file is there, but the injected I/O fault refuses it: the
+  // run is a plain cold run, and the failed save leaves the file alone.
+  expectSameMerges(Got, Want, "cacheio-faulted");
+  EXPECT_EQ(Got.Stats.CacheLoadRejected, 1u);
+  EXPECT_EQ(Got.Stats.CacheHits, 0u);
+  EXPECT_EQ(fileBytes(DO.DecisionCachePath), Valid);
+  std::remove(DO.DecisionCachePath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The container itself
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionCacheTest, RoundTripPreservesDecisionsExactly) {
+  DecisionCache Cache;
+  std::vector<DecisionCacheUpdate> Updates;
+  CachedDecision Win;
+  CachedAttempt Lose;
+  Lose.Partner = {{0x1111, 0x2222}, 3};
+  Lose.Distance = 42;
+  Lose.ProfitObs = -7;
+  Lose.Profitable = false;
+  CachedAttempt Best;
+  Best.Partner = {{0x3333, 0x4444}, 0};
+  Best.Distance = 5;
+  Best.ProfitObs = 99;
+  Best.Profitable = true;
+  Best.SeqLen1 = 3;
+  Best.SeqLen2 = 2;
+  Best.Align = {{0, 0}, {1, -1}, {2, 1}};
+  Win.Attempts = {Lose, Best};
+  Win.Winner = 1;
+  Win.VoteTallied = true;
+  Win.VoteWiden = true;
+  Updates.push_back({{{0xabcd, 0xef01}, 7}, Win});
+  Updates.push_back({{{0x9999, 0x8888}, 0}, CachedDecision{}}); // ranked dry
+  Cache.apply(std::move(Updates));
+  ASSERT_EQ(Cache.size(), 2u);
+
+  std::string Path = cachePath("roundtrip");
+  ASSERT_TRUE(Cache.save(Path, 0xfeedULL, nullptr));
+
+  DecisionCache Loaded;
+  ASSERT_EQ(Loaded.load(Path, 0xfeedULL, nullptr),
+            DecisionCache::LoadOutcome::Loaded);
+  ASSERT_EQ(Loaded.size(), 2u);
+  const CachedDecision *D = Loaded.lookup({{0xabcd, 0xef01}, 7});
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Winner, 1);
+  EXPECT_TRUE(D->VoteTallied);
+  EXPECT_FALSE(D->VoteShrink);
+  EXPECT_TRUE(D->VoteWiden);
+  ASSERT_EQ(D->Attempts.size(), 2u);
+  EXPECT_EQ(D->Attempts[0].Distance, 42u);
+  EXPECT_EQ(D->Attempts[0].ProfitObs, -7);
+  EXPECT_EQ(D->Attempts[1].SeqLen1, 3u);
+  EXPECT_EQ(D->Attempts[1].Align, Best.Align);
+  const CachedDecision *Dry = Loaded.lookup({{0x9999, 0x8888}, 0});
+  ASSERT_NE(Dry, nullptr);
+  EXPECT_TRUE(Dry->Attempts.empty());
+  EXPECT_EQ(Dry->Winner, -1);
+  // A fingerprint mismatch refuses the same bytes.
+  DecisionCache Refused;
+  EXPECT_EQ(Refused.load(Path, 0xbeefULL, nullptr),
+            DecisionCache::LoadOutcome::Rejected);
+  EXPECT_TRUE(Refused.empty());
+  std::remove(Path.c_str());
+}
+
+} // namespace

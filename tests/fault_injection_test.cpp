@@ -13,8 +13,8 @@
 //     attempts, every session across Selection modes x {1,4} threads x
 //     {1,4} shards completes without termination, every output module is
 //     verifier-clean, and the surviving merge set is deterministic per
-//     (config, seed) — including across thread counts, and across shard
-//     counts under Distance selection.
+//     (config, seed) — including across thread counts and shard counts,
+//     in every selection mode.
 //  3. Budget caps reject deterministically; a firewall-rejected winner
 //     rolls back to no-merge; repeat offenders are quarantined; task
 //     failures are recovered without changing outcomes.
@@ -191,10 +191,10 @@ TEST(FaultInjectionTest, EnvSpecArmsAStockDriver) {
 
 TEST(FaultInjectionTest, SoakCompletesCleanAndDeterministic) {
   BenchmarkProfile P = faultProfile(17);
-  RunOutcome DistanceShardOne;
   for (SelectionStrategy Mode :
        {SelectionStrategy::Distance, SelectionStrategy::Profit,
         SelectionStrategy::Adaptive}) {
+    RunOutcome ShardOne;
     for (unsigned Shards : {1u, 4u}) {
       MergeDriverOptions DO;
       DO.ExplorationThreshold = 3;
@@ -221,16 +221,14 @@ TEST(FaultInjectionTest, SoakCompletesCleanAndDeterministic) {
       // Determinism across thread counts, faults and all.
       DO.NumThreads = 4;
       expectSameOutcome(runConfig(P, DO), Serial, Tag + " threads=4");
-      // Under Distance selection the sharded faulted run must equal the
-      // unsharded faulted run bit for bit (the profit modes calibrate
-      // per shard — per-shard-count determinism only, as documented).
-      if (Mode == SelectionStrategy::Distance) {
-        if (Shards == 1)
-          DistanceShardOne = Serial;
-        else
-          expectSameOutcome(Serial, DistanceShardOne,
-                            Tag + " vs unsharded");
-      }
+      // In every selection mode the sharded faulted run must equal the
+      // unsharded faulted run bit for bit: fault decisions are
+      // name-keyed and the profit modes calibrate per
+      // merge-compatibility class — both shard-plan-invariant.
+      if (Shards == 1)
+        ShardOne = Serial;
+      else
+        expectSameOutcome(Serial, ShardOne, Tag + " vs unsharded");
     }
   }
 }

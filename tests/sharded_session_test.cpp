@@ -18,10 +18,11 @@
 //  3. Host policy: MergeDriverOptions::Host resolves Biggest/Hottest
 //     deterministically; an explicit setHostModule always wins; merged
 //     functions live only in the resolved host.
-//  4. The profit-guided modes are deterministic per (ShardCount) at
-//     every thread count, and reproduce the unsharded session at
-//     ShardCount 1 (their calibration stream is per-session, so > 1
-//     shard legitimately diverges — see the runner's header).
+//  4. The profit-guided modes are shard-count-invariant too: their
+//     ProfitModel/adaptive-threshold state is kept per
+//     merge-compatibility class (MergePipeline.h), so every shard plan
+//     reproduces the unsharded session bit for bit — the property that
+//     lets one decision-cache file warm sessions at any shard count.
 //
 //===----------------------------------------------------------------------===//
 
@@ -223,25 +224,27 @@ TEST(ShardedSessionTest, ShardCountClampsToCompatibilityClasses) {
   expectSameMergeSet(Eight, session(1), "mono-class clamp");
 }
 
-TEST(ShardedSessionTest, ProfitModesDeterministicPerShardCount) {
-  // A shard is its own session for ProfitModel calibration, so the
-  // profit-guided merge set is a function of (modules, options,
-  // ShardCount) — never of the thread count.
+TEST(ShardedSessionTest, ProfitModesAreShardCountInvariant) {
+  // Calibration is per merge-compatibility class, and a class's serial
+  // observation sequence is the same in every shard plan: the
+  // profit-guided merge set is a function of (modules, options) alone —
+  // never of the shard or thread count.
   for (SelectionStrategy Sel :
        {SelectionStrategy::Profit, SelectionStrategy::Adaptive}) {
-    MergeDriverOptions DO = defaultOptions(1, 4);
-    DO.Selection = Sel;
-    GroupOutcome Serial = runSharded(DO);
-    EXPECT_TRUE(Serial.VerifierOk);
-    EXPECT_GT(Serial.CommittedMerges, 0u);
-    DO.NumThreads = 4;
-    expectSameMergeSet(runSharded(DO), Serial, "profit-mode threads=4");
-    // And at one shard the generic path reproduces the unsharded
-    // session bit for bit in every mode.
-    MergeDriverOptions One = defaultOptions(1, 1);
-    One.Selection = Sel;
-    expectSameMergeSet(runSharded(One), runUnsharded(One),
-                       "profit-mode one shard");
+    MergeDriverOptions Base = defaultOptions(1, 1);
+    Base.Selection = Sel;
+    GroupOutcome Unsharded = runUnsharded(Base);
+    EXPECT_TRUE(Unsharded.VerifierOk);
+    EXPECT_GT(Unsharded.CommittedMerges, 0u);
+    for (unsigned Shards : {1u, 2u, 4u, 8u})
+      for (unsigned NT : {1u, 4u}) {
+        MergeDriverOptions DO = defaultOptions(NT, Shards);
+        DO.Selection = Sel;
+        expectSameMergeSet(runSharded(DO), Unsharded,
+                           "profit-mode sel=" + std::to_string(int(Sel)) +
+                               " shards=" + std::to_string(Shards) +
+                               " threads=" + std::to_string(NT));
+      }
   }
 }
 
