@@ -1,0 +1,308 @@
+//===- bench/bench_merge_service.cpp - Incremental session payoff --------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Measures the incremental merge service (merge/MergeService.h): a warm
+// session absorbing a small delta against a from-scratch re-merge of the
+// same edited pool.
+//
+// Modes:
+//   (default)  sweep: delta vs cold wall-clock and pairing work across
+//              selection modes and thread counts on a multi-class pool,
+//              one edit step per epoch.
+//   --smoke    the deterministic acceptance bar on a CI-sized pool: a
+//              delta epoch must do strictly less pairing work (distance
+//              calls + probes) and strictly fewer attempts than the cold
+//              session over the identical final pool, while landing on
+//              the cold run's exact merge set. Wall-clock is reported
+//              (skipped under SALSSA_BENCH_NO_TIMING) but never gated.
+//              Writes a JsonSummary (SALSSA_BENCH_JSON):
+//              cold_pairing_calls, delta_pairing_calls, cold_attempts,
+//              delta_attempts, dirty_classes, total_classes,
+//              cold_seconds, delta_seconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "ir/IRPrinter.h"
+#include "merge/MergeService.h"
+#include "support/Chrono.h"
+#include "workloads/EditScript.h"
+#include <cstring>
+
+using namespace salssa;
+using namespace salssa::bench;
+
+namespace {
+
+BenchmarkProfile serviceProfile(unsigned NumFns) {
+  BenchmarkProfile P;
+  P.Name = "inc_service";
+  P.NumFunctions = NumFns;
+  P.MinSize = 8;
+  P.AvgSize = 42;
+  P.MaxSize = 160;
+  P.CloneFamilyPercent = 55;
+  P.MinFamily = 2;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 10;
+  P.LoopPercent = 45;
+  P.RetTypeVariety = 4;
+  P.Seed = 0x15eed;
+  return P;
+}
+
+EditScriptOptions editOptions(unsigned NumSteps) {
+  EditScriptOptions EO;
+  EO.NumSteps = NumSteps;
+  EO.ChangesPerStep = 3;
+  EO.AddsPerStep = 1;
+  EO.DeletesPerStep = 1;
+  EO.Generate.TargetSize = 36;
+  EO.Generate.RetTypeVariety = 4;
+  EO.Seed = 0xed1f;
+  return EO;
+}
+
+MergeDriverOptions baseOptions() {
+  MergeDriverOptions DO;
+  DO.Technique = MergeTechnique::SalSSA;
+  DO.ExplorationThreshold = 3;
+  return DO;
+}
+
+std::vector<Module *> modsOf(const ModuleGroup &Group) {
+  std::vector<Module *> Mods;
+  for (size_t I = 0; I < Group.size(); ++I)
+    Mods.push_back(&Group[I]);
+  return Mods;
+}
+
+unsigned poolSize(unsigned Default) {
+  unsigned Scale = benchScale();
+  return Scale > 1 ? std::max(32u, Default / Scale) : Default;
+}
+
+bool timingEnabled() {
+  return std::getenv("SALSSA_BENCH_NO_TIMING") == nullptr;
+}
+
+struct EpochCost {
+  uint64_t Pairing = 0; ///< distance calls + probes
+  unsigned Attempts = 0;
+  double Seconds = 0;
+};
+
+/// One incremental session: initialize, then apply every scripted step,
+/// returning the LAST epoch's cost plus the final session print.
+struct ServiceRun {
+  EpochCost LastDelta;
+  unsigned CommittedMerges = 0;
+  std::string Print;
+  double InitSeconds = 0;
+};
+
+ServiceRun runService(const BenchmarkProfile &P, const EditScript &Script,
+                      MergeDriverOptions DO) {
+  Context Ctx;
+  ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  ServiceRun R;
+  auto T0 = std::chrono::steady_clock::now();
+  Svc.initialize();
+  R.InitSeconds = secondsSince(T0);
+  MergeServiceStats Last;
+  for (unsigned S = 0; S < Script.numSteps(); ++S) {
+    auto TD = std::chrono::steady_clock::now();
+    MergeService::DeltaBatch Batch = Svc.beginDelta();
+    EditScript::AppliedStep A = Script.applyStep(
+        Mods, S, [&](Function *F) { Batch.checkoutForEdit(F); });
+    MergeDelta D;
+    D.Changed = A.Changed;
+    D.Added = A.Added;
+    D.Deleted = A.Deleted;
+    Last = Batch.apply(D);
+    R.LastDelta.Seconds = secondsSince(TD);
+  }
+  R.LastDelta.Pairing =
+      Last.EpochPairingDistanceCalls + Last.EpochPairingProbes;
+  R.LastDelta.Attempts = Last.EpochAttempts;
+  R.CommittedMerges = Last.Session.Driver.CommittedMerges;
+  for (Module *M : Mods)
+    R.Print += printModule(*M);
+  return R;
+}
+
+/// Cold baseline: fresh group, all edit steps applied up front, one
+/// from-scratch merge.
+struct ColdRun {
+  EpochCost Cost;
+  unsigned CommittedMerges = 0;
+  std::string Print;
+  bool VerifierOk = false;
+};
+
+ColdRun runCold(const BenchmarkProfile &P, const EditScript &Script,
+                MergeDriverOptions DO) {
+  Context Ctx;
+  ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+  std::vector<Module *> Mods = modsOf(Group);
+  for (unsigned S = 0; S < Script.numSteps(); ++S) {
+    EditScript::AppliedStep A = Script.applyStep(Mods, S);
+    for (Function *F : A.Deleted)
+      F->getParent()->eraseFunction(F);
+  }
+  DO.ShardCount = 1;
+  CrossModuleMerger Session(DO);
+  for (Module *M : Mods)
+    Session.addModule(*M);
+  auto T0 = std::chrono::steady_clock::now();
+  CrossModuleStats S = Session.run();
+  ColdRun R;
+  R.Cost.Seconds = secondsSince(T0);
+  R.Cost.Pairing = S.Driver.PairingDistanceCalls + S.Driver.PairingProbes;
+  R.Cost.Attempts = S.Driver.Attempts;
+  R.CommittedMerges = S.Driver.CommittedMerges;
+  R.VerifierOk = true;
+  for (Module *M : Mods) {
+    R.Print += printModule(*M);
+    R.VerifierOk = R.VerifierOk && verifyModule(*M).ok();
+  }
+  return R;
+}
+
+int smokeMode() {
+  const unsigned PoolFns = poolSize(96);
+  printHeader("bench_merge_service --smoke (pool " +
+              std::to_string(PoolFns) + " x 2 modules)");
+  BenchmarkProfile P = serviceProfile(PoolFns);
+  EditScript Script = [&] {
+    Context Ctx;
+    ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+    return EditScript(modsOf(Group), editOptions(3));
+  }();
+  MergeDriverOptions DO = baseOptions();
+  DO.NumThreads = 2;
+
+  ServiceRun Inc = runService(P, Script, DO);
+  ColdRun Cold = runCold(P, Script, DO);
+
+  std::printf("cold session: %u commits, %llu pairing ops, %u attempts\n",
+              Cold.CommittedMerges, (unsigned long long)Cold.Cost.Pairing,
+              Cold.Cost.Attempts);
+  std::printf("last delta:   %u commits (whole session), %llu pairing "
+              "ops, %u attempts\n",
+              Inc.CommittedMerges,
+              (unsigned long long)Inc.LastDelta.Pairing,
+              Inc.LastDelta.Attempts);
+  if (timingEnabled())
+    std::printf("wall-clock (not gated): init %.3fs, last delta %.3fs, "
+                "cold %.3fs\n",
+                Inc.InitSeconds, Inc.LastDelta.Seconds, Cold.Cost.Seconds);
+
+  if (!Cold.VerifierOk) {
+    std::printf("FAIL: verifier errors after the cold merge\n");
+    return 1;
+  }
+  if (Inc.Print != Cold.Print) {
+    std::printf("FAIL: incremental session is not byte-identical to the "
+                "from-scratch run over the final pool\n");
+    return 1;
+  }
+  if (Cold.CommittedMerges == 0) {
+    std::printf("FAIL: the pool produced no merges — the workload no "
+                "longer exercises the session\n");
+    return 1;
+  }
+  // The incrementality bar: a delta touches only its dirty classes, so
+  // its re-ranking and attempt work must be strictly under the cold
+  // session's over the identical final pool.
+  if (Inc.LastDelta.Pairing >= Cold.Cost.Pairing) {
+    std::printf("FAIL: delta pairing work must be strictly less than a "
+                "cold run (%llu vs %llu)\n",
+                (unsigned long long)Inc.LastDelta.Pairing,
+                (unsigned long long)Cold.Cost.Pairing);
+    return 1;
+  }
+  if (Inc.LastDelta.Attempts >= Cold.Cost.Attempts) {
+    std::printf("FAIL: delta attempts must be strictly fewer than a cold "
+                "run (%u vs %u)\n",
+                Inc.LastDelta.Attempts, Cold.Cost.Attempts);
+    return 1;
+  }
+
+  JsonSummary Json("bench_merge_service");
+  Json.add("pool_functions", uint64_t(PoolFns) * 2);
+  Json.add("cold_pairing_calls", Cold.Cost.Pairing);
+  Json.add("delta_pairing_calls", Inc.LastDelta.Pairing);
+  Json.add("cold_attempts", uint64_t(Cold.Cost.Attempts));
+  Json.add("delta_attempts", uint64_t(Inc.LastDelta.Attempts));
+  Json.add("committed_merges", uint64_t(Cold.CommittedMerges));
+  Json.add("cold_seconds", Cold.Cost.Seconds);
+  Json.add("delta_seconds", Inc.LastDelta.Seconds);
+  Json.add("init_seconds", Inc.InitSeconds);
+
+  std::printf("PASS: delta re-merge does strictly less pairing and "
+              "attempt work than from-scratch, byte-identical result\n");
+  return 0;
+}
+
+int sweepMode() {
+  const unsigned PoolFns = poolSize(256);
+  printHeader("Incremental delta vs from-scratch re-merge, " +
+              std::to_string(PoolFns) + " x 2 modules");
+  std::printf("%-10s %-8s %12s %12s %10s %10s %8s\n", "selection",
+              "threads", "cold pair", "delta pair", "cold s", "delta s",
+              "equal");
+  printRule(78);
+  bool Ok = true;
+  BenchmarkProfile P = serviceProfile(PoolFns);
+  EditScript Script = [&] {
+    Context Ctx;
+    ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+    return EditScript(modsOf(Group), editOptions(4));
+  }();
+  for (SelectionStrategy Sel :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive})
+    for (unsigned NT : {1u, 4u}) {
+      MergeDriverOptions DO = baseOptions();
+      DO.Selection = Sel;
+      DO.NumThreads = NT;
+      ServiceRun Inc = runService(P, Script, DO);
+      ColdRun Cold = runCold(P, Script, DO);
+      bool Equal = Inc.Print == Cold.Print && Cold.VerifierOk;
+      // Only equivalence gates the sweep: a step that happens to dirty
+      // every class re-ranks the full pool, so the pairing columns are
+      // informational here. The --smoke pool is sized so its delta
+      // leaves classes clean, and gates strictly.
+      Ok &= Equal;
+      std::printf("%-10s %-8u %12llu %12llu %10.3f %10.3f %8s\n",
+                  selectionName(Sel), NT,
+                  (unsigned long long)Cold.Cost.Pairing,
+                  (unsigned long long)Inc.LastDelta.Pairing,
+                  Cold.Cost.Seconds, Inc.LastDelta.Seconds,
+                  Equal ? "yes" : "NO");
+    }
+  if (!Ok) {
+    std::printf("FAIL: a configuration lost equivalence\n");
+    return 1;
+  }
+  std::printf("\nPASS\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  return Smoke ? smokeMode() : sweepMode();
+}

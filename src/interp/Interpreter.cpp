@@ -35,31 +35,40 @@ int64_t signExtend(uint64_t Bits, unsigned Width) {
 } // namespace
 
 Interpreter::Interpreter(Module &M, const ExecOptions &Opts)
-    : M(M), Opts(Opts) {
+    : Mods{&M}, Opts(Opts) {
+  resetMemory();
+}
+
+Interpreter::Interpreter(const std::vector<Module *> &Group,
+                         const ExecOptions &Opts)
+    : Mods(Group), Opts(Opts) {
   resetMemory();
 }
 
 void Interpreter::resetMemory() {
-  // Layout: one reserved null page, then globals, then the stack region.
+  // Layout: one reserved null page, then the globals of every loaded
+  // module in group order, then the stack region.
   const size_t NullPage = 64;
   size_t Total = NullPage;
   GlobalAddr.clear();
-  for (const auto &G : M.globals()) {
-    GlobalAddr[G.get()] = Total;
-    Total += std::max<size_t>(G->getStorageSize(), 1);
-    Total = (Total + 7) & ~size_t(7);
-  }
+  for (Module *M : Mods)
+    for (const auto &G : M->globals()) {
+      GlobalAddr[G.get()] = Total;
+      Total += std::max<size_t>(G->getStorageSize(), 1);
+      Total = (Total + 7) & ~size_t(7);
+    }
   StackBase = Total;
   const size_t StackBytes = 1 << 20;
   Memory.assign(Total + StackBytes, 0);
   // Deterministic pseudo-random initial contents for globals.
-  for (const auto &G : M.globals()) {
-    uint64_t Addr = GlobalAddr[G.get()];
-    uint64_t H = hashCombine(Opts.EnvSeed, std::hash<std::string>{}(
-                                               G->getName()));
-    for (unsigned I = 0; I < G->getStorageSize(); ++I)
-      Memory[Addr + I] = static_cast<uint8_t>(mix64(H + I));
-  }
+  for (Module *M : Mods)
+    for (const auto &G : M->globals()) {
+      uint64_t Addr = GlobalAddr[G.get()];
+      uint64_t H = hashCombine(Opts.EnvSeed, std::hash<std::string>{}(
+                                                 G->getName()));
+      for (unsigned I = 0; I < G->getStorageSize(); ++I)
+        Memory[Addr + I] = static_cast<uint8_t>(mix64(H + I));
+    }
 }
 
 void Interpreter::registerNative(const std::string &Name, NativeHandler H) {

@@ -113,6 +113,15 @@ class Interpreter {
 public:
   Interpreter(Module &M, const ExecOptions &Opts = ExecOptions());
 
+  /// Interprets a linked module group: the globals of every module in
+  /// \p Group are laid out (in group order) into one arena, so merged
+  /// functions whose bodies reference globals from several modules —
+  /// exactly what cross-module merging produces — execute correctly.
+  /// Group order is part of the memory-layout determinism contract:
+  /// compare only runs constructed over the same module order.
+  Interpreter(const std::vector<Module *> &Group,
+              const ExecOptions &Opts = ExecOptions());
+
   /// Runs \p F with \p Args (must match the signature).
   ExecResult run(Function *F, const std::vector<RuntimeValue> &Args);
 
@@ -128,7 +137,7 @@ public:
 
 private:
   friend class ExecState;
-  Module &M;
+  std::vector<Module *> Mods; ///< the loaded group (size 1 = classic)
   ExecOptions Opts;
   std::vector<uint8_t> Memory; ///< flat arena: [null page][globals][stack]
   size_t StackBase = 0;        ///< start of the stack region

@@ -84,6 +84,14 @@ public:
   /// Fresh name with the given prefix, unique within the module.
   std::string makeUniqueName(const std::string &Prefix);
 
+  /// Snapshot / restore of the makeUniqueName counter. A long-lived
+  /// session (merge/MergeService.h) re-plays its committed-merge name
+  /// burns from a fixed base on every delta so that incremental name
+  /// allocation stays byte-identical to a from-scratch run; nothing
+  /// else should touch this.
+  unsigned uniqueNameCounter() const { return NextUniqueId; }
+  void setUniqueNameCounter(unsigned C) { NextUniqueId = C; }
+
 private:
   std::string Name;
   Context &Ctx;

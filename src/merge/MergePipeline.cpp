@@ -114,6 +114,7 @@ MergePipeline::MergePipeline(const std::vector<Module *> &Modules,
   // buildPool so the pool entries get their cache keys.
   Cache = Scope.Cache;
   CacheUpdates = Scope.CacheUpdates;
+  QuarantineSink = Scope.Quarantined;
   // Failure containment: programmatic arming wins, otherwise a stock
   // binary can be soaked via the SALSSA_FAULTS environment spec. Both
   // pointers stay null on a healthy run so attemptMerge takes its exact
@@ -386,6 +387,8 @@ bool MergePipeline::quarantineIfStruckOut(size_t I) {
   if (UseIndex)
     Index.retire(static_cast<uint32_t>(I));
   ++Stats.QuarantinedFunctions;
+  if (QuarantineSink)
+    QuarantineSink->push_back(Pool[I].F);
   return true;
 }
 

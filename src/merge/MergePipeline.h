@@ -149,6 +149,12 @@ struct PipelineShardScope {
   /// update. The owning session applies and persists them after the run;
   /// pipelines never write the cache directly.
   std::vector<DecisionCacheUpdate> *CacheUpdates = nullptr;
+  /// When set, every function the quarantine ladder retires during this
+  /// run is appended (in the serial commit order the strikes landed).
+  /// A long-lived session (merge/MergeService.h) uses this to move
+  /// struck-out functions into its decay ledger so they can re-enter
+  /// candidacy after QuarantineDecayEpochs.
+  std::vector<Function *> *Quarantined = nullptr;
 };
 
 /// One run of the staged merge driver over a module. Constructed with the
@@ -380,6 +386,9 @@ private:
   // --- decision cache -------------------------------------------------------
   const DecisionCache *Cache = nullptr; ///< warm decisions (read-only)
   std::vector<DecisionCacheUpdate> *CacheUpdates = nullptr; ///< recordings
+  /// Optional sink for functions the quarantine ladder retires (see
+  /// PipelineShardScope::Quarantined).
+  std::vector<Function *> *QuarantineSink = nullptr;
   /// Live pool entries by cache key (maintained alongside the pool;
   /// consumed entries stay mapped and are rejected at resolve time).
   std::map<DecisionKey, uint32_t> KeyToPool;

@@ -73,6 +73,10 @@ const char *kindName(FaultKind K) {
     return "injected fault: structural fingerprint";
   case FaultKind::CacheIO:
     return "injected fault: decision-cache I/O";
+  case FaultKind::Ranking:
+    return "injected fault: candidate ranking";
+  case FaultKind::SymbolResolution:
+    return "injected fault: symbol resolution";
   }
   return "injected fault";
 }
@@ -126,6 +130,12 @@ FaultInjectionConfig FaultInjectionConfig::parse(const std::string &Spec) {
                 static_cast<uint32_t>(parseNumber(Val, 0)));
     else if (Key == "cacheio")
       C.setRate(FaultKind::CacheIO,
+                static_cast<uint32_t>(parseNumber(Val, 0)));
+    else if (Key == "ranking")
+      C.setRate(FaultKind::Ranking,
+                static_cast<uint32_t>(parseNumber(Val, 0)));
+    else if (Key == "symres")
+      C.setRate(FaultKind::SymbolResolution,
                 static_cast<uint32_t>(parseNumber(Val, 0)));
     // Unknown keys: ignored.
   }

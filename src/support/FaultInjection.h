@@ -66,9 +66,18 @@ enum class FaultKind : uint8_t {
   /// fired save point skips the write. Keyed by the cache path plus
   /// "load"/"save".
   CacheIO,
+  /// Candidate ranking throws while a session plans work (e.g. the
+  /// MergeService recomputing index entries for a delta): models a
+  /// corrupted planner structure. Keyed by the touched function name —
+  /// a long-lived session must degrade to a counted full re-merge, not
+  /// a corrupt session.
+  Ranking,
+  /// Linker-style symbol resolution throws mid-delta: models a broken
+  /// cross-module binding pass. Keyed by the session/delta identity.
+  SymbolResolution,
 };
 
-constexpr unsigned NumFaultKinds = 6;
+constexpr unsigned NumFaultKinds = 8;
 
 /// Per-kind fault rates plus the seed that keys every decision.
 struct FaultInjectionConfig {
@@ -91,7 +100,8 @@ struct FaultInjectionConfig {
   }
 
   /// Parses a "seed=N,align=R,codegen=R,task=R,budget=R,fingerprint=R,
-  /// cacheio=R" spec. Unknown keys and malformed numbers are ignored (a
+  /// cacheio=R,ranking=R,symres=R" spec. Unknown keys and malformed
+  /// numbers are ignored (a
   /// soak harness must not crash the binary it is soaking); missing
   /// keys keep their defaults.
   static FaultInjectionConfig parse(const std::string &Spec);

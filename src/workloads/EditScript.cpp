@@ -1,0 +1,100 @@
+//===- workloads/EditScript.cpp - Deterministic edit scripts ------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/EditScript.h"
+#include "ir/Module.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace salssa;
+
+EditScript::EditScript(const std::vector<Module *> &InitialModules,
+                       const EditScriptOptions &Options)
+    : Options(Options) {
+  // The evolving population model: every definition the script may
+  // target, as (module index, name). Seeded from the pristine group in
+  // modules-walk order so the plan is a pure function of (names, seed).
+  struct Member {
+    unsigned ModuleIdx;
+    std::string Name;
+  };
+  std::vector<Member> Population;
+  for (unsigned MI = 0; MI < InitialModules.size(); ++MI)
+    for (Function *F : InitialModules[MI]->functions())
+      if (!F->isDeclaration())
+        Population.push_back({MI, F->getName()});
+
+  RNG Rng(Options.Seed);
+  unsigned NextAddId = 0;
+  Steps.reserve(Options.NumSteps);
+  for (unsigned S = 0; S < Options.NumSteps; ++S) {
+    StepPlan Plan;
+    // Deletes first: a deleted name can be neither changed this step nor
+    // targeted ever again. Keep at least half the population alive so
+    // the session always has something to merge.
+    unsigned NumDeletes = std::min<unsigned>(
+        Options.DeletesPerStep,
+        static_cast<unsigned>(Population.size() / 2));
+    for (unsigned I = 0; I < NumDeletes; ++I) {
+      size_t Pick = Rng.nextBelow(Population.size());
+      Plan.Deletes.push_back({Op::Delete, Population[Pick].ModuleIdx,
+                              Population[Pick].Name, Rng.next()});
+      Population.erase(Population.begin() +
+                       static_cast<ptrdiff_t>(Pick));
+    }
+    // Changes over the survivors, each name at most once per step.
+    std::vector<size_t> Candidates(Population.size());
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      Candidates[I] = I;
+    unsigned NumChanges = std::min<unsigned>(
+        Options.ChangesPerStep, static_cast<unsigned>(Candidates.size()));
+    for (unsigned I = 0; I < NumChanges; ++I) {
+      size_t Pick = Rng.nextBelow(Candidates.size());
+      const Member &M = Population[Candidates[Pick]];
+      Plan.Changes.push_back({Op::Change, M.ModuleIdx, M.Name, Rng.next()});
+      Candidates.erase(Candidates.begin() + static_cast<ptrdiff_t>(Pick));
+    }
+    // Adds: fresh names, random target module.
+    for (unsigned I = 0; I < Options.AddsPerStep; ++I) {
+      unsigned MI = static_cast<unsigned>(
+          Rng.nextBelow(InitialModules.size()));
+      std::string Name = "edit_add" + std::to_string(NextAddId++);
+      Plan.Adds.push_back({Op::Add, MI, Name, Rng.next()});
+      Population.push_back({MI, Name});
+    }
+    Steps.push_back(std::move(Plan));
+  }
+}
+
+EditScript::AppliedStep
+EditScript::applyStep(const std::vector<Module *> &Modules, unsigned StepIdx,
+                      const std::function<void(Function *)> &PrepareEdit) const {
+  assert(StepIdx < Steps.size() && "edit step out of range");
+  const StepPlan &Plan = Steps[StepIdx];
+  AppliedStep Out;
+  for (const Op &O : Plan.Deletes) {
+    Function *F = Modules[O.ModuleIdx]->getFunction(O.Name);
+    assert(F && !F->isDeclaration() && "scripted delete target missing");
+    Out.Deleted.push_back(F);
+  }
+  for (const Op &O : Plan.Changes) {
+    Function *F = Modules[O.ModuleIdx]->getFunction(O.Name);
+    assert(F && !F->isDeclaration() && "scripted change target missing");
+    if (PrepareEdit)
+      PrepareEdit(F);
+    WorkloadEnvironment Env = WorkloadEnvironment::attach(*Modules[O.ModuleIdx]);
+    RNG OpRng(O.OpSeed);
+    driftFunctionBody(F, Env, OpRng, Options.Drift);
+    Out.Changed.push_back(F);
+  }
+  for (const Op &O : Plan.Adds) {
+    WorkloadEnvironment Env = WorkloadEnvironment::attach(*Modules[O.ModuleIdx]);
+    RNG OpRng(O.OpSeed);
+    Out.Added.push_back(
+        generateRandomFunction(Env, OpRng, O.Name, Options.Generate));
+  }
+  return Out;
+}

@@ -1,0 +1,107 @@
+//===- workloads/EditScript.h - Deterministic edit scripts --------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precomputed, deterministic edit scripts over a generated module group:
+/// the workload model for incremental merge sessions
+/// (merge/MergeService.h). An EditScript is planned *entirely at
+/// construction* from the group's initial definition names — every step
+/// is a list of name-addressed operations (change this function with
+/// this seed, add that function to that module, delete the other one) —
+/// so one script instance can be replayed against any number of
+/// byte-identical copies of the group and produce byte-identical edits
+/// in each:
+///
+///  - the *service* copy applies steps one at a time through delta
+///    batches (incremental re-merge after each step);
+///  - a *reference* copy applies the same steps with no merging at all
+///    (the interpreter-differential baseline);
+///  - a *cold* copy applies all steps up front and merges from scratch
+///    once (the equivalence baseline the service must reproduce).
+///
+/// Operations follow the service's delta rules by construction: changed
+/// functions keep their signatures (driftFunctionBody), added functions
+/// are fresh generated definitions, and deleted functions are generated
+/// originals — which call only library declarations and are never called
+/// themselves, so deletion leaves no dangling call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_WORKLOADS_EDITSCRIPT_H
+#define SALSSA_WORKLOADS_EDITSCRIPT_H
+
+#include "workloads/RandomFunction.h"
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace salssa {
+
+struct EditScriptOptions {
+  unsigned NumSteps = 6;
+  /// Operation counts per step (clamped when the population runs low).
+  unsigned ChangesPerStep = 3;
+  unsigned AddsPerStep = 1;
+  unsigned DeletesPerStep = 1;
+  /// Mutation strength for changed functions.
+  DriftOptions Drift;
+  /// Shape of added functions. Keep RetTypeVariety aligned with the
+  /// group's profile so additions land in existing merge classes.
+  RandomFunctionOptions Generate;
+  uint64_t Seed = 1;
+};
+
+/// See the file comment. Construct once from the pristine group, then
+/// replay against any copy.
+class EditScript {
+public:
+  /// Plans the whole script from \p InitialModules' definition names
+  /// (the modules are only read, never modified, at construction).
+  EditScript(const std::vector<Module *> &InitialModules,
+             const EditScriptOptions &Options);
+
+  unsigned numSteps() const { return static_cast<unsigned>(Steps.size()); }
+
+  /// One step's resolved effect on one group copy.
+  struct AppliedStep {
+    std::vector<Function *> Changed;
+    std::vector<Function *> Added;
+    std::vector<Function *> Deleted;
+  };
+
+  /// Applies step \p StepIdx to \p Modules, which must be name-identical
+  /// to the population state after steps [0, StepIdx) (apply steps in
+  /// order to each copy). Changed functions are mutated in place —
+  /// \p PrepareEdit, when set, runs on each one first (the service copy
+  /// passes Batch.checkoutForEdit there; plain copies pass nothing).
+  /// Added functions are generated directly into their target modules.
+  /// Deleted functions are *returned but not erased*: the caller owns
+  /// the erase (a plain copy calls Module::eraseFunction immediately;
+  /// the service erases through the delta).
+  AppliedStep
+  applyStep(const std::vector<Module *> &Modules, unsigned StepIdx,
+            const std::function<void(Function *)> &PrepareEdit = {}) const;
+
+private:
+  struct Op {
+    enum Kind { Change, Add, Delete } K;
+    unsigned ModuleIdx;
+    std::string Name;
+    uint64_t OpSeed; ///< seeds the drift / generation RNG
+  };
+  struct StepPlan {
+    std::vector<Op> Deletes; ///< applied first (frees the names)
+    std::vector<Op> Changes;
+    std::vector<Op> Adds;
+  };
+
+  EditScriptOptions Options;
+  std::vector<StepPlan> Steps;
+};
+
+} // namespace salssa
+
+#endif // SALSSA_WORKLOADS_EDITSCRIPT_H

@@ -34,6 +34,16 @@ WorkloadEnvironment::WorkloadEnvironment(Module &M, RNG &Rng,
         M.createGlobal("tbl" + std::to_string(I) + "_" + Suffix, I32, 16));
 }
 
+WorkloadEnvironment WorkloadEnvironment::attach(Module &M) {
+  WorkloadEnvironment Env(M);
+  for (Function *F : M.functions())
+    if (F->isDeclaration())
+      Env.LibFns.push_back(F);
+  for (const auto &G : M.globals())
+    Env.Globals.push_back(G.get());
+  return Env;
+}
+
 namespace {
 
 /// Structured random code emitter with a scope stack of available values,
@@ -332,7 +342,13 @@ Function *salssa::cloneWithDrift(Function *Base, const std::string &Name,
     }
     F = cloneFunctionInto(Base, DstM, Name, ValueMap, CalleeMap);
   }
-  Context &Ctx = DstM.getContext();
+  driftFunctionBody(F, Env, Rng, Options);
+  return F;
+}
+
+void salssa::driftFunctionBody(Function *F, WorkloadEnvironment &Env,
+                               RNG &Rng, const DriftOptions &Options) {
+  Context &Ctx = F->getParent()->getContext();
 
   for (BasicBlock *BB : *F) {
     // Snapshot: insertions must not be revisited.
@@ -424,5 +440,4 @@ Function *salssa::cloneWithDrift(Function *Base, const std::string &Name,
       }
     }
   }
-  return F;
 }

@@ -73,11 +73,22 @@ public:
                       unsigned NumGlobals = 4,
                       const std::string &SymbolSuffix = "");
 
+  /// Re-attaches an environment to a module whose library declarations
+  /// and global tables already exist (one previously built by the
+  /// constructor above): the declarations are picked up in creation
+  /// order, the globals likewise. This is how the edit-script generator
+  /// (workloads/EditScript.h) adds functions to a live, possibly
+  /// already-merged module mid-session — generated code only ever calls
+  /// declarations, and originals/thunks/merged functions are all
+  /// definitions, so the declaration scan recovers exactly the library.
+  static WorkloadEnvironment attach(Module &M);
+
   Module &getModule() { return Mod; }
   const std::vector<Function *> &libFunctions() const { return LibFns; }
   const std::vector<GlobalVariable *> &globals() const { return Globals; }
 
 private:
+  explicit WorkloadEnvironment(Module &M) : Mod(M) {}
   Module &Mod;
   std::vector<Function *> LibFns;
   std::vector<GlobalVariable *> Globals;
@@ -114,6 +125,17 @@ struct DriftOptions {
 Function *cloneWithDrift(Function *Base, const std::string &Name,
                          WorkloadEnvironment &Env, RNG &Rng,
                          const DriftOptions &Options);
+
+/// The mutation half of cloneWithDrift, applied to an existing function
+/// *in place* (no clone): constants drift, opcodes swap within their
+/// class, predicates flip, calls retarget among Env's same-signature
+/// library functions, extra instructions appear. The result is always
+/// verifier-clean and the function's signature never changes — which is
+/// what makes this the edit model for incremental sessions
+/// (workloads/EditScript.h): a "changed" function keeps its identity and
+/// merge-compatibility class, only its body drifts.
+void driftFunctionBody(Function *F, WorkloadEnvironment &Env, RNG &Rng,
+                       const DriftOptions &Options);
 
 } // namespace salssa
 

@@ -1,0 +1,233 @@
+//===- tests/index_churn_test.cpp - CandidateIndex under heavy churn -----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// The incremental merge service (merge/MergeService.h) never rebuilds
+// its planner index: every delta retires the touched entries and
+// re-inserts them under fresh (monotonically growing) ids, across
+// arbitrarily many epochs. This suite pins the property that makes that
+// safe: an index that has seen heavy interleaved insert/retire traffic
+// is *query- and summary-equivalent* to one rebuilt from scratch over
+// the surviving entries —
+//
+//  - query(): identical hit lists (distance, id, module payload, order)
+//    for every surviving entry's fingerprint, at several K/ExtraK
+//    shapes, with the churned index's ids mapped to the rebuilt one's;
+//  - partitionSummaries(): identical live aggregates (Live, SizeSum,
+//    CostSum, CoarseBucket) per return type — modulo the documented
+//    difference that the churned index still reports fully-retired
+//    partitions (Live == 0) to keep FirstSeen ranks stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "merge/CandidateIndex.h"
+#include "support/RNG.h"
+#include "workloads/Suites.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace salssa;
+
+namespace {
+
+/// A pool of real fingerprints to churn with: enough functions, sizes
+/// and return types that size buckets, band buckets and partitions all
+/// see non-trivial traffic.
+std::vector<Fingerprint> fingerprintPool(Context &Ctx) {
+  BenchmarkProfile P;
+  P.Name = "churn";
+  P.NumFunctions = 120;
+  P.MinSize = 4;
+  P.AvgSize = 40;
+  P.MaxSize = 200;
+  P.CloneFamilyPercent = 50;
+  P.MinFamily = 2;
+  P.MaxFamily = 5;
+  P.FamilyDriftPercent = 12;
+  P.RetTypeVariety = 4;
+  P.Seed = 4242;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  std::vector<Fingerprint> FPs;
+  for (Function *F : M->functions())
+    if (!F->isDeclaration())
+      FPs.push_back(Fingerprint::compute(*F));
+  return FPs;
+}
+
+struct Survivor {
+  uint32_t ChurnedId;
+  uint32_t RebuiltId;
+  const Fingerprint *FP;
+  uint32_t ModuleId;
+};
+
+void expectSameHits(const std::vector<CandidateIndex::Hit> &Got,
+                    const std::vector<CandidateIndex::Hit> &Want,
+                    const std::map<uint32_t, uint32_t> &ChurnedToRebuilt,
+                    const std::string &Tag) {
+  ASSERT_EQ(Got.size(), Want.size()) << Tag;
+  for (size_t I = 0; I < Got.size(); ++I) {
+    EXPECT_EQ(Got[I].Distance, Want[I].Distance) << Tag << " hit " << I;
+    EXPECT_EQ(ChurnedToRebuilt.at(Got[I].Id), Want[I].Id)
+        << Tag << " hit " << I;
+    EXPECT_EQ(Got[I].ModuleId, Want[I].ModuleId) << Tag << " hit " << I;
+  }
+}
+
+TEST(IndexChurnTest, ChurnedIndexEquivalentToRebuiltFromScratch) {
+  Context Ctx;
+  std::vector<Fingerprint> FPs = fingerprintPool(Ctx);
+  ASSERT_GE(FPs.size(), 100u);
+
+  // The service's traffic pattern: every epoch retires a random slice
+  // of the live set and re-inserts fresh entries (re-registered edits
+  // and brand-new functions) under monotonically growing ids.
+  CandidateIndex Churned;
+  struct LiveEntry {
+    uint32_t Id;
+    size_t FPIdx;
+    uint32_t ModuleId;
+  };
+  std::vector<LiveEntry> Live;
+  uint32_t NextId = 0;
+  RNG Rng(0xc0ffee);
+  auto insertOne = [&](size_t FPIdx) {
+    uint32_t ModuleId = static_cast<uint32_t>(Rng.nextBelow(4));
+    Churned.insert(NextId, FPs[FPIdx], ModuleId);
+    Live.push_back({NextId, FPIdx, ModuleId});
+    ++NextId;
+  };
+  for (size_t I = 0; I < 60; ++I)
+    insertOne(I);
+  size_t NextFreshFP = 60;
+  for (unsigned Epoch = 0; Epoch < 40; ++Epoch) {
+    // Retire a batch (capped at half the live set so the population
+    // never drains — the service keeps most of the program registered)...
+    unsigned Retires = static_cast<unsigned>(
+        Rng.nextBelow(std::min<size_t>(4, Live.size() / 2)));
+    for (unsigned R = 0; R < Retires; ++R) {
+      size_t Pick = Rng.nextBelow(Live.size());
+      Churned.retire(Live[Pick].Id);
+      Live.erase(Live.begin() + static_cast<ptrdiff_t>(Pick));
+    }
+    // ...re-insert some retired fingerprints under fresh ids (edited
+    // functions keep their bodies' general shape)...
+    for (unsigned I = 0; I < Rng.nextBelow(5); ++I)
+      insertOne(Rng.nextBelow(FPs.size()));
+    // ...and occasionally add a never-seen fingerprint.
+    if (NextFreshFP < FPs.size() && Rng.chancePercent(60))
+      insertOne(NextFreshFP++);
+  }
+  ASSERT_GT(Live.size(), 20u);
+  ASSERT_GT(NextId, static_cast<uint32_t>(FPs.size()))
+      << "churn must have recycled ids past a from-scratch build";
+  EXPECT_EQ(Churned.liveCount(), Live.size());
+
+  // Rebuild from scratch over the survivors, in churned-id order (the
+  // order a fresh session would register them is immaterial to query
+  // results; id order keeps the tie-break mapping trivial).
+  CandidateIndex Rebuilt;
+  std::vector<Survivor> Survivors;
+  std::map<uint32_t, uint32_t> ChurnedToRebuilt;
+  for (size_t I = 0; I < Live.size(); ++I) {
+    Rebuilt.insert(static_cast<uint32_t>(I), FPs[Live[I].FPIdx],
+                   Live[I].ModuleId);
+    Survivors.push_back({Live[I].Id, static_cast<uint32_t>(I),
+                         &FPs[Live[I].FPIdx], Live[I].ModuleId});
+    ChurnedToRebuilt[Live[I].Id] = static_cast<uint32_t>(I);
+  }
+
+  // Query equivalence for every survivor, at the driver's K shapes.
+  // Distance ties break by id, and both indices were registered in the
+  // same relative order, so mapped hit lists must match exactly.
+  for (const Survivor &S : Survivors)
+    for (auto [K, ExtraK] : {std::pair<unsigned, unsigned>{1, 0},
+                             {3, 0},
+                             {3, 4},
+                             {8, 8}}) {
+      std::vector<CandidateIndex::Hit> Got =
+          Churned.query(*S.FP, K, S.ChurnedId, nullptr, ExtraK);
+      std::vector<CandidateIndex::Hit> Want =
+          Rebuilt.query(*S.FP, K, S.RebuiltId, nullptr, ExtraK);
+      expectSameHits(Got, Want, ChurnedToRebuilt,
+                     "survivor " + std::to_string(S.ChurnedId) + " K=" +
+                         std::to_string(K) + "+" + std::to_string(ExtraK));
+    }
+
+  // Summary equivalence: identical live aggregates per return type. The
+  // churned index may additionally report fully-retired partitions —
+  // documented behaviour (FirstSeen stability) — with zeroed aggregates.
+  std::map<Type *, CandidateIndex::PartitionSummary> WantByTy;
+  for (const CandidateIndex::PartitionSummary &C :
+       Rebuilt.partitionSummaries())
+    WantByTy[C.RetTy] = C;
+  size_t LiveParts = 0;
+  for (const CandidateIndex::PartitionSummary &C :
+       Churned.partitionSummaries()) {
+    if (C.Live == 0) {
+      EXPECT_EQ(C.SizeSum, 0u);
+      EXPECT_EQ(C.CostSum, 0u);
+      EXPECT_EQ(WantByTy.count(C.RetTy), 0u)
+          << "partition dead in the churned index but alive rebuilt";
+      continue;
+    }
+    ++LiveParts;
+    auto It = WantByTy.find(C.RetTy);
+    ASSERT_NE(It, WantByTy.end());
+    EXPECT_EQ(C.Live, It->second.Live);
+    EXPECT_EQ(C.SizeSum, It->second.SizeSum);
+    EXPECT_EQ(C.CostSum, It->second.CostSum);
+    EXPECT_EQ(C.CoarseBucket, It->second.CoarseBucket);
+  }
+  EXPECT_EQ(LiveParts, WantByTy.size());
+}
+
+TEST(IndexChurnTest, RetireInsertRoundTripRestoresQueries) {
+  // The narrow service invariant: retire(id) + insert(fresh id, same
+  // fingerprint) — a no-op edit — leaves every OTHER entry's query
+  // results unchanged, and the re-registered entry ranks exactly where
+  // the original did (modulo its new id in ties).
+  Context Ctx;
+  std::vector<Fingerprint> FPs = fingerprintPool(Ctx);
+  CandidateIndex Index;
+  for (size_t I = 0; I < 50; ++I)
+    Index.insert(static_cast<uint32_t>(I), FPs[I], 0);
+
+  // Tie-complete queries: ExtraK large enough to pull in the whole
+  // distance-tie group at the K boundary, so the result SET is
+  // invariant under the re-registered entry's id change (only the
+  // within-tie order moves, and sorting normalizes that).
+  auto tieCompleteQuery = [&](uint32_t Id, const Fingerprint &FP) {
+    std::vector<CandidateIndex::Hit> Hits = Index.query(FP, 4, Id, nullptr, 46);
+    std::vector<std::pair<uint64_t, uint32_t>> Flat;
+    for (const CandidateIndex::Hit &H : Hits)
+      Flat.emplace_back(H.Distance, H.Id);
+    return Flat;
+  };
+
+  const uint32_t Target = 17;
+  std::map<uint32_t, std::vector<std::pair<uint64_t, uint32_t>>> Before;
+  for (uint32_t Id = 0; Id < 50; ++Id)
+    if (Id != Target)
+      Before[Id] = tieCompleteQuery(Id, FPs[Id]);
+
+  Index.retire(Target);
+  Index.insert(50, FPs[Target], 0);
+
+  for (uint32_t Id = 0; Id < 50; ++Id) {
+    if (Id == Target)
+      continue;
+    std::vector<std::pair<uint64_t, uint32_t>> After =
+        tieCompleteQuery(Id, FPs[Id]);
+    std::vector<std::pair<uint64_t, uint32_t>> Want = Before[Id];
+    for (auto &DistId : Want)
+      if (DistId.second == Target)
+        DistId.second = 50;
+    std::sort(Want.begin(), Want.end());
+    std::sort(After.begin(), After.end());
+    EXPECT_EQ(After, Want) << "id " << Id;
+  }
+}
+
+} // namespace

@@ -1,0 +1,600 @@
+//===- tests/merge_service_test.cpp - Incremental session contract -------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// The tentpole contract of the incremental merge service
+// (merge/MergeService.h), pinned differentially with a precomputed edit
+// script (workloads/EditScript.h) replayed against three copies of one
+// module group:
+//
+//  1. Equivalence: after every delta, the incremental session's merges,
+//     records and module bytes equal a from-scratch CrossModuleMerger
+//     run over the SAME pool state — at every selection mode x thread
+//     count x shard configuration. Behaviour is additionally checked
+//     through the multi-module interpreter after every step (service
+//     group vs a never-merged reference copy under identical edits).
+//  2. Fault containment: service-level injected faults (ranking, symbol
+//     resolution) degrade a delta to a *counted* full re-merge; the
+//     session is never corrupt and still lands on the cold-equivalent
+//     state.
+//  3. Quarantine decay: functions struck out by the quarantine ladder
+//     stay out of candidacy until QuarantineDecayEpochs deltas pass,
+//     then re-enter.
+//  4. Concurrency: delta batches from racing client threads serialize
+//     wholesale (snapshot isolation); the final session equals a cold
+//     run over the final pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "merge/MergeService.h"
+#include "support/RNG.h"
+#include "workloads/EditScript.h"
+#include "workloads/Suites.h"
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace salssa;
+
+namespace {
+
+BenchmarkProfile serviceProfile() {
+  // Small but structurally rich: clone families across two TUs so
+  // cross-module merges happen, three return types so the session has
+  // several merge-compatibility classes to dirty independently.
+  BenchmarkProfile P;
+  P.Name = "incsvc";
+  P.NumFunctions = 26;
+  P.MinSize = 6;
+  P.AvgSize = 36;
+  P.MaxSize = 120;
+  P.CloneFamilyPercent = 55;
+  P.MinFamily = 2;
+  P.MaxFamily = 4;
+  P.FamilyDriftPercent = 10;
+  P.LoopPercent = 50;
+  P.RetTypeVariety = 3;
+  P.Seed = 9001;
+  return P;
+}
+
+ModuleGroup buildGroup(Context &Ctx) {
+  return buildBenchmarkModuleGroup(serviceProfile(), Ctx, 2);
+}
+
+std::vector<Module *> modsOf(const ModuleGroup &Group) {
+  std::vector<Module *> Mods;
+  for (size_t I = 0; I < Group.size(); ++I)
+    Mods.push_back(&Group[I]);
+  return Mods;
+}
+
+EditScriptOptions scriptOptions(uint64_t Seed) {
+  EditScriptOptions EO;
+  EO.NumSteps = 4;
+  EO.ChangesPerStep = 3;
+  EO.AddsPerStep = 1;
+  EO.DeletesPerStep = 1;
+  EO.Generate.TargetSize = 30;
+  EO.Generate.RetTypeVariety = 3;
+  EO.Seed = Seed;
+  return EO;
+}
+
+MergeDriverOptions driverOptions(SelectionStrategy Sel, unsigned NumThreads,
+                                 unsigned Shards) {
+  MergeDriverOptions DO;
+  DO.Technique = MergeTechnique::SalSSA;
+  DO.ExplorationThreshold = 3;
+  DO.Selection = Sel;
+  DO.NumThreads = NumThreads;
+  DO.ShardCount = Shards;
+  return DO;
+}
+
+/// Applies one scripted step to a copy that is never merged: drift and
+/// adds via the script, deletes erased immediately (no call sites by
+/// construction).
+void applyStepPlain(const EditScript &Script, const std::vector<Module *> &Mods,
+                    unsigned Step) {
+  EditScript::AppliedStep A = Script.applyStep(Mods, Step);
+  for (Function *F : A.Deleted)
+    F->getParent()->eraseFunction(F);
+}
+
+/// Applies one scripted step through a service delta batch: every
+/// changed function is checked out first (the delta protocol), deletes
+/// go through the delta.
+MergeServiceStats applyStepService(MergeService &Svc, const EditScript &Script,
+                                   const std::vector<Module *> &Mods,
+                                   unsigned Step) {
+  MergeService::DeltaBatch Batch = Svc.beginDelta();
+  EditScript::AppliedStep A = Script.applyStep(
+      Mods, Step, [&](Function *F) { Batch.checkoutForEdit(F); });
+  MergeDelta D;
+  D.Changed = A.Changed;
+  D.Added = A.Added;
+  D.Deleted = A.Deleted;
+  return Batch.apply(D);
+}
+
+/// What "the same session outcome" means: merges, records (names,
+/// commit flags), size accounting and the exact module bytes.
+struct Outcome {
+  unsigned Attempts = 0;
+  unsigned CommittedMerges = 0;
+  unsigned CrossModuleMerges = 0;
+  uint64_t SizeBefore = 0;
+  uint64_t SizeAfter = 0;
+  /// Pairing distance calls + probes. Not part of expectSameOutcome
+  /// (probe counts are a speculative-work metric, not an outcome); the
+  /// matrix test uses it as the cold-run work bound.
+  uint64_t PairingWork = 0;
+  std::vector<std::tuple<std::string, std::string, bool>> Records;
+  std::string Prints;
+  bool VerifierOk = false;
+};
+
+Outcome outcomeOf(const std::vector<Module *> &Mods,
+                  const CrossModuleStats &S) {
+  Outcome O;
+  O.Attempts = S.Driver.Attempts;
+  O.PairingWork = S.Driver.PairingDistanceCalls + S.Driver.PairingProbes;
+  O.CommittedMerges = S.Driver.CommittedMerges;
+  O.CrossModuleMerges = S.CrossModuleMerges;
+  O.SizeBefore = S.SizeBefore;
+  O.SizeAfter = S.SizeAfter;
+  for (const MergeRecord &R : S.Driver.Records)
+    O.Records.emplace_back(R.Name1, R.Name2, R.Committed);
+  O.VerifierOk = true;
+  for (Module *M : Mods) {
+    O.Prints += printModule(*M);
+    O.VerifierOk = O.VerifierOk && verifyModule(*M).ok();
+  }
+  return O;
+}
+
+void expectSameOutcome(const Outcome &Got, const Outcome &Want,
+                       const std::string &Tag) {
+  EXPECT_TRUE(Got.VerifierOk) << Tag;
+  EXPECT_EQ(Got.CommittedMerges, Want.CommittedMerges) << Tag;
+  EXPECT_EQ(Got.CrossModuleMerges, Want.CrossModuleMerges) << Tag;
+  EXPECT_EQ(Got.Attempts, Want.Attempts) << Tag;
+  EXPECT_EQ(Got.SizeBefore, Want.SizeBefore) << Tag;
+  EXPECT_EQ(Got.SizeAfter, Want.SizeAfter) << Tag;
+  ASSERT_EQ(Got.Records.size(), Want.Records.size()) << Tag;
+  for (size_t I = 0; I < Got.Records.size(); ++I)
+    EXPECT_EQ(Got.Records[I], Want.Records[I]) << Tag << " record " << I;
+  EXPECT_EQ(Got.Prints, Want.Prints) << Tag;
+}
+
+/// Cold baseline over the final pool: a fresh group copy with edit steps
+/// [0, NumSteps) applied up front, merged once from scratch.
+Outcome coldOutcome(const EditScript &Script, unsigned NumSteps,
+                    MergeDriverOptions DO) {
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  for (unsigned S = 0; S < NumSteps; ++S)
+    applyStepPlain(Script, Mods, S);
+  DO.ShardCount = 1; // unsharded == sharded is the sharded runner's contract
+  CrossModuleMerger Session(DO);
+  for (Module *M : Mods)
+    Session.addModule(*M);
+  CrossModuleStats S = Session.run();
+  return outcomeOf(Mods, S);
+}
+
+/// Interpreter differential between a never-merged reference group and
+/// the (merged, thunked) service group under identical edits: every
+/// reference definition must behave identically through its same-named
+/// service counterpart. Both sides interpret their whole group (merged
+/// bodies reference globals of several modules).
+void groupDifferential(const std::vector<Module *> &Ref,
+                       const std::vector<Module *> &Svc, uint64_t Seed,
+                       const std::string &Tag) {
+  ExecOptions Opts;
+  Opts.MaxSteps = 150000;
+  Opts.ExternalThrowPercent = 10;
+  Interpreter RefInterp(Ref, Opts);
+  Interpreter SvcInterp(Svc, Opts);
+  for (size_t MI = 0; MI < Ref.size(); ++MI)
+    for (Function *RefF : Ref[MI]->functions()) {
+      if (RefF->isDeclaration())
+        continue;
+      Function *SvcF = Svc[MI]->getFunction(RefF->getName());
+      ASSERT_NE(SvcF, nullptr) << Tag << ": lost " << RefF->getName();
+      RNG ArgRng(mix64(Seed) ^ std::hash<std::string>{}(RefF->getName()));
+      for (int Vec = 0; Vec < 3; ++Vec) {
+        std::vector<RuntimeValue> Args;
+        Args.reserve(RefF->getNumArgs());
+        for (unsigned A = 0; A < RefF->getNumArgs(); ++A)
+          Args.push_back(RuntimeValue::makeInt(
+              Vec == 0 ? 0 : ArgRng.nextBelow(1u << 16)));
+        RefInterp.resetMemory();
+        ExecResult R1 = RefInterp.run(RefF, Args);
+        SvcInterp.resetMemory();
+        ExecResult R2 = SvcInterp.run(SvcF, Args);
+        EXPECT_TRUE(behaviourallyEqual(R1, R2))
+            << Tag << ": behaviour of " << RefF->getName()
+            << " changed on argument vector " << Vec;
+      }
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// 1. The differential edit-script matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MergeServiceTest, IncrementalEquivalentToFromScratchEverywhere) {
+  // One script, planned once from a pristine copy, replayed against
+  // every config's service copy, reference copy and cold copy.
+  EditScript Script = [] {
+    Context Ctx;
+    ModuleGroup Group = buildGroup(Ctx);
+    return EditScript(modsOf(Group), scriptOptions(71));
+  }();
+
+  // The script must actually exercise locality somewhere: at least one
+  // (config, step) pair has to leave a class clean, or the pairing-work
+  // bound above never fires.
+  bool SawPartialDirty = false;
+  for (SelectionStrategy Sel :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive})
+    for (unsigned NT : {1u, 4u})
+      for (unsigned Shards : {1u, 4u}) {
+        MergeDriverOptions DO = driverOptions(Sel, NT, Shards);
+        std::string Cfg = "sel=" + std::to_string(int(Sel)) +
+                          " threads=" + std::to_string(NT) +
+                          " shards=" + std::to_string(Shards);
+
+        Context SvcCtx, RefCtx;
+        // Teardown order: the service's archive holds operand
+        // references into the group, so the service (declared after)
+        // dies first.
+        ModuleGroup SvcGroup = buildGroup(SvcCtx);
+        ModuleGroup RefGroup = buildGroup(RefCtx);
+        std::vector<Module *> SvcMods = modsOf(SvcGroup);
+        std::vector<Module *> RefMods = modsOf(RefGroup);
+
+        MergeServiceOptions SO;
+        SO.Driver = DO;
+        MergeService Svc(SO);
+        for (Module *M : SvcMods)
+          Svc.addModule(*M);
+        MergeServiceStats Init = Svc.initialize();
+        ASSERT_GT(Init.Session.Driver.CommittedMerges, 0u) << Cfg;
+        groupDifferential(RefMods, SvcMods, 71, Cfg + " epoch 0");
+
+        for (unsigned S = 0; S < Script.numSteps(); ++S) {
+          MergeServiceStats St =
+              applyStepService(Svc, Script, SvcMods, S);
+          applyStepPlain(Script, RefMods, S);
+          std::string Tag = Cfg + " epoch " + std::to_string(S + 1);
+          EXPECT_EQ(St.Epoch, S + 1) << Tag;
+          EXPECT_FALSE(St.DegradedToFullRemerge) << Tag;
+          EXPECT_GT(St.DirtyClasses, 0u) << Tag;
+          groupDifferential(RefMods, SvcMods, 71 + S, Tag);
+
+          // Equivalence with a from-scratch run over this step's pool.
+          Outcome Inc = outcomeOf(SvcMods, St.Session);
+          Outcome Cold = coldOutcome(Script, S + 1, DO);
+          expectSameOutcome(Inc, Cold, Tag);
+
+          // Incrementality: a delta re-merges only its dirty classes, so
+          // whenever a step leaves at least one class clean the delta
+          // attempts strictly fewer pairs than a from-scratch run over
+          // the same pool. (A step that dirties every class re-runs the
+          // full pool and carries no such bound.) Pairing work is bound
+          // the same way but only at serial configs, where ranking
+          // counts decompose exactly per class; with worker threads the
+          // per-class speculative probe counts are not comparable to the
+          // cold run's global ones.
+          if (St.DirtyClasses < St.TotalClasses) {
+            SawPartialDirty = true;
+            EXPECT_LT(St.EpochAttempts, Cold.Attempts) << Tag;
+            if (NT == 1)
+              EXPECT_LT(St.EpochPairingDistanceCalls +
+                            St.EpochPairingProbes,
+                        Cold.PairingWork)
+                  << Tag;
+          }
+        }
+        EXPECT_EQ(Svc.fullRemerges(), 0u) << Cfg;
+      }
+  EXPECT_TRUE(SawPartialDirty)
+      << "the edit script never left a class clean — localized re-merge "
+         "was not exercised";
+}
+
+TEST(MergeServiceTest, EmptyAndNoopDeltasKeepTheSessionStable) {
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeServiceOptions SO;
+  SO.Driver = driverOptions(SelectionStrategy::Distance, 1, 1);
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  MergeServiceStats Init = Svc.initialize();
+  Outcome Baseline = outcomeOf(Mods, Init.Session);
+  ASSERT_GT(Baseline.CommittedMerges, 0u);
+
+  // An empty delta dirties nothing and replays the retained journals to
+  // the identical session.
+  {
+    MergeService::DeltaBatch Batch = Svc.beginDelta();
+    MergeServiceStats St = Batch.apply(MergeDelta());
+    EXPECT_EQ(St.DirtyClasses, 0u);
+    EXPECT_EQ(St.EpochAttempts, 0u);
+    EXPECT_EQ(St.UncommittedMerges, 0u);
+    expectSameOutcome(outcomeOf(Mods, St.Session), Baseline, "empty delta");
+  }
+
+  // A checkout + unchanged body is a structural no-op: counted, the
+  // class still re-merges (checkout rewrote the thunk), and the session
+  // lands back on the same bytes.
+  {
+    Function *Target = nullptr;
+    for (Function *F : Mods[0]->functions())
+      if (!F->isDeclaration()) {
+        Target = F;
+        break;
+      }
+    ASSERT_NE(Target, nullptr);
+    StructuralHash Before = Svc.structuralHash(Target);
+    MergeService::DeltaBatch Batch = Svc.beginDelta();
+    Batch.checkoutForEdit(Target);
+    MergeDelta D;
+    D.Changed = {Target};
+    MergeServiceStats St = Batch.apply(D);
+    EXPECT_EQ(St.NoopChanges, 1u);
+    EXPECT_EQ(St.DirtyClasses, 1u);
+    EXPECT_EQ(Svc.structuralHash(Target), Before);
+    expectSameOutcome(outcomeOf(Mods, St.Session), Baseline, "noop change");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Fault containment: degraded deltas are counted, never corrupt
+//===----------------------------------------------------------------------===//
+
+TEST(MergeServiceTest, SymbolResolutionFaultDegradesEveryDeltaCounted) {
+  EditScript Script = [] {
+    Context Ctx;
+    ModuleGroup Group = buildGroup(Ctx);
+    return EditScript(modsOf(Group), scriptOptions(72));
+  }();
+  MergeDriverOptions DO = driverOptions(SelectionStrategy::Distance, 2, 0);
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+  // Rate 1000 = the service's symbol-resolution fault point fires on
+  // every delta. Only the service fires this kind, so the pipelines —
+  // and the cold baseline — stay unfaulted.
+  SO.Driver.Faults = FaultInjectionConfig::parse("seed=7,symres=1000");
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  Svc.initialize(); // no delta planning: initialize never degrades
+
+  for (unsigned S = 0; S < Script.numSteps(); ++S) {
+    MergeServiceStats St = applyStepService(Svc, Script, Mods, S);
+    EXPECT_TRUE(St.DegradedToFullRemerge) << "step " << S;
+    EXPECT_EQ(Svc.fullRemerges(), S + 1);
+    for (Module *M : Mods)
+      EXPECT_TRUE(verifyModule(*M).ok()) << "step " << S;
+    // Degraded or not, the session must land on the cold state.
+    MergeDriverOptions CleanDO = DO;
+    CleanDO.Faults = FaultInjectionConfig();
+    expectSameOutcome(outcomeOf(Mods, St.Session),
+                      coldOutcome(Script, S + 1, CleanDO),
+                      "degraded step " + std::to_string(S));
+  }
+}
+
+TEST(MergeServiceTest, RankingFaultSoakNeverCorruptsTheSession) {
+  EditScript Script = [] {
+    Context Ctx;
+    ModuleGroup Group = buildGroup(Ctx);
+    return EditScript(modsOf(Group), scriptOptions(73));
+  }();
+  MergeDriverOptions DO = driverOptions(SelectionStrategy::Profit, 4, 4);
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+  // ~40% per changed function per delta: some deltas degrade, some
+  // survive — both paths must keep the session cold-equivalent.
+  SO.Driver.Faults = FaultInjectionConfig::parse("seed=11,ranking=400");
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  Svc.initialize();
+
+  for (unsigned S = 0; S < Script.numSteps(); ++S) {
+    MergeServiceStats St = applyStepService(Svc, Script, Mods, S);
+    for (Module *M : Mods)
+      EXPECT_TRUE(verifyModule(*M).ok()) << "step " << S;
+    MergeDriverOptions CleanDO = DO;
+    CleanDO.Faults = FaultInjectionConfig();
+    expectSameOutcome(outcomeOf(Mods, St.Session),
+                      coldOutcome(Script, S + 1, CleanDO),
+                      "soak step " + std::to_string(S));
+  }
+  // The configured rate makes at least one of the four deltas degrade
+  // (each delta rolls three ~40% dice); a fully quiet soak would mean
+  // the fault points are not wired.
+  EXPECT_GT(Svc.fullRemerges(), 0u);
+  EXPECT_LE(Svc.fullRemerges(), Script.numSteps());
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Quarantine-ladder strike decay
+//===----------------------------------------------------------------------===//
+
+TEST(MergeServiceTest, QuarantinedFunctionsReenterAfterDecay) {
+  // Alignment always faults and one strike retires a function: the
+  // initial session quarantines every function that got an attempt.
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeServiceOptions SO;
+  SO.Driver = driverOptions(SelectionStrategy::Distance, 1, 1);
+  SO.Driver.Faults = FaultInjectionConfig::parse("seed=3,align=1000");
+  SO.Driver.QuarantineThreshold = 1;
+  SO.QuarantineDecayEpochs = 2;
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  MergeServiceStats Init = Svc.initialize();
+  EXPECT_EQ(Init.Session.Driver.CommittedMerges, 0u);
+  size_t Struck = Svc.quarantinedCount();
+  ASSERT_GT(Struck, 0u);
+  Function *Victim = nullptr;
+  for (Module *M : Mods)
+    for (Function *F : M->functions())
+      if (Svc.isQuarantined(F)) {
+        Victim = F;
+        break;
+      }
+  ASSERT_NE(Victim, nullptr);
+
+  // Epoch 1: one epoch since the strikes — under the decay horizon, the
+  // ledger holds, nothing re-enters, no work happens.
+  {
+    MergeService::DeltaBatch Batch = Svc.beginDelta();
+    MergeServiceStats St = Batch.apply(MergeDelta());
+    EXPECT_EQ(St.QuarantineReleases, 0u);
+    EXPECT_EQ(St.EpochAttempts, 0u);
+    EXPECT_TRUE(Svc.isQuarantined(Victim));
+    EXPECT_EQ(Svc.quarantinedCount(), Struck);
+  }
+
+  // Epoch 2: the strikes are QuarantineDecayEpochs old — every ledger
+  // entry decays, its class re-merges with the function back in the
+  // pool (attempts happen again; with alignment still faulted they fail
+  // again and re-quarantine at the new epoch).
+  {
+    MergeService::DeltaBatch Batch = Svc.beginDelta();
+    MergeServiceStats St = Batch.apply(MergeDelta());
+    EXPECT_EQ(St.QuarantineReleases, static_cast<unsigned>(Struck));
+    EXPECT_GT(St.DirtyClasses, 0u);
+    EXPECT_GT(St.EpochAttempts, 0u);
+  }
+  for (Module *M : Mods)
+    EXPECT_TRUE(verifyModule(*M).ok());
+}
+
+TEST(MergeServiceTest, ZeroDecayMeansStrikesNeverAge) {
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeServiceOptions SO;
+  SO.Driver = driverOptions(SelectionStrategy::Distance, 1, 1);
+  SO.Driver.Faults = FaultInjectionConfig::parse("seed=3,align=1000");
+  SO.Driver.QuarantineThreshold = 1;
+  SO.QuarantineDecayEpochs = 0; // batch-session behaviour
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  Svc.initialize();
+  size_t Struck = Svc.quarantinedCount();
+  ASSERT_GT(Struck, 0u);
+  for (unsigned E = 0; E < 3; ++E) {
+    MergeService::DeltaBatch Batch = Svc.beginDelta();
+    MergeServiceStats St = Batch.apply(MergeDelta());
+    EXPECT_EQ(St.QuarantineReleases, 0u) << "epoch " << E;
+    EXPECT_EQ(St.EpochAttempts, 0u) << "epoch " << E;
+    EXPECT_EQ(Svc.quarantinedCount(), Struck) << "epoch " << E;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 4. Concurrent client batches: snapshot isolation
+//===----------------------------------------------------------------------===//
+
+TEST(MergeServiceTest, ConcurrentDeltaBatchesSerializeToTheColdState) {
+  const unsigned IterationsPerThread = 3;
+  MergeDriverOptions DO = driverOptions(SelectionStrategy::Distance, 2, 0);
+
+  Context SvcCtx;
+  ModuleGroup SvcGroup = buildGroup(SvcCtx);
+  std::vector<Module *> SvcMods = modsOf(SvcGroup);
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+  MergeService Svc(SO);
+  for (Module *M : SvcMods)
+    Svc.addModule(*M);
+  Svc.initialize();
+
+  // Thread T edits module T's functions only (disjoint targets), each
+  // iteration drifting one pre-chosen function with a pre-assigned
+  // seed: any batch serialization order lands on the same final pool.
+  auto targetsOf = [](Module *M, unsigned N) {
+    std::vector<std::string> Names;
+    for (Function *F : M->functions())
+      if (!F->isDeclaration() && Names.size() < N)
+        Names.push_back(F->getName());
+    return Names;
+  };
+  std::vector<std::vector<std::string>> Targets = {
+      targetsOf(SvcMods[0], IterationsPerThread),
+      targetsOf(SvcMods[1], IterationsPerThread)};
+  ASSERT_EQ(Targets[0].size(), IterationsPerThread);
+  ASSERT_EQ(Targets[1].size(), IterationsPerThread);
+  auto editSeed = [](unsigned T, unsigned I) {
+    return mix64(0xed17 + T * 100 + I);
+  };
+
+  auto client = [&](unsigned T) {
+    for (unsigned I = 0; I < IterationsPerThread; ++I) {
+      MergeService::DeltaBatch Batch = Svc.beginDelta();
+      Function *F = SvcMods[T]->getFunction(Targets[T][I]);
+      ASSERT_NE(F, nullptr);
+      Batch.checkoutForEdit(F);
+      WorkloadEnvironment Env = WorkloadEnvironment::attach(*SvcMods[T]);
+      RNG Rng(editSeed(T, I));
+      driftFunctionBody(F, Env, Rng, DriftOptions());
+      MergeDelta D;
+      D.Changed = {F};
+      Batch.apply(D);
+    }
+  };
+  std::thread T0(client, 0), T1(client, 1);
+  T0.join();
+  T1.join();
+  EXPECT_EQ(Svc.epoch(), 2 * IterationsPerThread);
+  EXPECT_EQ(Svc.fullRemerges(), 0u);
+
+  // Cold baseline: fresh copy, same per-function edits applied
+  // serially (disjoint targets make the order immaterial), one
+  // from-scratch merge.
+  Context ColdCtx;
+  ModuleGroup ColdGroup = buildGroup(ColdCtx);
+  std::vector<Module *> ColdMods = modsOf(ColdGroup);
+  for (unsigned T = 0; T < 2; ++T)
+    for (unsigned I = 0; I < IterationsPerThread; ++I) {
+      Function *F = ColdMods[T]->getFunction(Targets[T][I]);
+      ASSERT_NE(F, nullptr);
+      WorkloadEnvironment Env = WorkloadEnvironment::attach(*ColdMods[T]);
+      RNG Rng(editSeed(T, I));
+      driftFunctionBody(F, Env, Rng, DriftOptions());
+    }
+  MergeDriverOptions ColdDO = DO;
+  ColdDO.ShardCount = 1;
+  CrossModuleMerger Cold(ColdDO);
+  for (Module *M : ColdMods)
+    Cold.addModule(*M);
+  CrossModuleStats ColdStats = Cold.run();
+  expectSameOutcome(outcomeOf(SvcMods, Svc.lastStats().Session),
+                    outcomeOf(ColdMods, ColdStats), "racing clients");
+}
+
+} // namespace
