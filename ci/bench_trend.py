@@ -17,6 +17,10 @@ everything else is informational:
                    metric. These are deterministic, so the tolerance is
                    a flat REDUCTION_TOLERANCE_PCT (15% relative) and any
                    drop beyond it fails.
+  recall_*         candidate-discovery recall percentages (drift families
+                   recovered, bench_canonical_recall). Deterministic like
+                   reduction and gated the same way: lower is a
+                   regression, RECALL_TOLERANCE_PCT (15% relative).
 
 A missing baseline (first run on a branch, expired artifact) exits 0
 with a notice: the gate only ever compares, it never blocks bootstrap.
@@ -29,6 +33,7 @@ import sys
 
 WALL_TOLERANCE = 0.15  # +15% wall-clock allowed before failing
 REDUCTION_TOLERANCE_PCT = 0.15  # -15% (relative) reduction allowed
+RECALL_TOLERANCE_PCT = 0.15  # -15% (relative) discovery recall allowed
 ABS_FLOOR_SECONDS = 0.05  # ignore wall regressions under this baseline
 
 
@@ -56,6 +61,8 @@ def gated_keys(entry):
             yield key, float(value), "wall"
         elif key.endswith("reduction_pct"):
             yield key, float(value), "reduction"
+        elif key.startswith("recall_"):
+            yield key, float(value), "recall"
 
 
 def main(argv):
@@ -104,8 +111,10 @@ def main(argv):
                       f"{value:.3f}s (limit {limit:.3f}s)")
                 if value > limit:
                     failures.append(f"{name}.{key}")
-            else:  # reduction: lower is worse
-                limit = base * (1 - REDUCTION_TOLERANCE_PCT)
+            else:  # reduction / recall: lower is worse
+                tolerance = (REDUCTION_TOLERANCE_PCT if kind == "reduction"
+                             else RECALL_TOLERANCE_PCT)
+                limit = base * (1 - tolerance)
                 verdict = "FAIL" if value < limit else "ok"
                 print(f"{verdict + ':':7} {name}.{key} {base:.2f}% -> "
                       f"{value:.2f}% (floor {limit:.2f}%)")

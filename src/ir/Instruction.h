@@ -96,6 +96,20 @@ public:
            K != ValueKind::Invoke && K != ValueKind::LandingPad;
   }
 
+  /// True if executing this instruction can produce a *defined* trap in
+  /// the reference interpreter: out-of-bounds/null memory access, zero
+  /// divisor, signed-division overflow. Unlike LLVM — where these are UB
+  /// and dead ones are fair game — the differential harnesses compare
+  /// trap status, so transforms running on behaviour-pinned code (the
+  /// merged-body cleanup) must not erase one even when its result is
+  /// unused.
+  bool mayTrap() const {
+    ValueKind K = getOpcode();
+    return K == ValueKind::Load || K == ValueKind::Store ||
+           K == ValueKind::SDiv || K == ValueKind::UDiv ||
+           K == ValueKind::SRem || K == ValueKind::URem;
+  }
+
   /// \name Successor access (terminators; Invoke included).
   /// @{
   unsigned getNumSuccessors() const {

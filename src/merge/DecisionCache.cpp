@@ -47,6 +47,11 @@ uint64_t DecisionCache::optionsFingerprint(const MergeDriverOptions &O) {
   H = mixOption(H, O.AllowRemerge ? 1 : 0);
   H = mixOption(H, static_cast<uint64_t>(O.Host));
   H = mixOption(H, O.HashClustering ? 1 : 0);
+  // Canonicalize changes the structural-hash key space itself (canonical
+  // shadow hashes vs raw-body hashes): a cache recorded under one value
+  // of the flag must read as a counted cold run under the other, never
+  // replay against mismatched keys.
+  H = mixOption(H, O.Canonicalize ? 1 : 0);
   H = mixOption(H, O.QuarantineThreshold);
   H = mixOption(H, O.Budget.MaxAlignmentCells);
   H = mixOption(H, O.Budget.MaxAttemptSteps);

@@ -132,6 +132,21 @@ struct MergeDriverOptions {
   /// (cluster bodies skip fid-dispatch overhead) and the clustered
   /// session remains deterministic at every thread and shard count.
   bool HashClustering = false;
+  /// Canonical shadow view for candidate discovery
+  /// (transforms/Canonicalize.h): fingerprints and structural hashes are
+  /// computed from a normalized scratch clone (commutative ordering,
+  /// reassociation, value numbering, dead-store/dead-code sweep) instead
+  /// of the raw body, so semantically-equal-but-syntactically-divergent
+  /// functions rank close and merge. Original bodies are never touched —
+  /// codegen, thunks and behaviour are unaffected; only *which* pairs
+  /// are discovered changes. Off by default: the raw pipeline stays
+  /// bit-identical to the pre-canonicalization driver. Folded into the
+  /// DecisionCache options fingerprint (canonical and raw hashes name
+  /// different key spaces, so a stale cache self-invalidates). Note:
+  /// HashClustering's exact-identity pre-pass deliberately keeps hashing
+  /// raw bodies — clustering commits one body for the whole group, which
+  /// is only sound for *identical* functions, not canonical-equal ones.
+  bool Canonicalize = false;
   /// Path of the persistent cross-run decision cache
   /// (merge/DecisionCache.h). Empty (default) disables the cache; the
   /// first run over a pool writes decisions, subsequent runs replay

@@ -9,6 +9,7 @@
 #include "ir/Verifier.h"
 #include "support/Chrono.h"
 #include "support/ThreadPool.h"
+#include "transforms/Canonicalize.h"
 #include <algorithm>
 #include <atomic>
 #include <unordered_set>
@@ -162,7 +163,7 @@ void MergePipeline::buildPool() {
                "precomputed fingerprints must cover the filtered pool");
         E.FP = *FPIt->second;
       } else {
-        E.FP = Fingerprint::compute(*F);
+        E.FP = fingerprintFor(*F, Options.Canonicalize);
       }
       E.CostSize = BaselineSize.at(F);
       E.ModuleId = static_cast<uint32_t>(Mi);
@@ -191,7 +192,7 @@ void MergePipeline::buildPool() {
 }
 
 void MergePipeline::assignCacheKey(size_t I) {
-  Pool[I].Hash = computeStructuralHash(*Pool[I].F);
+  Pool[I].Hash = structuralHashFor(*Pool[I].F, Options.Canonicalize);
   Pool[I].HashOcc = HashOccCounter[Pool[I].Hash]++;
   KeyToPool.emplace(DecisionKey{Pool[I].Hash, Pool[I].HashOcc},
                     static_cast<uint32_t>(I));
@@ -661,7 +662,7 @@ void MergePipeline::commitEntry(size_t I, AttemptTask *Spec) {
   if (Options.AllowRemerge) {
     PoolEntry E;
     E.F = Best.Gen.Merged;
-    E.FP = Fingerprint::compute(*E.F);
+    E.FP = fingerprintFor(*E.F, Options.Canonicalize);
     E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
     E.ModuleId = HostId;
     E.IsRemerge = true;
@@ -809,7 +810,7 @@ bool MergePipeline::replayFromCache(size_t I, AttemptTask *Spec) {
   if (Options.AllowRemerge) {
     PoolEntry E;
     E.F = Best.Gen.Merged;
-    E.FP = Fingerprint::compute(*E.F);
+    E.FP = fingerprintFor(*E.F, Options.Canonicalize);
     E.CostSize = estimateFunctionSize(*E.F, Options.Arch);
     E.ModuleId = HostId;
     E.IsRemerge = true;

@@ -10,6 +10,7 @@
 #include "merge/ShardedSessionRunner.h"
 #include "support/Chrono.h"
 #include "support/ThreadPool.h"
+#include "transforms/Canonicalize.h"
 #include "transforms/Cloning.h"
 #include <algorithm>
 #include <cassert>
@@ -65,8 +66,8 @@ void MergeService::archiveFunction(Function *F, TrackedFunction &TF) {
 void MergeService::registerFunction(Function *F, uint32_t ModuleId) {
   TrackedFunction &TF = Tracked[F];
   TF.ModuleId = ModuleId;
-  TF.FP = Fingerprint::compute(*F);
-  TF.Hash = computeStructuralHash(*F);
+  TF.FP = fingerprintFor(*F, Options.Driver.Canonicalize);
+  TF.Hash = structuralHashFor(*F, Options.Driver.Canonicalize);
   TF.Baseline = estimateFunctionSize(*F, Options.Driver.Arch);
   TF.Id = NextId++;
   Planner.insert(TF.Id, TF.FP, ModuleId);
@@ -245,11 +246,12 @@ MergeServiceStats MergeService::applyDeltaLocked(
       TrackedFunction &TF = Tracked.at(F);
       assert(TF.FP.RetTy == F->getReturnType() &&
              "a changed function must keep its signature");
-      StructuralHash NewHash = computeStructuralHash(*F);
+      StructuralHash NewHash =
+          structuralHashFor(*F, Options.Driver.Canonicalize);
       if (NewHash == TF.Hash)
         ++Out.NoopChanges;
       Planner.retire(TF.Id);
-      TF.FP = Fingerprint::compute(*F);
+      TF.FP = fingerprintFor(*F, Options.Driver.Canonicalize);
       TF.Hash = NewHash;
       TF.Baseline = estimateFunctionSize(*F, Options.Driver.Arch);
       TF.Id = NextId++;

@@ -53,7 +53,11 @@ public:
     // promotable (for FMSA inputs: the demotion slots that merging did not
     // ruin) and general simplification.
     promoteAllocasToRegisters(*Merged, Ctx);
-    simplifyFunction(*Merged, Ctx);
+    // PreserveTraps: the merged body must keep the original pair's trap
+    // behaviour. Promotion strips demotion slots, which can leave a
+    // potentially-trapping load dead; default DCE would erase it and with
+    // it an observable out-of-bounds trap.
+    simplifyFunction(*Merged, Ctx, /*PreserveTraps=*/true);
     Result.Merged = Merged;
     return Result;
   }

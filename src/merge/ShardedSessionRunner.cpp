@@ -14,6 +14,7 @@
 #include "merge/StructuralHash.h"
 #include "support/Chrono.h"
 #include "support/ThreadPool.h"
+#include "transforms/Canonicalize.h"
 #include "transforms/Mem2Reg.h"
 #include "transforms/Reg2Mem.h"
 #include "transforms/Simplify.h"
@@ -212,7 +213,7 @@ CrossModuleStats ShardedSessionRunner::run() {
       // the session's pool; cluster bodies joined it).
       if (Clustering ? !ClusterPool.count(F) : !F->isMergeable())
         continue;
-      Fingerprint FP = Fingerprint::compute(*F);
+      Fingerprint FP = fingerprintFor(*F, Options.Canonicalize);
       Planner.insert(static_cast<uint32_t>(Plan.size()), FP, 0);
       Plan.push_back({F, FP});
     }

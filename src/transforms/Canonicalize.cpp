@@ -1,0 +1,613 @@
+//===- transforms/Canonicalize.cpp - Canonical shadow view for hashing --------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The normalization fixpoint below is a small GVN-style pipeline in the
+// spirit of "Global Value Numbering: A Precise and Efficient Algorithm"
+// (see PAPERS.md): commutative-operand ordering and chain reassociation
+// rewrite syntactically-divergent-but-equal expressions into one spelling,
+// dominator-scoped value numbering collapses the redundant recomputations
+// drift introduces, and dead-store/dead-code sweeps remove what never
+// mattered. Every ordering decision is pointer-free (instruction ordinals,
+// argument indices, constant bits, global names) so the result — and the
+// StructuralHash computed from it — is identical across processes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Canonicalize.h"
+
+#include "analysis/Dominators.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constant.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Type.h"
+#include "support/Casting.h"
+#include "transforms/Cloning.h"
+#include "transforms/Simplify.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace salssa {
+
+namespace {
+
+/// Stable, pointer-free key for a type: kind plus integer width. Types
+/// are interned per Context, but their addresses are not reproducible
+/// across processes — the canonical hash must be.
+uint64_t typeKey(const Type *Ty) {
+  uint64_t K = static_cast<uint64_t>(Ty->getKind()) << 32;
+  if (Ty->isInteger())
+    K |= Ty->getIntegerBitWidth();
+  return K;
+}
+
+/// Total deterministic order over operand values. Lower ranks go on the
+/// LHS of commutative operations: instructions (by position) before
+/// arguments before constants, matching the usual "x + 1" spelling.
+struct ValueRank {
+  uint64_t Cat = 0; ///< 0 inst, 1 argument, 2 int, 3 fp, 4 null/undef, 5 global
+  uint64_t A = 0;
+  uint64_t B = 0;
+  std::string S; ///< global name (category 5 only)
+
+  bool operator<(const ValueRank &O) const {
+    if (Cat != O.Cat)
+      return Cat < O.Cat;
+    if (A != O.A)
+      return A < O.A;
+    if (B != O.B)
+      return B < O.B;
+    return S < O.S;
+  }
+};
+
+/// Instruction position map: blocks in function order, instructions in
+/// block order. Recomputed by each subpass (mutations shift positions).
+using OrdinalMap = std::unordered_map<const Value *, uint64_t>;
+
+OrdinalMap computeOrdinals(const Function &F) {
+  OrdinalMap Ord;
+  uint64_t N = 0;
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      Ord[I] = N++;
+  return Ord;
+}
+
+ValueRank rankOf(const Value *V, const OrdinalMap &Ord) {
+  ValueRank R;
+  if (auto *A = dyn_cast<Argument>(V)) {
+    R.Cat = 1;
+    R.A = A->getArgIndex();
+    return R;
+  }
+  if (auto *CI = dyn_cast<ConstantInt>(V)) {
+    R.Cat = 2;
+    R.A = typeKey(CI->getType());
+    R.B = CI->getZExtValue();
+    return R;
+  }
+  if (auto *CF = dyn_cast<ConstantFP>(V)) {
+    R.Cat = 3;
+    R.A = typeKey(CF->getType());
+    double D = CF->getValue();
+    std::memcpy(&R.B, &D, sizeof(R.B));
+    return R;
+  }
+  if (isa<UndefValue>(V) || isa<ConstantPointerNull>(V)) {
+    R.Cat = 4;
+    R.A = static_cast<uint64_t>(V->getValueKind());
+    R.B = typeKey(V->getType());
+    return R;
+  }
+  if (auto *G = dyn_cast<GlobalVariable>(V)) {
+    R.Cat = 5;
+    R.S = G->getName();
+    return R;
+  }
+  // Instruction (or anything else definition-ordered).
+  R.Cat = 0;
+  auto It = Ord.find(V);
+  R.A = It == Ord.end() ? ~uint64_t(0) : It->second;
+  return R;
+}
+
+/// Integer opcodes the reassociation pass owns (commutative AND
+/// associative — FP arithmetic is commutative but not associative, so
+/// FAdd/FMul chains are left to the plain commute pass).
+bool isReassociableKind(ValueKind K) {
+  switch (K) {
+  case ValueKind::Add:
+  case ValueKind::Mul:
+  case ValueKind::And:
+  case ValueKind::Or:
+  case ValueKind::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when \p V is an interior node of a reassociable chain hanging
+/// off the \p Op-kind node it is an operand of: same opcode, same type,
+/// and exactly one use (so re-expressing the chain cannot change any
+/// other user's value).
+bool isChainInterior(const Value *V, ValueKind Op, const Type *Ty) {
+  auto *I = dyn_cast<BinaryOperator>(V);
+  return I && I->getOpcode() == Op && I->getType() == Ty && I->hasOneUse();
+}
+
+/// True when \p BO itself is an interior node of some larger chain: its
+/// single user continues the same opcode. (The operand-side
+/// isChainInterior can't be asked about BO itself — every node trivially
+/// matches its own opcode.)
+bool feedsSameOpcodeChain(const BinaryOperator *BO) {
+  if (!BO->hasOneUse())
+    return false;
+  auto *P = dyn_cast<BinaryOperator>(BO->users().front());
+  return P && P->getOpcode() == BO->getOpcode() &&
+         P->getType() == BO->getType();
+}
+
+/// True when \p BO belongs to a reassociable chain of three or more
+/// leaves — either as an interior node or as a root over interior nodes.
+/// The commute pass must leave those alone: reassociation owns their
+/// shape, and fighting over it would oscillate the fixpoint.
+bool partOfReassociableChain(const BinaryOperator *BO) {
+  if (!isReassociableKind(BO->getOpcode()))
+    return false;
+  if (feedsSameOpcodeChain(BO))
+    return true;
+  return isChainInterior(BO->getLHS(), BO->getOpcode(), BO->getType()) ||
+         isChainInterior(BO->getRHS(), BO->getOpcode(), BO->getType());
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 0: subtract-by-constant respelling
+//===----------------------------------------------------------------------===//
+
+/// `sub x, C` and `add x, (2^w - C)` are the same wraparound operation;
+/// canonical form is the add spelling. Running before the ordering passes
+/// hands them a single opcode to reason about — commute ordering and
+/// reassociation see pure add chains instead of mixed add/sub fringes —
+/// and two clones that drifted apart by flipping the spelling land in
+/// the same opcode-histogram bucket. Integer-only: FP subtraction is not
+/// an addition of a negation under IEEE rounding.
+unsigned respellSubConstants(Function &F, Context &Ctx) {
+  unsigned Respelled = 0;
+  for (BasicBlock *BB : F) {
+    // Snapshot: respelling replaces instructions.
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      auto *BO = dyn_cast<BinaryOperator>(I);
+      if (!BO || BO->getOpcode() != ValueKind::Sub)
+        continue;
+      auto *C = dyn_cast<ConstantInt>(BO->getRHS());
+      if (!C || !BO->getType()->isInteger())
+        continue;
+      auto *Add = new BinaryOperator(
+          ValueKind::Add, BO->getLHS(),
+          Ctx.getInt(BO->getType(), 0 - C->getZExtValue()));
+      Add->setName(BO->getName());
+      Add->insertBefore(BO);
+      BO->replaceAllUsesWith(Add);
+      BO->eraseFromParent();
+      ++Respelled;
+    }
+  }
+  return Respelled;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 1: commutative operand ordering
+//===----------------------------------------------------------------------===//
+
+unsigned orderCommutativeOperands(Function &F) {
+  OrdinalMap Ord = computeOrdinals(F);
+  unsigned Swapped = 0;
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (auto *BO = dyn_cast<BinaryOperator>(I)) {
+        if (!BO->isCommutative() || partOfReassociableChain(BO))
+          continue;
+        if (rankOf(BO->getRHS(), Ord) < rankOf(BO->getLHS(), Ord)) {
+          BO->swapOperands();
+          ++Swapped;
+        }
+        continue;
+      }
+      if (auto *CI = dyn_cast<CmpInst>(I)) {
+        switch (CI->getPredicate()) {
+        case CmpPredicate::SGT:
+        case CmpPredicate::SGE:
+        case CmpPredicate::UGT:
+        case CmpPredicate::UGE:
+          // Greater-than spellings normalize to their less-than mirror.
+          CI->swapOperandsAndPredicate();
+          ++Swapped;
+          break;
+        case CmpPredicate::EQ:
+        case CmpPredicate::NE:
+          // Symmetric predicates order their operands like a
+          // commutative binop.
+          if (rankOf(CI->getRHS(), Ord) < rankOf(CI->getLHS(), Ord)) {
+            CI->swapOperandsAndPredicate();
+            ++Swapped;
+          }
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+  return Swapped;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 2: reassociation of integer chains
+//===----------------------------------------------------------------------===//
+
+struct FlatChain {
+  std::vector<Value *> Leaves;        ///< in-order leaf sequence
+  std::vector<Instruction *> Interior; ///< DFS order, parent before child
+  bool LeftDeep = true; ///< no interior node sat in an RHS slot
+};
+
+void flattenChain(BinaryOperator *Node, FlatChain &C) {
+  for (unsigned Slot = 0; Slot < 2; ++Slot) {
+    Value *V = Node->getOperand(Slot);
+    if (isChainInterior(V, Node->getOpcode(), Node->getType())) {
+      if (Slot == 1)
+        C.LeftDeep = false;
+      auto *Child = cast<BinaryOperator>(V);
+      C.Interior.push_back(Child);
+      flattenChain(Child, C);
+    } else {
+      C.Leaves.push_back(V);
+    }
+  }
+}
+
+unsigned reassociateChains(Function &F, Context &Ctx) {
+  OrdinalMap Ord = computeOrdinals(F);
+  unsigned Rebuilt = 0;
+  for (BasicBlock *BB : F) {
+    // Snapshot: rebuilding erases chain nodes from this block.
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *Inst : Insts) {
+      auto *Root = dyn_cast<BinaryOperator>(Inst);
+      if (!Root || !isReassociableKind(Root->getOpcode()))
+        continue;
+      // Interior nodes are handled when their root is visited.
+      if (feedsSameOpcodeChain(Root))
+        continue;
+      FlatChain C;
+      flattenChain(Root, C);
+      if (C.Leaves.size() < 3)
+        continue; // a plain binop; the commute pass owns it
+
+      // Fold constant leaves together through the existing Simplify
+      // semantics, so "x+1+2" and "x+3" spell identically. A transient
+      // node computes each fold; it never survives.
+      std::vector<Value *> Leaves;
+      std::vector<ConstantInt *> Consts;
+      for (Value *L : C.Leaves) {
+        if (auto *CI = dyn_cast<ConstantInt>(L))
+          Consts.push_back(CI);
+        else
+          Leaves.push_back(L);
+      }
+      while (Consts.size() > 1) {
+        auto *Tmp =
+            new BinaryOperator(Root->getOpcode(), Consts[0], Consts[1]);
+        Tmp->insertBefore(Root);
+        Value *Folded = simplifyInstructionValue(Tmp, Ctx);
+        Tmp->eraseFromParent();
+        auto *FoldedCI = dyn_cast_or_null<ConstantInt>(Folded);
+        if (!FoldedCI)
+          break; // cannot fold; keep the rest as ordinary leaves
+        Consts.erase(Consts.begin(), Consts.begin() + 2);
+        Consts.insert(Consts.begin(), FoldedCI);
+      }
+      bool FoldedSome = Consts.size() + Leaves.size() < C.Leaves.size();
+
+      // Canonical = left-deep shape, folded constants, leaves in rank
+      // order. Bailing out here is what terminates the fixpoint.
+      std::stable_sort(Leaves.begin(), Leaves.end(),
+                       [&](Value *A, Value *B) {
+                         return rankOf(A, Ord) < rankOf(B, Ord);
+                       });
+      for (ConstantInt *CI : Consts)
+        Leaves.push_back(CI); // constants rank last by construction
+      bool SameOrder = Leaves.size() == C.Leaves.size() &&
+                       std::equal(Leaves.begin(), Leaves.end(),
+                                  C.Leaves.begin());
+      if (C.LeftDeep && !FoldedSome && SameOrder)
+        continue;
+
+      // Rebuild left-deep just before the root, retire the old chain.
+      Value *Acc = Leaves[0];
+      for (size_t I = 1; I < Leaves.size(); ++I) {
+        auto *N = new BinaryOperator(Root->getOpcode(), Acc, Leaves[I]);
+        N->insertBefore(Root);
+        Acc = N;
+      }
+      Root->replaceAllUsesWith(Acc);
+      Root->eraseFromParent();
+      // Parent-before-child order: each erase drops the references that
+      // kept its children alive.
+      for (Instruction *Dead : C.Interior)
+        Dead->eraseFromParent();
+      ++Rebuilt;
+    }
+  }
+  return Rebuilt;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 3: dominator-scoped value numbering (CSE over pure expressions)
+//===----------------------------------------------------------------------===//
+
+bool isPureExpression(const Instruction *I) {
+  if (I->isBinaryOp() || I->isCast())
+    return true;
+  switch (I->getValueKind()) {
+  case ValueKind::ICmp:
+  case ValueKind::FCmp:
+  case ValueKind::Select:
+  case ValueKind::Gep:
+    return true;
+  default:
+    return false;
+  }
+}
+
+unsigned valueNumberFunction(Function &F) {
+  DominatorTree DT(F);
+  // Expression key: opcode, result type, per-kind extras, operand
+  // identities (first-encounter ids; matching is exact, so the ids only
+  // need to be consistent within this walk).
+  using Key = std::vector<uint64_t>;
+  std::map<Key, std::vector<Instruction *>> Available;
+  std::unordered_map<const Value *, uint64_t> Ids;
+  auto idOf = [&](const Value *V) {
+    return Ids.emplace(V, Ids.size() + 1).first->second;
+  };
+  auto makeKey = [&](Instruction *I) {
+    Key K;
+    K.push_back(static_cast<uint64_t>(I->getValueKind()));
+    K.push_back(typeKey(I->getType()));
+    if (auto *CI = dyn_cast<CmpInst>(I))
+      K.push_back(static_cast<uint64_t>(CI->getPredicate()));
+    if (auto *G = dyn_cast<GepInst>(I))
+      K.push_back(typeKey(G->getElementType()));
+    for (unsigned Op = 0; Op < I->getNumOperands(); ++Op)
+      K.push_back(idOf(I->getOperand(Op)));
+    return K;
+  };
+  unsigned Numbered = 0;
+  std::function<void(BasicBlock *)> Walk = [&](BasicBlock *BB) {
+    std::vector<Key> Pushed;
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      if (!isPureExpression(I))
+        continue;
+      Key K = makeKey(I);
+      auto &Stack = Available[K];
+      if (!Stack.empty()) {
+        // A dominating identical expression exists: this one is it.
+        I->replaceAllUsesWith(Stack.back());
+        I->eraseFromParent();
+        ++Numbered;
+        continue;
+      }
+      Stack.push_back(I);
+      Pushed.push_back(std::move(K));
+    }
+    for (BasicBlock *Child : DT.getChildren(BB))
+      Walk(Child);
+    for (Key &K : Pushed)
+      Available[K].pop_back();
+  };
+  if (F.getNumBlocks() > 0)
+    Walk(F.getEntryBlock());
+  return Numbered;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 4: dead store sweep
+//===----------------------------------------------------------------------===//
+
+/// Removes alloca slots whose every use is as the *pointer* of a store —
+/// written, never read, never escaping — together with those stores.
+/// This is what reduces drift-injected dead stores to nothing.
+unsigned sweepDeadStores(Function &F) {
+  std::vector<AllocaInst *> Allocas;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (auto *A = dyn_cast<AllocaInst>(I))
+        Allocas.push_back(A);
+  unsigned Swept = 0;
+  for (AllocaInst *A : Allocas) {
+    if (!A->hasUses())
+      continue; // plain dead code; the DCE pass sweeps it
+    bool OnlyStorePointers = true;
+    for (User *U : A->users()) {
+      auto *S = dyn_cast<StoreInst>(U);
+      if (!S || S->getValueOperand() == A) {
+        OnlyStorePointers = false;
+        break;
+      }
+    }
+    if (!OnlyStorePointers)
+      continue;
+    std::vector<Instruction *> Stores;
+    for (User *U : A->users()) {
+      auto *S = cast<StoreInst>(U);
+      if (std::find(Stores.begin(), Stores.end(), S) == Stores.end())
+        Stores.push_back(S);
+    }
+    for (Instruction *S : Stores)
+      S->eraseFromParent();
+    A->eraseFromParent();
+    ++Swept;
+  }
+  return Swept;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 5: phi incoming order
+//===----------------------------------------------------------------------===//
+
+/// Orders every phi's incoming entries by predecessor layout position.
+/// Incoming order is semantically free, but CFG simplification folds
+/// blocks in whatever order they empty out — two clones whose dead code
+/// emptied different blocks first would otherwise keep permuted (equal)
+/// phis and hash apart.
+unsigned orderPhiIncomings(Function &F) {
+  std::unordered_map<const BasicBlock *, uint64_t> BlockOrd;
+  uint64_t N = 0;
+  for (const BasicBlock *BB : F)
+    BlockOrd[BB] = N++;
+  unsigned Reordered = 0;
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (!I->isPhi())
+        continue;
+      auto *Phi = cast<PhiInst>(I);
+      std::vector<std::pair<Value *, BasicBlock *>> In;
+      for (unsigned K = 0; K < Phi->getNumIncoming(); ++K)
+        In.emplace_back(Phi->getIncomingValue(K), Phi->getIncomingBlock(K));
+      auto ByLayout = [&](const std::pair<Value *, BasicBlock *> &A,
+                          const std::pair<Value *, BasicBlock *> &B) {
+        return BlockOrd[A.second] < BlockOrd[B.second];
+      };
+      if (std::is_sorted(In.begin(), In.end(), ByLayout))
+        continue;
+      std::stable_sort(In.begin(), In.end(), ByLayout);
+      for (unsigned K = 0; K < Phi->getNumIncoming(); ++K) {
+        Phi->setIncomingValue(K, In[K].first);
+        Phi->setIncomingBlock(K, In[K].second);
+      }
+      ++Reordered;
+    }
+  }
+  return Reordered;
+}
+
+//===----------------------------------------------------------------------===//
+// Cosmetic renumbering
+//===----------------------------------------------------------------------===//
+
+/// Blocks b0..bN in layout order, arguments a0.., value-producing
+/// instructions v0.. in program order, void results unnamed. The hash is
+/// name-blind either way; renumbering makes shadow dumps line up between
+/// clones when debugging a recall miss.
+void renumberFunction(Function &F) {
+  for (unsigned I = 0; I < F.getNumArgs(); ++I)
+    F.getArg(I)->setName("a" + std::to_string(I));
+  unsigned BlockN = 0, ValueN = 0;
+  for (BasicBlock *BB : F) {
+    BB->setName("b" + std::to_string(BlockN++));
+    for (Instruction *I : *BB) {
+      if (I->getType()->isVoid())
+        I->setName("");
+      else
+        I->setName("v" + std::to_string(ValueN++));
+    }
+  }
+}
+
+} // namespace
+
+CanonicalizeStats canonicalizeFunction(Function &F, Context &Ctx) {
+  CanonicalizeStats Stats;
+  if (F.isDeclaration())
+    return Stats;
+  // Bounded fixpoint: each pass exposes work for the others (a swept
+  // store empties a block Simplify then folds; a reassociated chain
+  // lines two clones' expressions up for value numbering; value
+  // numbering strands dead code). Simplify runs *inside* the loop —
+  // sweeps create new CFG-simplification opportunities, and an
+  // already-canonical body must report a clean second application.
+  // Eight rounds is far beyond what converging functions need; the
+  // bound only guards pathological inputs.
+  constexpr unsigned MaxIterations = 8;
+  for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+    unsigned Changed = 0;
+    SimplifyStats SS = simplifyFunction(F, Ctx);
+    unsigned N = SS.InstructionsRemoved + SS.BlocksRemoved +
+                 SS.BranchesFolded + SS.PhisMerged;
+    Stats.DeadInstsSwept += N;
+    Changed += N;
+    Stats.DeadStoresSwept += N = sweepDeadStores(F);
+    Changed += N;
+    Stats.ConstantsRespelled += N = respellSubConstants(F, Ctx);
+    Changed += N;
+    Stats.OperandsCommuted += N = orderCommutativeOperands(F);
+    Changed += N;
+    Stats.ChainsReassociated += N = reassociateChains(F, Ctx);
+    Changed += N;
+    Stats.ValuesNumbered += N = valueNumberFunction(F);
+    Changed += N;
+    Stats.DeadInstsSwept += N = eliminateDeadCode(F);
+    Changed += N;
+    Stats.OperandsCommuted += N = orderPhiIncomings(F);
+    Changed += N;
+    Stats.Iterations = Iter + 1;
+    if (!Changed)
+      break;
+  }
+  renumberFunction(F);
+  return Stats;
+}
+
+namespace {
+
+/// Clones \p F into \p Scratch and canonicalizes the clone. Empty
+/// value/callee maps keep references to F's module-owned globals and
+/// callees — exactly what the hash should see (it identifies globals by
+/// name and callees by signature shape), and safe because constants and
+/// globals are not use-tracked: the scratch module dies first and leaves
+/// no trace on the source module.
+Function *buildCanonicalShadow(const Function &F, Module &Scratch) {
+  Function *Clone = cloneFunctionInto(&F, Scratch, F.getName(), {}, {});
+  canonicalizeFunction(*Clone, Scratch.getContext());
+  return Clone;
+}
+
+} // namespace
+
+Fingerprint canonicalFingerprint(const Function &F) {
+  if (F.isDeclaration())
+    return Fingerprint::compute(F);
+  Module Scratch(F.getName() + ".canon", F.getParent()->getContext());
+  return Fingerprint::compute(*buildCanonicalShadow(F, Scratch));
+}
+
+StructuralHash canonicalStructuralHash(const Function &F) {
+  if (F.isDeclaration())
+    return computeStructuralHash(F);
+  Module Scratch(F.getName() + ".canon", F.getParent()->getContext());
+  return computeStructuralHash(*buildCanonicalShadow(F, Scratch));
+}
+
+Fingerprint fingerprintFor(const Function &F, bool Canonical) {
+  return Canonical ? canonicalFingerprint(F) : Fingerprint::compute(F);
+}
+
+StructuralHash structuralHashFor(const Function &F, bool Canonical) {
+  return Canonical ? canonicalStructuralHash(F) : computeStructuralHash(F);
+}
+
+} // namespace salssa

@@ -1,0 +1,87 @@
+//===- transforms/Canonicalize.h - Canonical shadow view for hashing ----------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic normalization pipeline behind
+/// `MergeDriverOptions::Canonicalize`. Fingerprints and structural hashes
+/// see raw syntax: two semantically equal functions written differently
+/// (commuted operands, renamed temporaries, reassociated chains, dead
+/// stores) rank far apart and never merge. This pass family produces a
+/// canonical *shadow* view of a function — a scratch-module clone that is
+/// simplified, commutative-ordered, reassociated, value-numbered and
+/// dead-code-swept to a fixpoint, then renumbered — and computes the
+/// Fingerprint / StructuralHash from that clone. The original body is
+/// never touched: codegen, thunks and the interpreter differential all
+/// keep seeing exactly what the frontend produced.
+///
+/// Everything here is deterministic and pointer-free in its ordering
+/// decisions (instruction ordinals, argument indices, constant value
+/// bits, global names), so the canonical StructuralHash is stable across
+/// processes and safe to persist in the DecisionCache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SALSSA_TRANSFORMS_CANONICALIZE_H
+#define SALSSA_TRANSFORMS_CANONICALIZE_H
+
+#include "merge/Fingerprint.h"
+#include "merge/StructuralHash.h"
+
+namespace salssa {
+
+class Context;
+class Function;
+
+/// What the normalization fixpoint did (informational; tests assert
+/// idempotence through it).
+struct CanonicalizeStats {
+  unsigned Iterations = 0;       ///< fixpoint rounds actually run
+  unsigned OperandsCommuted = 0; ///< commutative operand swaps
+  unsigned ChainsReassociated = 0; ///< integer chains rebuilt left-deep
+  unsigned ValuesNumbered = 0;   ///< redundant pure instructions CSE'd
+  unsigned DeadStoresSwept = 0;  ///< never-loaded alloca slots removed
+  unsigned DeadInstsSwept = 0;   ///< dead code removed (incl. Simplify)
+  unsigned ConstantsRespelled = 0; ///< sub-by-constant rewritten as add
+
+  /// True when the fixpoint changed nothing — canonicalizing an
+  /// already-canonical body must report this (idempotence).
+  bool unchanged() const {
+    return OperandsCommuted == 0 && ChainsReassociated == 0 &&
+           ValuesNumbered == 0 && DeadStoresSwept == 0 &&
+           DeadInstsSwept == 0 && ConstantsRespelled == 0;
+  }
+};
+
+/// Normalizes \p F in place to its canonical form. Deterministic and
+/// idempotent: a second application is a no-op (CanonicalizeStats::
+/// unchanged()). Callers that must preserve the original body go through
+/// canonicalFingerprint / canonicalStructuralHash below instead, which
+/// run this on a scratch-module shadow clone.
+CanonicalizeStats canonicalizeFunction(Function &F, Context &Ctx);
+
+/// Fingerprint of \p F's canonical shadow view. Clones \p F into a
+/// throwaway scratch module (same Context; globals and callees stay
+/// referenced, not copied — constants and globals are not use-tracked,
+/// so the scratch teardown leaves no trace), canonicalizes the clone and
+/// fingerprints it. \p F itself is read, never written. Thread-safe
+/// against concurrent shards: all mutation is scratch-local and Context
+/// interning is internally locked.
+Fingerprint canonicalFingerprint(const Function &F);
+
+/// StructuralHash of \p F's canonical shadow view (same contract as
+/// canonicalFingerprint). Stable across processes: safe as a persistent
+/// DecisionCache key.
+StructuralHash canonicalStructuralHash(const Function &F);
+
+/// Dispatch helpers so call sites read as one line under the
+/// MergeDriverOptions::Canonicalize flag: false routes to the raw
+/// computation, bit-identical to the pre-canonicalization pipeline.
+Fingerprint fingerprintFor(const Function &F, bool Canonical);
+StructuralHash structuralHashFor(const Function &F, bool Canonical);
+
+} // namespace salssa
+
+#endif // SALSSA_TRANSFORMS_CANONICALIZE_H

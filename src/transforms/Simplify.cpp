@@ -273,7 +273,7 @@ unsigned salssa::removeUnreachableBlocks(Function &F) {
   return static_cast<unsigned>(Dead.size());
 }
 
-unsigned salssa::eliminateDeadCode(Function &F) {
+unsigned salssa::eliminateDeadCode(Function &F, bool PreserveTraps) {
   unsigned Removed = 0;
   bool Changed = true;
   while (Changed) {
@@ -281,7 +281,8 @@ unsigned salssa::eliminateDeadCode(Function &F) {
     for (BasicBlock *BB : F) {
       for (auto It = BB->begin(); It != BB->end();) {
         Instruction *I = *It++;
-        if (I->isSideEffectFree() && !I->hasUses()) {
+        if (I->isSideEffectFree() && !I->hasUses() &&
+            !(PreserveTraps && I->mayTrap())) {
           I->eraseFromParent();
           ++Removed;
           Changed = true;
@@ -597,7 +598,8 @@ bool simplifyInstructions(Function &F, Context &Ctx, SimplifyStats &Stats) {
 
 } // namespace
 
-SimplifyStats salssa::simplifyFunction(Function &F, Context &Ctx) {
+SimplifyStats salssa::simplifyFunction(Function &F, Context &Ctx,
+                                       bool PreserveTraps) {
   SimplifyStats Stats;
   if (F.isDeclaration())
     return Stats;
@@ -614,7 +616,7 @@ SimplifyStats salssa::simplifyFunction(Function &F, Context &Ctx) {
     Changed |= DeadBlocks != 0;
     Changed |= threadTrivialBlocks(F, Stats);
     Changed |= mergeBlocksIntoPredecessors(F, Ctx, Stats);
-    unsigned Dce = eliminateDeadCode(F);
+    unsigned Dce = eliminateDeadCode(F, PreserveTraps);
     Stats.InstructionsRemoved += Dce;
     Changed |= Dce != 0;
   }

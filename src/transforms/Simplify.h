@@ -44,11 +44,22 @@ Value *simplifyInstructionValue(Instruction *I, Context &Ctx);
 unsigned removeUnreachableBlocks(Function &F);
 
 /// Runs the full clean-up pipeline to a fixpoint (bounded).
-SimplifyStats simplifyFunction(Function &F, Context &Ctx);
+///
+/// \p PreserveTraps keeps dead instructions whose execution is an
+/// observable trap in the reference interpreter (loads, integer
+/// division — see Instruction::mayTrap). Required when simplifying
+/// behaviour-pinned code: the merged-body cleanup runs under the
+/// differential harness's "same trap status" bar, where erasing a dead
+/// out-of-bounds load would delete the trap the original still hits.
+/// Code whose behaviour is *defined* by the simplification (workload
+/// builders shaping a population) uses the default aggressive mode.
+SimplifyStats simplifyFunction(Function &F, Context &Ctx,
+                               bool PreserveTraps = false);
 
 /// Dead code elimination only: erases unused side-effect-free
-/// instructions. Returns the number erased.
-unsigned eliminateDeadCode(Function &F);
+/// instructions. Returns the number erased. \p PreserveTraps as in
+/// simplifyFunction.
+unsigned eliminateDeadCode(Function &F, bool PreserveTraps = false);
 
 } // namespace salssa
 

@@ -297,6 +297,109 @@ private:
   std::vector<Value *> Pool;
 };
 
+/// Integer opcodes whose chains may be rotated without changing meaning
+/// (commutative and associative; mirrors the canonicalizer's reassociation
+/// set so every rotation is recoverable).
+bool isRotatableKind(ValueKind K) {
+  switch (K) {
+  case ValueKind::Add:
+  case ValueKind::Mul:
+  case ValueKind::And:
+  case ValueKind::Or:
+  case ValueKind::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Semantics-preserving syntactic divergence (DriftOptions::
+/// SyntacticPercent): every rewrite leaves the function interpreter-
+/// equivalent to its input — only the spelling changes. Callers gate on
+/// Percent != 0, so the default knob value draws nothing from \p Rng.
+void applySyntacticDrift(Function *F, RNG &Rng, unsigned Percent) {
+  Context &Ctx = F->getParent()->getContext();
+  for (BasicBlock *BB : *F) {
+    // Snapshot: rewrites insert and erase instructions.
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      if (auto *BO = dyn_cast<BinaryOperator>(I)) {
+        if (BO->isCommutative() && Rng.chancePercent(Percent))
+          BO->swapOperands();
+        if (isRotatableKind(BO->getOpcode()) && Rng.chancePercent(Percent)) {
+          // Rotate (a op b) op c into a op (b op c) when the left
+          // subtree is exclusively ours to re-express.
+          auto *L = dyn_cast<BinaryOperator>(BO->getLHS());
+          if (L && L->getOpcode() == BO->getOpcode() &&
+              L->getType() == BO->getType() && L->hasOneUse()) {
+            auto *Inner = new BinaryOperator(BO->getOpcode(), L->getRHS(),
+                                             BO->getRHS());
+            Inner->insertBefore(BO);
+            auto *Outer =
+                new BinaryOperator(BO->getOpcode(), L->getLHS(), Inner);
+            Outer->setName(BO->getName());
+            Outer->insertBefore(BO);
+            BO->replaceAllUsesWith(Outer);
+            BO->eraseFromParent();
+            L->eraseFromParent();
+            continue; // I is gone; the snapshot moves on
+          }
+        }
+      } else if (auto *CI = dyn_cast<CmpInst>(I)) {
+        if (Rng.chancePercent(Percent))
+          CI->swapOperandsAndPredicate();
+      }
+      if (!I->getType()->isVoid() && Rng.chancePercent(Percent))
+        I->setName("syn" + std::to_string(Rng.nextBelow(4096)));
+      // Skip terminator-produced values (invoke results): the spill
+      // would precede its own definition.
+      if (I->getType()->isIntegerWidth(32) && !I->isPhi() &&
+          I != BB->getTerminator() && Rng.chancePercent(Percent)) {
+        // Dead store: spill the value into a fresh slot nothing reads.
+        Instruction *Term = BB->getTerminator();
+        auto *Slot = new AllocaInst(Ctx.int32Ty(), Ctx.ptrTy(), 1);
+        Slot->insertBefore(Term);
+        auto *Spill = new StoreInst(I, Slot, Ctx.voidTy());
+        Spill->insertBefore(Term);
+      }
+      if (I->isBinaryOp() && I->hasUses() && Rng.chancePercent(Percent)) {
+        // Redundant recompute: duplicate the expression at one use.
+        auto *UI = cast<Instruction>(I->users().front());
+        if (!UI->isPhi()) {
+          auto *Dup = new BinaryOperator(I->getOpcode(), I->getOperand(0),
+                                         I->getOperand(1));
+          Dup->insertBefore(UI);
+          int SlotIdx = UI->findOperand(I);
+          if (SlotIdx >= 0)
+            UI->setOperand(static_cast<unsigned>(SlotIdx), Dup);
+        }
+      }
+      if (auto *BO = dyn_cast<BinaryOperator>(I)) {
+        // Spelling flip: x + C and x - (2^w - C) are the same wraparound
+        // operation, but the flip moves the add/sub opcode-histogram
+        // buckets — the kind of surface divergence real refactors leave
+        // behind. Last rewrite in the body: it replaces I.
+        ValueKind Op = BO->getOpcode();
+        if (Op == ValueKind::Add || Op == ValueKind::Sub) {
+          auto *C = dyn_cast<ConstantInt>(BO->getRHS());
+          if (C && BO->getType()->isInteger() && !BO->getType()->isBool() &&
+              Rng.chancePercent(Percent)) {
+            ValueKind Flip =
+                Op == ValueKind::Add ? ValueKind::Sub : ValueKind::Add;
+            auto *Repl = new BinaryOperator(
+                Flip, BO->getLHS(),
+                Ctx.getInt(BO->getType(), 0 - C->getZExtValue()));
+            Repl->setName(BO->getName());
+            Repl->insertBefore(BO);
+            BO->replaceAllUsesWith(Repl);
+            BO->eraseFromParent();
+          }
+        }
+      }
+    }
+  }
+}
+
 } // namespace
 
 Function *salssa::generateRandomFunction(WorkloadEnvironment &Env, RNG &Rng,
@@ -440,4 +543,10 @@ void salssa::driftFunctionBody(Function *F, WorkloadEnvironment &Env,
       }
     }
   }
+
+  // Gated on the knob itself, not just per-site probabilities: the
+  // default SyntacticPercent = 0 must consume no RNG draws so every
+  // pre-existing workload rebuilds byte-identically.
+  if (Options.SyntacticPercent != 0)
+    applySyntacticDrift(F, Rng, Options.SyntacticPercent);
 }

@@ -107,6 +107,18 @@ struct DriftOptions {
   /// Per-instruction probability of inserting an extra instruction,
   /// percent (structural drift).
   unsigned InsertPercent = 3;
+  /// Per-site probability, percent, of a *semantics-preserving* syntactic
+  /// rewrite: commuted operands (binops and symmetric/mirrored compares),
+  /// temporary renames, reassociation rotations of integer chains, dead
+  /// stores into fresh never-read stack slots, redundant recomputes of
+  /// pure expressions, and add/sub-by-constant spelling flips
+  /// (x + C <-> x - (2^w - C), exact under wraparound). Unlike
+  /// MutatePercent/InsertPercent the clone
+  /// stays interpreter-equivalent to its base — this knob generates the
+  /// "written differently, means the same" families the Canonicalize
+  /// shadow view exists to recover. The default 0 consumes no RNG draws,
+  /// so every legacy workload rebuilds byte-identically.
+  unsigned SyntacticPercent = 0;
 };
 
 /// Clones \p Base as \p Name and perturbs it: constants change, opcodes

@@ -53,6 +53,7 @@ salssa::buildBenchmarkModule(const BenchmarkProfile &Profile, Context &Ctx) {
       DriftOptions DO;
       DO.MutatePercent = Profile.FamilyDriftPercent;
       DO.InsertPercent = Profile.FamilyDriftPercent / 2;
+      DO.SyntacticPercent = Profile.SyntacticDriftPercent;
       for (unsigned K = 1; K < Family && Made < Profile.NumFunctions; ++K) {
         RNG DriftRng = Rng.fork(Made * 131 + K);
         cloneWithDrift(Base,
@@ -153,6 +154,7 @@ ModuleGroup salssa::buildBenchmarkModuleGroup(const BenchmarkProfile &Profile,
       DriftOptions DO;
       DO.MutatePercent = Profile.FamilyDriftPercent;
       DO.InsertPercent = Profile.FamilyDriftPercent / 2;
+      DO.SyntacticPercent = Profile.SyntacticDriftPercent;
       for (unsigned K = 1; K < Family && Made < Profile.NumFunctions; ++K) {
         RNG DriftRng = Rng.fork(Made * 131 + K);
         cloneWithDrift(Base,

@@ -41,6 +41,14 @@ struct BenchmarkProfile {
   unsigned MaxFamily = 5;
   /// Drift applied to family members (percent mutation per instruction).
   unsigned FamilyDriftPercent = 8;
+  /// Semantics-preserving syntactic divergence applied to family members
+  /// (percent per rewrite site; see DriftOptions::SyntacticPercent):
+  /// commutations, temp renames, reassociation rotations, dead stores,
+  /// redundant recomputes. Family clones stay interpreter-equivalent to
+  /// their base — the workload shape the Canonicalize shadow view
+  /// recovers. 0 (default, every stock profile) draws no RNG and keeps
+  /// every legacy population byte-identical.
+  unsigned SyntacticDriftPercent = 0;
   /// Percent of control-flow statements that are loops: drives phi
   /// density and hence the Reg2Mem inflation of Fig 5.
   unsigned LoopPercent = 50;

@@ -1,0 +1,335 @@
+//===- tests/canonicalize_test.cpp - Canonical shadow view ---------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// The Canonicalize contract (transforms/Canonicalize.h):
+//
+//  1. canonicalizeFunction is deterministic and idempotent: a second
+//     application changes nothing.
+//  2. The canonical StructuralHash is blind to names AND to
+//     semantics-preserving syntactic spelling: commuted operands,
+//     mirrored compares, reassociated chains, renamed temporaries, dead
+//     stores and redundant recomputes all hash identically.
+//  3. It stays a *hash of meaning-bearing structure*: non-equivalent
+//     functions (different constants, different opcodes) keep distinct
+//     hashes.
+//  4. canonicalFingerprint / canonicalStructuralHash never touch the
+//     original body: the module prints byte-identically before and
+//     after, which is what keeps codegen, thunks and the interpreter
+//     differential unaffected by the flag.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "merge/StructuralHash.h"
+#include "transforms/Canonicalize.h"
+#include "transforms/Cloning.h"
+#include "workloads/RandomFunction.h"
+#include "workloads/Suites.h"
+#include <gtest/gtest.h>
+
+using namespace salssa;
+
+namespace {
+
+/// f(a, b) = (a + b) * a, spelled straight.
+Function *buildStraight(Module &M, const std::string &Name) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.int32Ty();
+  Function *F =
+      M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32, I32}));
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  Value *Sum = B.createAdd(F->getArg(0), F->getArg(1), "sum");
+  B.createRet(B.createMul(Sum, F->getArg(0), "prod"));
+  return F;
+}
+
+/// The same function with both binops commuted.
+Function *buildCommuted(Module &M, const std::string &Name) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.int32Ty();
+  Function *F =
+      M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32, I32}));
+  IRBuilder B(Ctx, F->createBlock("blk"));
+  Value *Sum = B.createAdd(F->getArg(1), F->getArg(0), "weird_name");
+  B.createRet(B.createMul(F->getArg(0), Sum, "other_name"));
+  return F;
+}
+
+/// g(a, b, c) with the add chain parenthesized as \p RightLeaning
+/// dictates: ((a+b)+c)+5 versus a+((b+c)+5) — plus folded-vs-split
+/// constants when \p SplitConst.
+Function *buildChain(Module &M, const std::string &Name, bool RightLeaning,
+                     bool SplitConst) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.int32Ty();
+  Function *F =
+      M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32, I32, I32}));
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  Value *A = F->getArg(0), *Bv = F->getArg(1), *C = F->getArg(2);
+  Value *Chain;
+  if (RightLeaning) {
+    Value *Inner = B.createAdd(Bv, C);
+    Inner = B.createAdd(Inner, Ctx.getInt32(5));
+    Chain = B.createAdd(A, Inner);
+  } else if (SplitConst) {
+    Chain = B.createAdd(B.createAdd(B.createAdd(A, Bv), C), Ctx.getInt32(2));
+    Chain = B.createAdd(Chain, Ctx.getInt32(3));
+  } else {
+    Chain = B.createAdd(B.createAdd(B.createAdd(A, Bv), C), Ctx.getInt32(5));
+  }
+  B.createRet(Chain);
+  return F;
+}
+
+/// h(a) with a mirrored compare: a < 10 versus 10 > a.
+Function *buildCompare(Module &M, const std::string &Name, bool Mirrored) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.int32Ty();
+  Function *F =
+      M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  Value *Cond =
+      Mirrored
+          ? B.createICmp(CmpPredicate::SGT, Ctx.getInt32(10), F->getArg(0))
+          : B.createICmp(CmpPredicate::SLT, F->getArg(0), Ctx.getInt32(10));
+  B.createRet(B.createSelect(Cond, Ctx.getInt32(1), Ctx.getInt32(0)));
+  return F;
+}
+
+/// k(a) = a * 3, optionally obscured by a dead store into a fresh slot
+/// and a redundant recompute of the product.
+Function *buildWithNoise(Module &M, const std::string &Name, bool Noisy) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.int32Ty();
+  Function *F =
+      M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  Value *Prod = B.createMul(F->getArg(0), Ctx.getInt32(3), "p");
+  if (Noisy) {
+    AllocaInst *Slot = B.createAlloca(I32, 1, "slot");
+    B.createStore(Prod, Slot);
+    // Recompute the same product; return the duplicate.
+    Prod = B.createMul(F->getArg(0), Ctx.getInt32(3), "p_again");
+  }
+  B.createRet(Prod);
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Idempotence and determinism
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalizeTest, IdempotentOnHandWrittenBodies) {
+  Context Ctx;
+  Module M("m", Ctx);
+  std::vector<Function *> Fns = {
+      buildStraight(M, "straight"), buildCommuted(M, "commuted"),
+      buildChain(M, "chain", true, false), buildCompare(M, "cmp", true),
+      buildWithNoise(M, "noisy", true)};
+  for (Function *F : Fns) {
+    canonicalizeFunction(*F, Ctx);
+    std::string Once = printFunction(*F);
+    CanonicalizeStats Again = canonicalizeFunction(*F, Ctx);
+    EXPECT_TRUE(Again.unchanged())
+        << F->getName() << ": second canonicalization still rewrote";
+    EXPECT_EQ(Once, printFunction(*F))
+        << F->getName() << ": canon(canon(f)) != canon(f)";
+    EXPECT_TRUE(verifyFunction(*F).ok()) << F->getName();
+  }
+}
+
+TEST(CanonicalizeTest, IdempotentOnGeneratedWorkloads) {
+  Context Ctx;
+  BenchmarkProfile P;
+  P.Name = "canon_idem";
+  P.NumFunctions = 12;
+  P.Seed = 0xCA501;
+  P.SyntacticDriftPercent = 40;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  for (Function *F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    canonicalizeFunction(*F, Ctx);
+    std::string Once = printFunction(*F);
+    CanonicalizeStats Again = canonicalizeFunction(*F, Ctx);
+    EXPECT_TRUE(Again.unchanged()) << F->getName();
+    EXPECT_EQ(Once, printFunction(*F)) << F->getName();
+  }
+  EXPECT_TRUE(verifyModule(*M).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// What the canonical hash no longer sees
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalizeTest, BlindToNames) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *A = buildStraight(M, "one_name");
+  Function *B = buildStraight(M, "a_completely_different_name");
+  for (unsigned I = 0; I < B->getNumArgs(); ++I)
+    B->getArg(I)->setName("renamed_arg" + std::to_string(I));
+  EXPECT_EQ(canonicalStructuralHash(*A), canonicalStructuralHash(*B));
+}
+
+TEST(CanonicalizeTest, CommutedOperandsHashEqual) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *A = buildStraight(M, "straight");
+  Function *B = buildCommuted(M, "commuted");
+  // Meaningful only because the raw hash disagrees.
+  EXPECT_NE(computeStructuralHash(*A), computeStructuralHash(*B));
+  EXPECT_EQ(canonicalStructuralHash(*A), canonicalStructuralHash(*B));
+}
+
+TEST(CanonicalizeTest, ReassociatedChainsHashEqual) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *Left = buildChain(M, "left", false, false);
+  Function *Right = buildChain(M, "right", true, false);
+  Function *Split = buildChain(M, "split", false, true);
+  EXPECT_NE(computeStructuralHash(*Left), computeStructuralHash(*Right));
+  EXPECT_EQ(canonicalStructuralHash(*Left), canonicalStructuralHash(*Right));
+  // "x+2+3" and "x+5": constant leaves fold during reassociation.
+  EXPECT_EQ(canonicalStructuralHash(*Left), canonicalStructuralHash(*Split));
+}
+
+TEST(CanonicalizeTest, MirroredComparesHashEqual) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *Lt = buildCompare(M, "lt", false);
+  Function *Gt = buildCompare(M, "gt", true);
+  EXPECT_NE(computeStructuralHash(*Lt), computeStructuralHash(*Gt));
+  EXPECT_EQ(canonicalStructuralHash(*Lt), canonicalStructuralHash(*Gt));
+}
+
+TEST(CanonicalizeTest, SubConstantRespellingHashEqual) {
+  // "a - 7" and "a + (-7)" are one wraparound operation in two
+  // spellings; the canonical view must collapse them (and must not
+  // collapse subtractions of *different* constants).
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *I32 = Ctx.int32Ty();
+  auto build = [&](const std::string &Name, bool AsAdd, uint64_t C) {
+    Function *F =
+        M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+    IRBuilder B(Ctx, F->createBlock("entry"));
+    Value *V = AsAdd ? B.createAdd(F->getArg(0), Ctx.getInt(I32, 0 - C))
+                     : B.createSub(F->getArg(0), Ctx.getInt(I32, C));
+    B.createRet(V);
+    return F;
+  };
+  Function *Sub7 = build("sub7", false, 7);
+  Function *AddNeg7 = build("addneg7", true, 7);
+  Function *Sub8 = build("sub8", false, 8);
+  EXPECT_NE(computeStructuralHash(*Sub7), computeStructuralHash(*AddNeg7));
+  EXPECT_EQ(canonicalStructuralHash(*Sub7), canonicalStructuralHash(*AddNeg7));
+  EXPECT_NE(canonicalStructuralHash(*Sub7), canonicalStructuralHash(*Sub8));
+}
+
+TEST(CanonicalizeTest, DeadStoresAndRecomputesHashEqual) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Function *Clean = buildWithNoise(M, "clean", false);
+  Function *Noisy = buildWithNoise(M, "noisy", true);
+  EXPECT_NE(computeStructuralHash(*Clean), computeStructuralHash(*Noisy));
+  EXPECT_EQ(canonicalStructuralHash(*Clean), canonicalStructuralHash(*Noisy));
+}
+
+TEST(CanonicalizeTest, SyntacticDriftClonesHashEqual) {
+  // End to end against the workload knob: a pure-syntactic drift clone
+  // must land on its base's canonical hash (that is the recall story).
+  Context Ctx;
+  Module M("m", Ctx);
+  RNG Rng(0xD21F7);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 40;
+  for (unsigned I = 0; I < 6; ++I) {
+    RNG FnRng = Rng.fork(I);
+    Function *Base =
+        generateRandomFunction(Env, FnRng, "fn" + std::to_string(I), FO);
+    DriftOptions DO;
+    DO.MutatePercent = 0;
+    DO.InsertPercent = 0;
+    DO.SyntacticPercent = 35;
+    RNG DriftRng = Rng.fork(1000 + I);
+    Function *Clone = cloneWithDrift(Base, "fn" + std::to_string(I) + "_syn",
+                                     Env, DriftRng, DO);
+    EXPECT_EQ(canonicalStructuralHash(*Base), canonicalStructuralHash(*Clone))
+        << Base->getName();
+  }
+  EXPECT_TRUE(verifyModule(M).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// What it still sees
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalizeTest, NonEquivalentFunctionsStayDistinct) {
+  Context Ctx;
+  Module M("m", Ctx);
+  Type *I32 = Ctx.int32Ty();
+  auto build = [&](const std::string &Name, ValueKind Op, uint64_t C) {
+    Function *F =
+        M.createFunction(Name, Ctx.types().getFunctionTy(I32, {I32}));
+    IRBuilder B(Ctx, F->createBlock("entry"));
+    B.createRet(B.createBinOp(Op, F->getArg(0), Ctx.getInt32(C)));
+    return F;
+  };
+  Function *Base = build("base", ValueKind::Add, 7);
+  Function *OtherConst = build("other_const", ValueKind::Add, 8);
+  Function *OtherOp = build("other_op", ValueKind::Mul, 7);
+  Function *NonCommute = build("non_commute", ValueKind::Sub, 7);
+  EXPECT_NE(canonicalStructuralHash(*Base),
+            canonicalStructuralHash(*OtherConst));
+  EXPECT_NE(canonicalStructuralHash(*Base), canonicalStructuralHash(*OtherOp));
+  EXPECT_NE(canonicalStructuralHash(*Base),
+            canonicalStructuralHash(*NonCommute));
+  // a - b is NOT b - a: the commute pass must leave non-commutative
+  // operations alone.
+  Function *SubAB =
+      M.createFunction("sub_ab", Ctx.types().getFunctionTy(I32, {I32, I32}));
+  {
+    IRBuilder B(Ctx, SubAB->createBlock("entry"));
+    B.createRet(B.createSub(SubAB->getArg(0), SubAB->getArg(1)));
+  }
+  Function *SubBA =
+      M.createFunction("sub_ba", Ctx.types().getFunctionTy(I32, {I32, I32}));
+  {
+    IRBuilder B(Ctx, SubBA->createBlock("entry"));
+    B.createRet(B.createSub(SubBA->getArg(1), SubBA->getArg(0)));
+  }
+  EXPECT_NE(canonicalStructuralHash(*SubAB), canonicalStructuralHash(*SubBA));
+}
+
+//===----------------------------------------------------------------------===//
+// The shadow-view contract: originals never change
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalizeTest, OriginalBodiesByteUnchanged) {
+  Context Ctx;
+  BenchmarkProfile P;
+  P.Name = "canon_shadow";
+  P.NumFunctions = 16;
+  P.Seed = 0xCA502;
+  P.SyntacticDriftPercent = 30;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  std::string Before = printModule(*M);
+  uint64_t NameCounterBefore = M->uniqueNameCounter();
+  for (Function *F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    (void)canonicalFingerprint(*F);
+    (void)canonicalStructuralHash(*F);
+  }
+  EXPECT_EQ(Before, printModule(*M))
+      << "shadow-view computation rewrote an original body";
+  EXPECT_EQ(NameCounterBefore, M->uniqueNameCounter());
+  EXPECT_TRUE(verifyModule(*M).ok());
+}

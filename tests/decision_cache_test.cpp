@@ -307,6 +307,37 @@ TEST(DecisionCacheTest, OptionChangesInvalidateTheFile) {
   std::remove(Narrow.DecisionCachePath.c_str());
 }
 
+TEST(DecisionCacheTest, CanonicalizeFlagInvalidatesTheFile) {
+  // Canonicalize changes which pairs rank as candidates (hashes are
+  // computed over the canonical shadow view), so it is part of the
+  // decision geometry: a cache recorded with the flag off must be
+  // refused by a run with it on, and vice versa.
+  BenchmarkProfile P = cacheProfile(41);
+  P.SyntacticDriftPercent = 25; // make the two geometries actually differ
+  MergeDriverOptions Raw = baseOptions();
+  Raw.DecisionCachePath = cachePath("canon");
+  runConfig(P, Raw);
+
+  MergeDriverOptions Canon = Raw;
+  Canon.Canonicalize = true;
+  RunOutcome NoCacheCanon = runConfig(P, [&] {
+    MergeDriverOptions D = Canon;
+    D.DecisionCachePath.clear();
+    return D;
+  }());
+  RunOutcome Got = runConfig(P, Canon);
+  expectSameMerges(Got, NoCacheCanon, "canon after raw");
+  EXPECT_EQ(Got.Stats.CacheLoadRejected, 1u);
+  // The file now carries the canonical fingerprint: warm canon run hits,
+  // and a raw run is refused right back.
+  RunOutcome Warm = runConfig(P, Canon);
+  EXPECT_EQ(Warm.Stats.CacheLoadRejected, 0u);
+  EXPECT_GT(Warm.Stats.CacheHits, 0u);
+  RunOutcome RawAgain = runConfig(P, Raw);
+  EXPECT_EQ(RawAgain.Stats.CacheLoadRejected, 1u);
+  std::remove(Raw.DecisionCachePath.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // CacheIO fault injection
 //===----------------------------------------------------------------------===//

@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "merge/MergeDriver.h"
 #include "support/RNG.h"
@@ -118,5 +119,91 @@ TEST_P(FuzzEquivalenceTest, AllSelectionModesPreserveBehaviour) {
 // >= 64 seeds in ctest (the acceptance bar for the fuzz harness).
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
                          ::testing::Range<uint64_t>(0, 64));
+
+//===----------------------------------------------------------------------===//
+// Canonicalize axis
+//===----------------------------------------------------------------------===//
+
+/// A drift-flavoured population: clone families diverged syntactically
+/// (commutations, renames, rotations, dead stores, recomputes) but kept
+/// interpreter-equivalent — the workload the canonical shadow view is
+/// for. Low semantic drift keeps alignment interesting without
+/// destroying families.
+BenchmarkProfile canonFuzzProfile(uint64_t Seed) {
+  BenchmarkProfile P = fuzzProfile(Seed);
+  P.Name = "cfz" + std::to_string(Seed);
+  P.FamilyDriftPercent = 5;
+  P.SyntacticDriftPercent = 30;
+  P.Seed = 0xCF01ull * (Seed + 1);
+  return P;
+}
+
+class CanonFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Canonicalize=on changes which candidates hash together — never what
+// any function computes. Same differential bar as the main sweep, over
+// every selection mode x {1, 4} threads on drifted populations.
+TEST_P(CanonFuzzTest, CanonicalHashingPreservesBehaviour) {
+  const uint64_t Seed = GetParam();
+  const BenchmarkProfile P = canonFuzzProfile(Seed);
+  for (SelectionStrategy Sel :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive}) {
+    for (unsigned NT : {1u, 4u}) {
+      Context CtxRef, CtxNew;
+      std::unique_ptr<Module> Ref = buildBenchmarkModule(P, CtxRef);
+      std::unique_ptr<Module> M = buildBenchmarkModule(P, CtxNew);
+      MergeDriverOptions DO;
+      DO.Technique = MergeTechnique::SalSSA;
+      DO.ExplorationThreshold = 2;
+      DO.Selection = Sel;
+      DO.NumThreads = NT;
+      DO.Canonicalize = true;
+      runFunctionMerging(*M, DO);
+      std::string Tag = "canon seed " + std::to_string(Seed) + " mode " +
+                        std::to_string(static_cast<unsigned>(Sel)) +
+                        " threads " + std::to_string(NT);
+      VerifierReport VR = verifyModule(*M);
+      ASSERT_TRUE(VR.ok()) << Tag << ":\n" << VR.str();
+      differentialCheck(*Ref, *M, Seed, Tag);
+    }
+  }
+}
+
+// Canonicalize=off must be the PR 8 pipeline bit for bit: an explicit
+// off run and a default-options run produce byte-identical merged
+// modules under every mode x thread count. Guards both the flag's
+// default and any accidental unconditional canonicalization.
+TEST_P(CanonFuzzTest, OffPathBitIdenticalToDefault) {
+  const uint64_t Seed = GetParam();
+  const BenchmarkProfile P = canonFuzzProfile(Seed);
+  for (SelectionStrategy Sel :
+       {SelectionStrategy::Distance, SelectionStrategy::Profit,
+        SelectionStrategy::Adaptive}) {
+    for (unsigned NT : {1u, 4u}) {
+      Context CtxA, CtxB;
+      std::unique_ptr<Module> A = buildBenchmarkModule(P, CtxA);
+      std::unique_ptr<Module> B = buildBenchmarkModule(P, CtxB);
+      MergeDriverOptions Default;
+      Default.Technique = MergeTechnique::SalSSA;
+      Default.ExplorationThreshold = 2;
+      Default.Selection = Sel;
+      Default.NumThreads = NT;
+      MergeDriverOptions ExplicitOff = Default;
+      ExplicitOff.Canonicalize = false;
+      runFunctionMerging(*A, Default);
+      runFunctionMerging(*B, ExplicitOff);
+      EXPECT_EQ(printModule(*A), printModule(*B))
+          << "off-path diverged: seed " << Seed << " mode "
+          << static_cast<unsigned>(Sel) << " threads " << NT;
+    }
+  }
+}
+
+// 16 seeds: 16 x 3 modes x 2 thread counts differential runs plus the
+// same matrix of off-path identity pairs stays CI-sized next to the
+// main 384-run sweep.
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonFuzzTest,
+                         ::testing::Range<uint64_t>(0, 16));
 
 } // namespace

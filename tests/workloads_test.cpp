@@ -7,6 +7,7 @@
 #include "analysis/CFG.h"
 #include "codesize/SizeModel.h"
 #include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "merge/Fingerprint.h"
 #include "workloads/Suites.h"
@@ -125,6 +126,121 @@ TEST(CloneWithDriftTest, DriftChangesButStaysValidAndSimilar) {
                                    Fingerprint::compute(*Clone));
   EXPECT_GT(D, 0u);                                // something changed
   EXPECT_LT(D, Base->getInstructionCount() / 2);   // ...but not too much
+}
+
+// Runs \p A and \p B on the same argument vector in fresh interpreters
+// and asserts identical observable behaviour: status, return value, and
+// final global memory image.
+void expectSameBehaviour(Module &M, Function *A, Function *B,
+                         const std::vector<RuntimeValue> &Args) {
+  ExecOptions Opts;
+  Opts.MaxSteps = 500000;
+  Interpreter IA(M, Opts), IB(M, Opts);
+  ExecResult RA = IA.run(A, Args);
+  ExecResult RB = IB.run(B, Args);
+  ASSERT_EQ(static_cast<int>(RA.St), static_cast<int>(RB.St))
+      << A->getName() << " vs " << B->getName();
+  if (RA.St == ExecResult::Status::Ok) {
+    EXPECT_EQ(static_cast<int>(RA.Return.K), static_cast<int>(RB.Return.K));
+    EXPECT_EQ(RA.Return.Bits, RB.Return.Bits);
+    EXPECT_EQ(RA.Return.FPVal, RB.Return.FPVal);
+  }
+  EXPECT_EQ(RA.GlobalMemoryHash, RB.GlobalMemoryHash);
+}
+
+TEST(CloneWithDriftTest, SyntacticDriftStaysInterpreterEquivalent) {
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(57);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 90;
+  FO.LoopPercent = 50;
+  FO.InvokePercent = 10;
+  RNG FnRng = Rng.fork(1);
+  Function *Base = generateRandomFunction(Env, FnRng, "base", FO);
+  DriftOptions DO;
+  DO.MutatePercent = 0; // isolate the semantics-preserving axis
+  DO.InsertPercent = 0;
+  DO.SyntacticPercent = 45;
+  RNG DriftRng = Rng.fork(4);
+  Function *Clone = cloneWithDrift(Base, "syn", Env, DriftRng, DO);
+  VerifierReport R = verifyFunction(*Clone);
+  ASSERT_TRUE(R.ok()) << R.str();
+  // The spelling must actually diverge...
+  EXPECT_NE(printFunction(*Base), printFunction(*Clone));
+  // ...while the behaviour never does.
+  for (uint64_t V = 0; V < 8; ++V) {
+    std::vector<RuntimeValue> Args(
+        Base->getNumArgs(), RuntimeValue::makeInt(V * 13 + (V % 3)));
+    expectSameBehaviour(M, Base, Clone, Args);
+  }
+}
+
+TEST(CloneWithDriftTest, DefaultSyntacticKnobIsByteIdenticalToExplicitZero) {
+  // The knob's default must be inert: a caller that never heard of
+  // SyntacticPercent gets the exact clone (body and RNG stream) it got
+  // before the knob existed.
+  Context Ctx;
+  Module M("gen", Ctx);
+  RNG Rng(58);
+  WorkloadEnvironment Env(M, Rng);
+  RandomFunctionOptions FO;
+  FO.TargetSize = 70;
+  RNG FnRng = Rng.fork(1);
+  Function *Base = generateRandomFunction(Env, FnRng, "base", FO);
+  DriftOptions Legacy; // SyntacticPercent left at its default
+  Legacy.MutatePercent = 12;
+  Legacy.InsertPercent = 4;
+  DriftOptions Explicit = Legacy;
+  Explicit.SyntacticPercent = 0;
+  RNG R1 = Rng.fork(9), R2 = R1;
+  Function *C1 = cloneWithDrift(Base, "c1", Env, R1, Legacy);
+  Function *C2 = cloneWithDrift(Base, "c2", Env, R2, Explicit);
+  // Compare bodies; the define line carries the (distinct) names.
+  std::string P1 = printFunction(*C1), P2 = printFunction(*C2);
+  EXPECT_EQ(P1.substr(P1.find('\n')), P2.substr(P2.find('\n')));
+  // Zero syntactic drift consumes no RNG draws: both streams sit at the
+  // same position after the clone.
+  EXPECT_EQ(R1.next(), R2.next());
+}
+
+TEST(SuiteTest, SyntacticDriftFamiliesAreInterpreterEquivalent) {
+  // A profile with only syntactic drift builds clone families whose
+  // members all behave identically — the candidate population the
+  // Canonicalize shadow view exists to recover.
+  Context Ctx;
+  BenchmarkProfile P;
+  P.Name = "syn";
+  P.NumFunctions = 18;
+  P.AvgSize = 35;
+  P.MaxSize = 120;
+  P.CloneFamilyPercent = 100;
+  P.MinFamily = 3;
+  P.MaxFamily = 3;
+  P.FamilyDriftPercent = 0; // no semantic drift...
+  P.SyntacticDriftPercent = 40; // ...only spelling changes
+  P.Seed = 4242;
+  std::unique_ptr<Module> M = buildBenchmarkModule(P, Ctx);
+  ASSERT_TRUE(verifyModule(*M).ok()) << verifyModule(*M).str();
+  unsigned FamiliesChecked = 0;
+  for (Function *F : M->functions()) {
+    const std::string &N = F->getName();
+    auto Pos = N.rfind("_v1");
+    if (F->isDeclaration() || Pos == std::string::npos ||
+        Pos + 3 != N.size())
+      continue;
+    Function *Sibling = M->getFunction(N.substr(0, Pos) + "_v2");
+    if (!Sibling)
+      continue;
+    ++FamiliesChecked;
+    for (uint64_t V = 0; V < 4; ++V) {
+      std::vector<RuntimeValue> Args(
+          F->getNumArgs(), RuntimeValue::makeInt(V * 17 + 1));
+      expectSameBehaviour(*M, F, Sibling, Args);
+    }
+  }
+  EXPECT_GE(FamiliesChecked, 3u);
 }
 
 TEST(SuiteTest, MiBenchProfilesMatchTable1Counts) {
