@@ -1,0 +1,413 @@
+//===- bench/bench_service_daemon.cpp - Daemon front-end overhead --------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+// Measures and gates the salssad socket front end (service/Daemon.h):
+// the wire path must add protocol plumbing, not merge work.
+//
+// Modes:
+//   (default)  sweep: per-epoch wall clock of the same edit script driven
+//              in-process vs through the socket, plus a warm-restart
+//              timing of the daemon's decision-cache replay.
+//   --smoke    the deterministic acceptance bar (the CI daemon smoke):
+//                - a 3-epoch edit script through a real socket lands
+//                  byte-identical to the in-process MergeService at
+//                  every epoch;
+//                - a daemon restart on the same --decision-cache file
+//                  warm-replays its first session (CacheHits > 0) to the
+//                  byte-identical epoch-0 state;
+//                - a protocol-fault soak (truncate/checksum/disconnect
+//                  armed) completes with every request eventually served
+//                  and zero wedged sessions, still byte-identical.
+//              Wall-clock is reported (skipped under
+//              SALSSA_BENCH_NO_TIMING) but never gated. Writes a
+//              JsonSummary (SALSSA_BENCH_JSON): epochs_verified,
+//              restart_cache_hits, soak_faults_injected,
+//              soak_client_retries, wire_seconds, inprocess_seconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "ir/IRPrinter.h"
+#include "merge/MergeService.h"
+#include "service/Client.h"
+#include "service/Daemon.h"
+#include "support/Chrono.h"
+#include "support/RNG.h"
+#include "workloads/EditScript.h"
+#include <cstdio>
+#include <cstring>
+
+using namespace salssa;
+using namespace salssa::bench;
+
+namespace {
+
+BenchmarkProfile daemonProfile(unsigned NumFns) {
+  BenchmarkProfile P;
+  P.Name = "daemon_bench";
+  P.NumFunctions = NumFns;
+  P.MinSize = 6;
+  P.AvgSize = 36;
+  P.MaxSize = 120;
+  P.CloneFamilyPercent = 55;
+  P.MinFamily = 2;
+  P.MaxFamily = 4;
+  P.FamilyDriftPercent = 10;
+  P.LoopPercent = 50;
+  P.RetTypeVariety = 3;
+  P.Seed = 9001;
+  return P;
+}
+
+EditScriptOptions editOptions(unsigned NumSteps) {
+  EditScriptOptions EO;
+  EO.NumSteps = NumSteps;
+  EO.ChangesPerStep = 3;
+  EO.AddsPerStep = 1;
+  EO.DeletesPerStep = 1;
+  EO.Generate.TargetSize = 30;
+  EO.Generate.RetTypeVariety = 3;
+  EO.Seed = 314;
+  return EO;
+}
+
+unsigned poolSize(unsigned Default) {
+  unsigned Scale = benchScale();
+  return Scale > 1 ? std::max(26u, Default / Scale) : Default;
+}
+
+bool timingEnabled() {
+  return std::getenv("SALSSA_BENCH_NO_TIMING") == nullptr;
+}
+
+std::vector<Module *> modsOf(const ModuleGroup &Group) {
+  std::vector<Module *> Mods;
+  for (size_t I = 0; I < Group.size(); ++I)
+    Mods.push_back(&Group[I]);
+  return Mods;
+}
+
+std::string groupPrints(const std::vector<Module *> &Mods) {
+  std::string Prints;
+  for (Module *M : Mods)
+    Prints += printModule(*M);
+  return Prints;
+}
+
+uint64_t digestOf(const std::string &Prints) {
+  return fnv1a64(reinterpret_cast<const uint8_t *>(Prints.data()),
+                 Prints.size());
+}
+
+std::string benchSocket(const std::string &Tag) {
+  std::string Path = "salssa_bench_" + Tag + ".sock";
+  std::remove(Path.c_str());
+  return Path;
+}
+
+RegisterModulesRequest registerRequest(const BenchmarkProfile &P) {
+  RegisterModulesRequest RM;
+  RM.Profile = P;
+  RM.NumModules = 2;
+  RM.ExplorationThreshold = 3;
+  return RM;
+}
+
+ClientOptions clientOptions(const std::string &Socket) {
+  ClientOptions CO;
+  CO.SocketPath = Socket;
+  CO.MaxRetries = 10;
+  CO.BackoffBaseMillis = 2;
+  CO.BackoffMaxMillis = 50;
+  return CO;
+}
+
+/// In-process twin session over its own group copy.
+struct InProcess {
+  Context Ctx;
+  ModuleGroup Group;
+  std::vector<Module *> Mods;
+  std::unique_ptr<MergeService> Svc;
+
+  explicit InProcess(const BenchmarkProfile &P) {
+    Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+    Mods = modsOf(Group);
+    MergeServiceOptions SO;
+    SO.Driver.ExplorationThreshold = 3;
+    Svc = std::make_unique<MergeService>(SO);
+    for (Module *M : Mods)
+      Svc->addModule(*M);
+    Svc->initialize();
+  }
+
+  void applySpec(const EditStepSpec &Spec) {
+    MergeService::DeltaBatch Batch = Svc->beginDelta();
+    AppliedEditStep A = applyEditStep(
+        Mods, Spec, [&](Function *F) { Batch.checkoutForEdit(F); });
+    MergeDelta D;
+    D.Changed = A.Changed;
+    D.Added = A.Added;
+    D.Deleted = A.Deleted;
+    Batch.apply(D);
+  }
+};
+
+int smokeMode() {
+  const unsigned PoolFns = poolSize(26);
+  printHeader("bench_service_daemon --smoke (pool " +
+              std::to_string(PoolFns) + " x 2 modules, 3 epochs)");
+  BenchmarkProfile P = daemonProfile(PoolFns);
+  EditScript Script = [&] {
+    Context Ctx;
+    ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+    return EditScript(modsOf(Group), editOptions(3));
+  }();
+
+  // --- Leg 1: socket differential -----------------------------------------
+  unsigned EpochsVerified = 0;
+  double WireSeconds = 0, InprocSeconds = 0;
+  {
+    std::string Socket = benchSocket("diff");
+    DaemonOptions DOpts;
+    DOpts.SocketPath = Socket;
+    Daemon D(DOpts);
+    if (!D.start()) {
+      std::printf("FAIL: daemon start: %s\n", D.lastError().c_str());
+      return 1;
+    }
+    InProcess Twin(P);
+    DaemonClient Client(clientOptions(Socket));
+    StatsSnapshot Init;
+    DaemonClient::Result R = Client.registerModules(registerRequest(P), Init);
+    if (!R.TransportOk || R.Status != StatusCode::Ok) {
+      std::printf("FAIL: register: %s\n", R.ErrorMessage.c_str());
+      return 1;
+    }
+    if (Init.ModuleDigest != digestOf(groupPrints(Twin.Mods))) {
+      std::printf("FAIL: epoch 0 diverged over the wire\n");
+      return 1;
+    }
+    ++EpochsVerified;
+    for (unsigned S = 0; S < Script.numSteps(); ++S) {
+      EditStepSpec Spec = Script.stepSpec(S);
+      ApplyDeltaResponse Resp;
+      auto TW = std::chrono::steady_clock::now();
+      R = Client.applyStep(Spec, mix64(0xBE7C + S), Resp);
+      WireSeconds += secondsSince(TW);
+      if (!R.TransportOk || R.Status != StatusCode::Ok) {
+        std::printf("FAIL: step %u: %s\n", S, R.ErrorMessage.c_str());
+        return 1;
+      }
+      auto TI = std::chrono::steady_clock::now();
+      Twin.applySpec(Spec);
+      InprocSeconds += secondsSince(TI);
+      if (Resp.Stats.ModuleDigest != digestOf(groupPrints(Twin.Mods))) {
+        std::printf("FAIL: epoch %u diverged over the wire\n", S + 1);
+        return 1;
+      }
+      ++EpochsVerified;
+    }
+    QueryStatsResponse Final;
+    R = Client.queryStats(true, Final);
+    if (!R.TransportOk || R.Status != StatusCode::Ok ||
+        Final.Prints != groupPrints(Twin.Mods)) {
+      std::printf("FAIL: final module text differs from in-process\n");
+      return 1;
+    }
+    D.stop();
+    std::printf("socket differential: %u epochs byte-identical\n",
+                EpochsVerified);
+    if (timingEnabled())
+      std::printf("wall-clock (not gated): wire %.3fs vs in-process %.3fs "
+                  "over %u deltas\n",
+                  WireSeconds, InprocSeconds, Script.numSteps());
+  }
+
+  // --- Leg 2: warm restart through the decision cache ----------------------
+  uint64_t RestartCacheHits = 0;
+  {
+    std::string Cache = "salssa_bench_daemon_cache.bin";
+    std::remove(Cache.c_str());
+    std::string Socket = benchSocket("restart");
+    DaemonOptions DOpts;
+    DOpts.SocketPath = Socket;
+    DOpts.Defaults.Driver.DecisionCachePath = Cache;
+    uint64_t ColdDigest = 0;
+    {
+      Daemon A(DOpts);
+      if (!A.start()) {
+        std::printf("FAIL: daemon A start: %s\n", A.lastError().c_str());
+        return 1;
+      }
+      DaemonClient Client(clientOptions(Socket));
+      StatsSnapshot Init;
+      DaemonClient::Result R =
+          Client.registerModules(registerRequest(P), Init);
+      if (!R.TransportOk || R.Status != StatusCode::Ok) {
+        std::printf("FAIL: cold register: %s\n", R.ErrorMessage.c_str());
+        return 1;
+      }
+      ColdDigest = Init.ModuleDigest;
+      A.stop();
+    }
+    {
+      Daemon B(DOpts);
+      if (!B.start()) {
+        std::printf("FAIL: daemon B start: %s\n", B.lastError().c_str());
+        return 1;
+      }
+      DaemonClient Client(clientOptions(Socket));
+      StatsSnapshot Warm;
+      DaemonClient::Result R =
+          Client.registerModules(registerRequest(P), Warm);
+      if (!R.TransportOk || R.Status != StatusCode::Ok) {
+        std::printf("FAIL: warm register: %s\n", R.ErrorMessage.c_str());
+        return 1;
+      }
+      if (Warm.CacheHits == 0) {
+        std::printf("FAIL: restarted daemon did not warm-replay "
+                    "(CacheHits == 0)\n");
+        return 1;
+      }
+      if (Warm.ModuleDigest != ColdDigest) {
+        std::printf("FAIL: warm-replayed session is not byte-identical\n");
+        return 1;
+      }
+      RestartCacheHits = Warm.CacheHits;
+      B.stop();
+    }
+    std::remove(Cache.c_str());
+    std::printf("warm restart: replayed with %llu cache hits, "
+                "byte-identical epoch 0\n",
+                (unsigned long long)RestartCacheHits);
+  }
+
+  // --- Leg 3: protocol-fault soak ------------------------------------------
+  uint64_t SoakFaults = 0, SoakRetries = 0;
+  {
+    std::string Socket = benchSocket("soak");
+    DaemonOptions DOpts;
+    DOpts.SocketPath = Socket;
+    DOpts.Faults.Seed = 1234;
+    DOpts.Faults.setRate(FaultKind::Protocol, 250);
+    Daemon D(DOpts);
+    if (!D.start()) {
+      std::printf("FAIL: soak daemon start: %s\n", D.lastError().c_str());
+      return 1;
+    }
+    InProcess Twin(P);
+    DaemonClient Client(clientOptions(Socket));
+    StatsSnapshot Init;
+    DaemonClient::Result R = Client.registerModules(registerRequest(P), Init);
+    if (!R.TransportOk || R.Status != StatusCode::Ok) {
+      std::printf("FAIL: soak register: %s\n", R.ErrorMessage.c_str());
+      return 1;
+    }
+    for (unsigned S = 0; S < Script.numSteps(); ++S) {
+      EditStepSpec Spec = Script.stepSpec(S);
+      ApplyDeltaResponse Resp;
+      R = Client.applyStep(Spec, mix64(0x50AC + S), Resp);
+      if (!R.TransportOk || R.Status != StatusCode::Ok) {
+        std::printf("FAIL: soak step %u never landed: %s\n", S,
+                    R.ErrorMessage.c_str());
+        return 1;
+      }
+      Twin.applySpec(Spec);
+      if (Resp.Stats.ModuleDigest != digestOf(groupPrints(Twin.Mods))) {
+        std::printf("FAIL: soak epoch %u diverged\n", S + 1);
+        return 1;
+      }
+    }
+    // Zero wedged sessions: a fresh client gets the lease immediately.
+    DaemonClient Probe(clientOptions(Socket));
+    ApplyDeltaResponse Empty;
+    EditStepSpec Noop;
+    R = Probe.applyStep(Noop, 0xF1A8, Empty);
+    if (!R.TransportOk || R.Status != StatusCode::Ok) {
+      std::printf("FAIL: daemon wedged after the soak\n");
+      return 1;
+    }
+    DaemonCounters C = D.counters();
+    SoakFaults = C.ProtocolFaultsInjected;
+    SoakRetries = Client.retriesUsed() + Probe.retriesUsed();
+    D.stop();
+    if (SoakFaults == 0) {
+      std::printf("FAIL: the soak injected no protocol faults — the leg "
+                  "no longer exercises the containment\n");
+      return 1;
+    }
+    std::printf("fault soak: %llu faults injected, %llu client retries, "
+                "0 wedged sessions, end state byte-identical\n",
+                (unsigned long long)SoakFaults,
+                (unsigned long long)SoakRetries);
+  }
+
+  std::printf("PASS\n");
+  JsonSummary Json("bench_service_daemon");
+  Json.add("pool_functions", uint64_t(PoolFns) * 2);
+  Json.add("epochs_verified", uint64_t(EpochsVerified));
+  Json.add("restart_cache_hits", RestartCacheHits);
+  Json.add("soak_faults_injected", SoakFaults);
+  Json.add("soak_client_retries", SoakRetries);
+  if (timingEnabled()) {
+    Json.add("wire_seconds", WireSeconds);
+    Json.add("inprocess_seconds", InprocSeconds);
+  }
+  return 0;
+}
+
+int sweepMode() {
+  const unsigned PoolFns = poolSize(96);
+  printHeader("bench_service_daemon sweep (pool " + std::to_string(PoolFns) +
+              " x 2 modules)");
+  BenchmarkProfile P = daemonProfile(PoolFns);
+  EditScript Script = [&] {
+    Context Ctx;
+    ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+    return EditScript(modsOf(Group), editOptions(4));
+  }();
+
+  std::string Socket = benchSocket("sweep");
+  DaemonOptions DOpts;
+  DOpts.SocketPath = Socket;
+  Daemon D(DOpts);
+  if (!D.start()) {
+    std::printf("FAIL: daemon start: %s\n", D.lastError().c_str());
+    return 1;
+  }
+  InProcess Twin(P);
+  DaemonClient Client(clientOptions(Socket));
+  StatsSnapshot Init;
+  if (!Client.registerModules(registerRequest(P), Init).TransportOk) {
+    std::printf("FAIL: register\n");
+    return 1;
+  }
+  std::printf("%-8s %14s %14s %12s\n", "epoch", "wire (s)", "in-proc (s)",
+              "overhead");
+  printRule(52);
+  for (unsigned S = 0; S < Script.numSteps(); ++S) {
+    EditStepSpec Spec = Script.stepSpec(S);
+    ApplyDeltaResponse Resp;
+    auto TW = std::chrono::steady_clock::now();
+    Client.applyStep(Spec, mix64(0x5EE7 + S), Resp);
+    double Wire = secondsSince(TW);
+    auto TI = std::chrono::steady_clock::now();
+    Twin.applySpec(Spec);
+    double Inproc = secondsSince(TI);
+    std::printf("%-8u %14.4f %14.4f %11.1f%%\n", S + 1, Wire, Inproc,
+                Inproc > 0 ? 100.0 * (Wire - Inproc) / Inproc : 0.0);
+  }
+  D.stop();
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  return Smoke ? smokeMode() : sweepMode();
+}

@@ -87,7 +87,8 @@ def main(argv):
             continue
         for key, value, kind in gated_keys(entry):
             if key not in base_entry:
-                print(f"notice: {name}.{key} has no baseline (new key?)")
+                print(f"notice: {name}.{key} new-key (no baseline) — "
+                      f"not gated")
                 continue
             try:
                 base = float(base_entry[key])
@@ -120,6 +121,15 @@ def main(argv):
                       f"{value:.2f}% (floor {limit:.2f}%)")
                 if value < limit:
                     failures.append(f"{name}.{key}")
+        # The other direction: a gated key the baseline has but this run
+        # lacks (timing disabled under TSan, a retired leg, an older bench
+        # revision). Surface it as a new-key notice rather than letting it
+        # read as — or turn into — a regression: a key with nothing to
+        # compare against is a schema change, not a measurement.
+        for key, _, _ in gated_keys(base_entry):
+            if key not in entry:
+                print(f"notice: {name}.{key} new-key in the baseline only "
+                      f"(absent from the current run) — not gated")
     for name in sorted(set(baseline) - set(current)):
         print(f"notice: bench '{name}' vanished from the current run")
 

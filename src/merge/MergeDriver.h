@@ -41,19 +41,41 @@ enum class RankingStrategy : uint8_t {
   CandidateIndex,
 };
 
-/// Pass configuration.
+/// Pass configuration. A mirror of this struct — one row per knob with
+/// default, units and interactions — lives in src/merge/README.md
+/// ("Options reference"); keep the two in step.
 struct MergeDriverOptions {
+  /// Which merging algorithm runs: SalSSA (the paper's SSA-form
+  /// technique, the default) or FMSA (the exchange-format baseline it
+  /// improves on, kept for the comparison figures). Most post-paper
+  /// machinery (pipeline stages, cross-module sessions, MergeService)
+  /// requires SalSSA.
   MergeTechnique Technique = MergeTechnique::SalSSA;
-  /// The exploration threshold t of §5.1 (paper evaluates 1, 5, 10).
+  /// The exploration threshold t of §5.1: how many top-ranked
+  /// candidates are *attempted* per pool entry before the best
+  /// profitable one commits (paper evaluates 1, 5, 10). Default 1.
+  /// Unit: candidates per entry. Larger t finds more merges at
+  /// linearly more attempt work; under SelectionStrategy::Adaptive the
+  /// effective t floats per merge-compatibility class and this value
+  /// is only its starting point.
   unsigned ExplorationThreshold = 1;
-  /// SalSSA-NoPC when false (Fig 20 ablation); ignored for FMSA.
+  /// Coalesce phi-webs in merged output (§4.3). Default true; false is
+  /// the paper's SalSSA-NoPC ablation (Fig 20) — more copies, bigger
+  /// merged bodies, same semantics. Ignored for FMSA.
   bool EnablePhiCoalescing = true;
-  /// Target whose size model drives profitability.
+  /// Target whose size model (codesize/SizeModel.h) drives
+  /// profitability. Default X86Like. Changing it changes which merges
+  /// are deemed profitable, hence the whole commit sequence — it is
+  /// part of the DecisionCache options fingerprint for that reason.
   TargetArch Arch = TargetArch::X86Like;
-  /// Allow merged functions to be merged again (as in the paper).
+  /// Allow merged functions to re-enter the pool and be merged again
+  /// (as in the paper). Default true; false caps every function at one
+  /// merge generation.
   bool AllowRemerge = true;
-  /// Candidate ranking implementation; results are identical, only the
-  /// pairing-phase cost differs.
+  /// Candidate ranking implementation; results are identical by
+  /// construction (candidate_index_test pins it), only the
+  /// pairing-phase cost differs. Default CandidateIndex (near-linear);
+  /// BruteForce is the paper's O(n²) scan kept for A/B benchmarking.
   RankingStrategy Ranking = RankingStrategy::CandidateIndex;
   /// Candidate *selection* policy layered on top of the ranking (see
   /// SelectionStrategy, MergeOptions.h). Distance (the default) keeps
@@ -102,7 +124,11 @@ struct MergeDriverOptions {
   /// one DecisionCachePath warm sessions at any shard count.
   unsigned ShardCount = 1;
   /// Host-module selection for whole-program sessions when the caller
-  /// does not pick one explicitly (see HostPolicy, MergeOptions.h).
+  /// does not pick one explicitly (see HostPolicy, MergeOptions.h):
+  /// First (default) takes the first registered module, Biggest the
+  /// most instructions, Hottest the best merge-candidate density.
+  /// MergeServiceOptions::ReelectHost re-runs this election per epoch;
+  /// under First it can never move, so re-election is a no-op there.
   HostPolicy Host = HostPolicy::First;
   /// Per-attempt resource caps (see AttemptBudget, MergeOptions.h). All
   /// caps default to 0 = unlimited: the zero-budget path is bit-identical
@@ -154,8 +180,14 @@ struct MergeDriverOptions {
   /// re-record anything that no longer resolves. Invalid/corrupt files
   /// self-invalidate (Stats.CacheLoadRejected) and the run proceeds
   /// cold. Sharded sessions share this one cache (serial-commit-stage
-  /// writes only). Not designed to compose with armed fault injection:
-  /// replayed entries skip the fault points they would have hit.
+  /// writes only). Interactions: the cache key embeds an options
+  /// fingerprint (Arch, Selection, Canonicalize, ... — see
+  /// DecisionCache.h), so flipping Canonicalize or the size-model
+  /// target self-invalidates stale entries rather than replaying wrong
+  /// decisions; MergeService honours the cache on full session builds
+  /// only, never on incremental deltas. Not designed to compose with
+  /// armed fault injection: replayed entries skip the fault points
+  /// they would have hit.
   std::string DecisionCachePath;
 };
 

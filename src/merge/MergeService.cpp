@@ -6,7 +6,9 @@
 
 #include "merge/MergeService.h"
 #include "codesize/SizeModel.h"
+#include "ir/Instruction.h"
 #include "ir/Module.h"
+#include "merge/DecisionCache.h"
 #include "merge/ShardedSessionRunner.h"
 #include "support/Chrono.h"
 #include "support/ThreadPool.h"
@@ -23,10 +25,6 @@ MergeService::MergeService(const MergeServiceOptions &Options)
   assert(Options.Driver.Technique == MergeTechnique::SalSSA &&
          "MergeService v1 supports the SalSSA technique only (FMSA's "
          "whole-pool demote/promote passes are not incremental)");
-  assert(!Options.Driver.HashClustering &&
-         Options.Driver.DecisionCachePath.empty() &&
-         "MergeService v1 does not compose with the session-level "
-         "pre-cluster / decision-cache passes");
 }
 
 MergeService::~MergeService() = default;
@@ -75,11 +73,16 @@ void MergeService::registerFunction(Function *F, uint32_t ModuleId) {
   archiveFunction(F, TF);
 }
 
-/// In-place counterpart of cloneFunctionInto: rebuilds \p Dst's body as
-/// an exact copy of \p Src's while preserving Dst's Function identity
+uint32_t MergeService::moduleIdOf(const Module *M) const {
+  auto It = std::find(Modules.begin(), Modules.end(), M);
+  assert(It != Modules.end() && "function outside the registered modules");
+  return static_cast<uint32_t>(It - Modules.begin());
+}
+
+/// In-place counterpart of cloneFunctionInto: rebuilds \p F's body as
+/// an exact copy of \p Src's while preserving F's Function identity
 /// (journals, the planner and the archive are all keyed by Function*).
-void MergeService::restoreOriginal(Function *F, const TrackedFunction &TF) {
-  const Function *Src = TF.Archived;
+void MergeService::restoreBody(Function *F, const Function *Src) {
   assert(Src && !Src->isDeclaration() && "restore without an archived body");
   Context &Ctx = F->getParent()->getContext();
   F->clearBody();
@@ -117,7 +120,8 @@ MergeServiceStats MergeService::initialize() {
 
   // Session prologue, mirroring CrossModuleMerger::run stage for stage:
   // resolution first, host policy second (Hottest counts resolved call
-  // sites), then baselines/fingerprints over the resolved bodies.
+  // sites), then the full-session build (warm-path prologues +
+  // registration + merge) shared with every later rebuild.
   LastResolution = resolveCalleesAcrossModules(Modules);
   if (!ExplicitHost)
     Host = selectHostModule(Modules, Options.Driver.Host,
@@ -126,33 +130,29 @@ MergeServiceStats MergeService::initialize() {
                       ? Options.Driver.Faults
                       : FaultInjectionConfig::fromEnv();
 
-  std::set<Type *> Dirty;
-  for (uint32_t MId = 0; MId < Modules.size(); ++MId)
-    for (Function *F : Modules[MId]->functions())
-      if (!F->isDeclaration()) {
-        registerFunction(F, MId);
-        Dirty.insert(F->getReturnType());
-      }
-  // Every committed-merge name burn replays from this base on every
-  // epoch's splice; the registered modules' own counters never move.
-  HostCounterBase = Host->uniqueNameCounter();
-
   MergeServiceStats Out;
   Out.Epoch = Epoch; // 0
-  runEpoch(Dirty, Out);
-  Out.DirtyClasses = Out.TotalClasses;
+  rebuildSession(Out);
   Last = Out;
   return Out;
 }
 
 Function *MergeService::DeltaBatch::checkoutForEdit(Function *F) {
   assert(!Applied && "checkout after apply()");
-  auto It = S.Tracked.find(F);
-  assert(It != S.Tracked.end() && "checkout of an untracked function");
   // Always restore: for a never-merged function this rewrites the same
   // body (clone of the archive clone), for a thunked one it brings the
-  // original back. Either way the client edits thunk-free code.
-  S.restoreOriginal(F, It->second);
+  // original back. Either way the client edits thunk-free code. A
+  // cluster member (consumed by the HashClustering prologue, so not
+  // tracked) restores from its own pristine archive clone.
+  auto It = S.Tracked.find(F);
+  if (It != S.Tracked.end()) {
+    S.restoreBody(F, It->second.Archived);
+  } else {
+    auto MIt = S.ClusterMembers.find(F);
+    assert(MIt != S.ClusterMembers.end() &&
+           "checkout of an untracked function");
+    S.restoreBody(F, MIt->second.Archived);
+  }
   CheckedOut.insert(F);
   return F;
 }
@@ -185,9 +185,11 @@ MergeServiceStats MergeService::applyDeltaLocked(
            "every checked-out function must be declared Changed (or "
            "Deleted) in the applied delta");
   for (Function *F : Delta.Changed)
-    assert(Tracked.count(F) && "Changed entry is not tracked");
+    assert((Tracked.count(F) || ClusterMembers.count(F)) &&
+           "Changed entry is not tracked");
   for (Function *F : Delta.Deleted)
-    assert(Tracked.count(F) && "Deleted entry is not tracked");
+    assert((Tracked.count(F) || ClusterMembers.count(F)) &&
+           "Deleted entry is not tracked");
   for (Function *F : Delta.Added) {
     assert(!Tracked.count(F) && !F->isDeclaration() &&
            "Added entry must be a fresh definition");
@@ -220,6 +222,40 @@ MergeServiceStats MergeService::applyDeltaLocked(
     for (Function *F : Delta.Added)
       Dirty.insert(F->getReturnType());
     Out.DirtyClasses = static_cast<unsigned>(Dirty.size());
+
+    if (Options.Driver.HashClustering) {
+      // The cluster prologue is whole-pool by nature: the smallest edit
+      // can re-form, split or re-lead any group, so every delta rebuilds
+      // the full session — restore the members, tear the whole merge
+      // down, and re-run the cold clustered prologue over the new pool.
+      if (Armed)
+        maybeInjectFault(SessionFaults, FaultKind::SymbolResolution,
+                         "epoch" + std::to_string(Epoch), "symres");
+      restoreClusterMembersExcept(ChangedSet, DeletedSet);
+      std::set<Type *> All;
+      for (const auto &KV : Classes)
+        All.insert(KV.first);
+      uncommitClasses(All, ChangedSet, DeletedSet, Out);
+      eraseDeleted(Delta.Deleted);
+      eraseClusterBodies();
+      LastResolution = resolveCalleesAcrossModules(Modules);
+      Host->setUniqueNameCounter(PreClusterCounterBase);
+      if (Options.ReelectHost && !ExplicitHost) {
+        // The pool is live-pristine here, so the election is literally
+        // the cold prologue's (post-resolution, pre-cluster).
+        Module *Leader = selectHostModule(Modules, Options.Driver.Host,
+                                          Options.Driver.Arch);
+        if (Leader != Host) {
+          Host = Leader;
+          ++HostReelectionCount;
+          Out.HostReelected = true;
+        }
+      }
+      rebuildSession(Out);
+      Out.ReclusteredFull = true;
+      Last = Out;
+      return Out;
+    }
 
     // 2. Un-commit the dirty classes and drop the deleted functions.
     uncommitClasses(Dirty, ChangedSet, DeletedSet, Out);
@@ -271,6 +307,28 @@ MergeServiceStats MergeService::applyDeltaLocked(
                        static_cast<uint32_t>(MIt - Modules.begin()));
     }
 
+    // 4.5. Host re-election: re-score the policy over the pristine
+    //      archive (the refreshed bookkeeping above makes it current).
+    //      A moved leader rebuilds the session wholesale on the new
+    //      host — cold-with-that-host by construction.
+    if (Options.ReelectHost && !ExplicitHost &&
+        Options.Driver.Host != HostPolicy::First) {
+      Module *Leader = electHostFromArchive();
+      if (Leader != Host) {
+        std::set<Type *> All;
+        for (const auto &KV : Classes)
+          All.insert(KV.first);
+        uncommitClasses(All, ChangedSet, DeletedSet, Out);
+        Host->setUniqueNameCounter(PreClusterCounterBase);
+        Host = Leader;
+        ++HostReelectionCount;
+        Out.HostReelected = true;
+        rebuildSession(Out);
+        Last = Out;
+        return Out;
+      }
+    }
+
     // 5. Localized re-merge + splice.
     runEpoch(Dirty, Out);
   } catch (const std::exception &) {
@@ -307,7 +365,7 @@ void MergeService::uncommitClasses(
         if (TIt == Tracked.end() || SkipRestore.count(F) ||
             Deleted.count(F))
           continue;
-        restoreOriginal(F, TIt->second);
+        restoreBody(F, TIt->second.Archived);
       }
       MergedToErase.push_back(Trace.Merged);
       ++Out.UncommittedMerges;
@@ -330,8 +388,18 @@ void MergeService::uncommitClasses(
 void MergeService::eraseDeleted(const std::vector<Function *> &Deleted) {
   for (Function *F : Deleted) {
     auto TIt = Tracked.find(F);
-    if (TIt == Tracked.end())
-      continue; // degrade path re-entry: already erased
+    if (TIt == Tracked.end()) {
+      // Cluster members are not tracked; drop their archive clone and
+      // ledger entry directly.
+      auto MIt = ClusterMembers.find(F);
+      if (MIt == ClusterMembers.end())
+        continue; // degrade path re-entry: already erased
+      Archive->eraseFunction(MIt->second.Archived);
+      ClusterMembers.erase(MIt);
+      QuarantinedAt.erase(F);
+      F->getParent()->eraseFunction(F);
+      continue;
+    }
     TrackedFunction &TF = TIt->second;
     Planner.retire(TF.Id);
     if (TF.Archived)
@@ -341,6 +409,38 @@ void MergeService::eraseDeleted(const std::vector<Function *> &Deleted) {
     Tracked.erase(TIt);
     F->getParent()->eraseFunction(F);
   }
+}
+
+// --- HashClustering session state --------------------------------------------
+
+void MergeService::restoreClusterMembersExcept(
+    const std::unordered_set<const Function *> &Skip,
+    const std::unordered_set<const Function *> &Deleted) {
+  for (const auto &KV : ClusterMembers) {
+    Function *F = KV.first;
+    if (Skip.count(F) || Deleted.count(F))
+      continue; // client-edited body stays; deletions erase shortly
+    restoreBody(F, KV.second.Archived);
+  }
+}
+
+void MergeService::eraseClusterBodies() {
+  // A cluster body may have merged further in the downstream pipeline,
+  // in which case it is tracked like any pool function — retire that
+  // bookkeeping alongside the body itself.
+  for (Function *B : ClusterBodies) {
+    auto TIt = Tracked.find(B);
+    if (TIt != Tracked.end()) {
+      Planner.retire(TIt->second.Id);
+      if (TIt->second.Archived)
+        Archive->eraseFunction(TIt->second.Archived);
+      Baselines.erase(B);
+      Tracked.erase(TIt);
+    }
+    QuarantinedAt.erase(B);
+    Host->eraseFunction(B);
+  }
+  ClusterBodies.clear();
 }
 
 // --- Re-merge + splice -------------------------------------------------------
@@ -412,6 +512,13 @@ void MergeService::runEpoch(const std::set<Type *> &Dirty,
     Scope.Fingerprints = &FPView;
     Scope.Journal = &CS.Journal;
     Scope.Quarantined = &CS.NewQuarantine;
+    if (EpochCache) {
+      // Warm full-session builds only (rebuildSession): read-only cache
+      // shared across the class pipelines, recordings drained after.
+      CS.CacheUpdates.clear();
+      Scope.Cache = EpochCache;
+      Scope.CacheUpdates = &CS.CacheUpdates;
+    }
     MergePipeline Pipeline(Modules, *Host, CS.RunOptions, Baselines,
                            CS.Stats, Scope);
     Pipeline.run();
@@ -559,6 +666,12 @@ void MergeService::runEpoch(const std::set<Type *> &Dirty,
     Session.Driver.TaskFailures += S.TaskFailures;
     Session.Driver.PairingDistanceCalls += S.PairingDistanceCalls;
     Session.Driver.PairingProbes += S.PairingProbes;
+    // Cache counters are serial-commit-stage counts, summed like the
+    // cold sharded session does. A retained clean class keeps the
+    // counts of the (possibly cache-backed) run its journal came from.
+    Session.Driver.CacheHits += S.CacheHits;
+    Session.Driver.CacheMisses += S.CacheMisses;
+    Session.Driver.CacheSkips += S.CacheSkips;
     Session.Driver.PeakAlignmentBytes =
         std::max(Session.Driver.PeakAlignmentBytes, S.PeakAlignmentBytes);
     Session.Driver.AdaptiveThresholdMax =
@@ -571,17 +684,180 @@ void MergeService::runEpoch(const std::set<Type *> &Dirty,
   Out.TotalClasses = LiveClasses;
   Session.Driver.NumThreadsUsed = std::max(1u, NumThreads);
   Session.Driver.ShardCount = std::max(1u, LiveClasses);
+  // Session-level warm-path counters: set by assignment, exactly like
+  // the cold sessions set them once per run (never summed from class
+  // pipelines). Between full builds they report the session's current
+  // prologue state.
+  Session.Driver.CacheLoadRejected = SessionCacheLoadRejected;
+  Session.Driver.HashClusterCommits = SessionClusterCommits;
+  Session.Driver.FingerprintFaults = SessionClusterFaults;
   // SizeBefore is the cold run's exactly: estimateModuleSize sums
   // definitions, and the pool's unmerged definitions are precisely the
-  // tracked originals at their archived (baseline) sizes.
+  // tracked originals at their archived (baseline) sizes. Under
+  // HashClustering the pool swaps the (synthetic) cluster bodies in for
+  // the consumed members; undo that swap — the pristine pool is the
+  // members at their archived sizes, with no bodies.
   for (const auto &KV : Baselines)
     Session.SizeBefore += KV.second;
+  for (Function *B : ClusterBodies)
+    Session.SizeBefore -= Baselines.at(B);
+  for (const auto &KV : ClusterMembers)
+    Session.SizeBefore += KV.second.Baseline;
   for (Module *M : Modules)
     Session.SizeAfter += estimateModuleSize(*M, Options.Driver.Arch);
   Session.CrossModuleMerges = Session.Driver.CrossModuleMerges;
   Session.IntraModuleMerges =
       Session.Driver.CommittedMerges - Session.Driver.CrossModuleMerges;
   Session.Driver.TotalSeconds = secondsSince(T0);
+}
+
+// --- Full-session (re)build --------------------------------------------------
+
+void MergeService::rebuildSession(MergeServiceStats &Out) {
+  // Teardown of the registration state. Caller contract (see header):
+  // every original body is live and pristine in its registered module,
+  // resolution has re-run, Host is chosen with its unique-name counter
+  // sitting at the pre-burn base.
+  Planner = CandidateIndex();
+  NextId = 0;
+  Tracked.clear();
+  Baselines.clear();
+  ClusterMembers.clear();
+  ClusterBodies.clear();
+  {
+    std::vector<Function *> Archived;
+    for (Function *F : Archive->functions())
+      Archived.push_back(F);
+    for (Function *F : Archived)
+      Archive->eraseFunction(F);
+  }
+
+  const FaultInjectionConfig *FaultsPtr =
+      SessionFaults.armed() ? &SessionFaults : nullptr;
+
+  // Structural-hash fast path first, exactly like the cold sessions:
+  // cluster name burns precede every splice burn.
+  PreClusterCounterBase = Host->uniqueNameCounter();
+  SessionClusterCommits = 0;
+  SessionClusterFaults = 0;
+  if (Options.Driver.HashClustering) {
+    // Pristine clones must exist before clustering rewrites the member
+    // bodies into thunks. Survivors re-archive through registerFunction
+    // below, so their pre-clones are dropped again.
+    std::map<Function *, unsigned> PreBase;
+    std::map<Function *, Function *> PreClones;
+    for (Module *M : Modules)
+      for (Function *F : M->functions())
+        if (!F->isDeclaration()) {
+          PreBase[F] = estimateFunctionSize(*F, Options.Driver.Arch);
+          if (F->isMergeable())
+            PreClones[F] =
+                cloneFunctionInto(F, *Archive, F->getName(), {}, {});
+        }
+    PreClusterStats PCS;
+    std::vector<PreClusterGroup> Groups;
+    PCS.Groups = &Groups;
+    preClusterIdenticalFunctions(Modules, *Host, Options.Driver.Arch,
+                                 PreBase, FaultsPtr, PCS);
+    SessionClusterCommits = PCS.ClusterCommits;
+    SessionClusterFaults = PCS.FingerprintFaults;
+    for (const PreClusterGroup &G : Groups) {
+      ClusterBodies.push_back(G.Merged);
+      for (Function *M : G.Members) {
+        auto PIt = PreClones.find(M);
+        assert(PIt != PreClones.end() && "cluster member without pre-clone");
+        ClusterMembers[M] = ClusterMember{
+            PIt->second, moduleIdOf(M->getParent()), PreBase.at(M)};
+        PreClones.erase(PIt);
+      }
+    }
+    for (const auto &KV : PreClones)
+      Archive->eraseFunction(KV.second);
+  }
+
+  // One shared decision cache for every class pipeline of this build:
+  // loaded (and self-invalidated) once, read-only while pipelines run,
+  // appended to from their serial-commit recordings, persisted after.
+  DecisionCache Cache;
+  uint64_t CacheFP = 0;
+  const bool UseCache = !Options.Driver.DecisionCachePath.empty();
+  SessionCacheLoadRejected = 0;
+  if (UseCache) {
+    CacheFP = DecisionCache::optionsFingerprint(Options.Driver);
+    if (Cache.load(Options.Driver.DecisionCachePath, CacheFP, FaultsPtr) ==
+        DecisionCache::LoadOutcome::Rejected)
+      ++SessionCacheLoadRejected;
+    EpochCache = &Cache;
+  }
+
+  // Register the pool: every definition that is not a consumed cluster
+  // member (committed cluster bodies are pool functions and may merge
+  // further — the cold plan's include-set exactly). The quarantine
+  // ledger survives a rebuild; strikes decay on their own schedule.
+  std::set<Type *> Dirty;
+  for (uint32_t MId = 0; MId < Modules.size(); ++MId)
+    for (Function *F : Modules[MId]->functions())
+      if (!F->isDeclaration() && !ClusterMembers.count(F)) {
+        registerFunction(F, MId);
+        Dirty.insert(F->getReturnType());
+      }
+  // Every committed-merge name burn replays from this base on every
+  // epoch's splice; the registered modules' own counters never move.
+  HostCounterBase = Host->uniqueNameCounter();
+
+  runEpoch(Dirty, Out);
+  EpochCache = nullptr;
+  Out.DirtyClasses = Out.TotalClasses;
+
+  if (UseCache) {
+    // Class recordings applied in class order (keys are disjoint across
+    // classes) and serialized sorted by key, so the file bytes are
+    // identical at every thread count.
+    for (Type *T : Dirty) {
+      auto CIt = Classes.find(T);
+      if (CIt != Classes.end())
+        Cache.apply(std::move(CIt->second.CacheUpdates));
+    }
+    Cache.save(Options.Driver.DecisionCachePath, CacheFP, FaultsPtr);
+  }
+}
+
+Module *MergeService::electHostFromArchive() const {
+  assert(ClusterBodies.empty() &&
+         "archive election is for the incremental path only (clustering "
+         "deltas elect over the restored live pool)");
+  if (Options.Driver.Host == HostPolicy::First || Modules.size() == 1)
+    return Modules.front();
+  std::vector<uint64_t> Score(Modules.size(), 0);
+  if (Options.Driver.Host == HostPolicy::Biggest) {
+    // estimateModuleSize over the pristine pool == the tracked archived
+    // baselines grouped by registered module.
+    for (const auto &KV : Tracked)
+      Score[KV.second.ModuleId] += KV.second.Baseline;
+  } else { // HostPolicy::Hottest
+    // The archived bodies are the resolved pristine pool: their callee
+    // operands still point at the live canonical definitions, so the
+    // in-degree lands on the definition's registered module, exactly as
+    // selectHostModule counts it on a cold run.
+    std::unordered_map<const Module *, size_t> Rank;
+    for (size_t I = 0; I < Modules.size(); ++I)
+      Rank[Modules[I]] = I;
+    for (const auto &KV : Tracked)
+      for (BasicBlock *BB : *KV.second.Archived)
+        for (Instruction *I : *BB) {
+          auto *CB = dyn_cast<CallBase>(I);
+          if (!CB || !CB->getCallee() || CB->getCallee()->isDeclaration())
+            continue;
+          auto It = Rank.find(CB->getCallee()->getParent());
+          if (It != Rank.end())
+            ++Score[It->second];
+        }
+  }
+  size_t BestIdx = 0;
+  for (size_t I = 1; I < Modules.size(); ++I)
+    if (Score[I] > Score[BestIdx])
+      BestIdx = I;
+  return Modules[BestIdx];
 }
 
 // --- Degraded path -----------------------------------------------------------
@@ -592,10 +868,13 @@ void MergeService::degradeToFullRemerge(const MergeDelta &Delta,
   // interrupted delta planning at an arbitrary point. Recovery re-does
   // the whole epoch's bookkeeping idempotently — with the service-level
   // fault points disarmed, so a deterministic fault cannot re-degrade —
-  // and re-merges every class: the cost of a cold run, never a corrupt
-  // session. Pipeline-level faults stay armed inside the pipelines.
+  // and rebuilds the whole session: the cost of a cold run, never a
+  // corrupt session. Pipeline-level faults stay armed inside the
+  // pipelines; prologue faults (fingerprint, cache I/O) are contained
+  // by construction and cannot re-degrade either.
   ++FullRemergeCount;
   Out.DegradedToFullRemerge = true;
+  EpochCache = nullptr; // a fault may have unwound mid-build
 
   // 1. Un-commit everything (classes already un-committed have empty
   //    journals; restore skips client-edited and deleted bodies).
@@ -603,40 +882,22 @@ void MergeService::degradeToFullRemerge(const MergeDelta &Delta,
                                                   Delta.Changed.end());
   std::unordered_set<const Function *> DeletedSet(Delta.Deleted.begin(),
                                                   Delta.Deleted.end());
+  restoreClusterMembersExcept(ChangedSet, DeletedSet);
   std::set<Type *> AllClasses;
   for (const auto &KV : Classes)
     AllClasses.insert(KV.first);
   uncommitClasses(AllClasses, ChangedSet, DeletedSet, Out);
   eraseDeleted(Delta.Deleted);
+  eraseClusterBodies();
 
-  // 2. Rebuild registration from scratch over the surviving pool (every
-  //    definition left in the registered modules is a pool function —
-  //    thunks were restored and merged functions erased above).
+  // 2. Cold re-prologue over the surviving pool (every definition left
+  //    in the registered modules is a pristine pool function — thunks
+  //    were restored and merged/cluster bodies erased above). No host
+  //    re-election on the degrade path: recovery restores service, it
+  //    does not re-plan placement.
   LastResolution = resolveCalleesAcrossModules(Modules);
-  Planner = CandidateIndex();
-  NextId = 0;
-  Tracked.clear();
-  Baselines.clear();
-  {
-    std::vector<Function *> Archived;
-    for (Function *F : Archive->functions())
-      Archived.push_back(F);
-    for (Function *F : Archived)
-      Archive->eraseFunction(F);
-  }
-  std::set<Type *> Dirty;
-  for (uint32_t MId = 0; MId < Modules.size(); ++MId)
-    for (Function *F : Modules[MId]->functions())
-      if (!F->isDeclaration()) {
-        registerFunction(F, MId);
-        Dirty.insert(F->getReturnType());
-      }
-  // The quarantine ledger survives a degrade (strikes decay on their
-  // own schedule); ledger entries for erased functions went with
-  // eraseDeleted above.
-
-  runEpoch(Dirty, Out);
-  Out.DirtyClasses = Out.TotalClasses;
+  Host->setUniqueNameCounter(PreClusterCounterBase);
+  rebuildSession(Out);
 }
 
 // --- Introspection -----------------------------------------------------------
@@ -649,6 +910,11 @@ unsigned MergeService::epoch() const {
 unsigned MergeService::fullRemerges() const {
   std::lock_guard<std::mutex> Guard(SessionMutex);
   return FullRemergeCount;
+}
+
+unsigned MergeService::hostReelections() const {
+  std::lock_guard<std::mutex> Guard(SessionMutex);
+  return HostReelectionCount;
 }
 
 bool MergeService::isQuarantined(const Function *F) const {

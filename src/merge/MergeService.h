@@ -81,10 +81,36 @@
 /// inside the pipelines exactly as in batch sessions and never degrade a
 /// delta. A faulted delta is never a corrupt session.
 ///
-/// v1 limits: SalSSA technique only; HashClustering and DecisionCachePath
-/// are rejected (their session-level pre-passes are not incremental yet).
-/// Destroy the service before the modules it serves (the archive keeps
-/// operand references into them).
+/// ## Warm paths & host re-election
+///
+/// The session-level fast paths compose with the service on every *full*
+/// session build — initialize(), a degraded delta, a host re-election,
+/// and every delta while HashClustering is on — never on a localized
+/// delta epoch:
+///
+///  - `Driver.DecisionCachePath`: the cache file is loaded before the
+///    class pipelines run and the run's recordings are persisted after
+///    the splice, exactly like the batch sessions. A restarted service
+///    pointed at the same file warm-replays its epoch 0 (the merge
+///    daemon's restart story, service/Daemon.h).
+///  - `Driver.HashClustering`: the pre-cluster pass commits exact-clone
+///    groups into the host ahead of registration; consumed members are
+///    tracked separately (their pristine bodies archived) so a later
+///    delta can restore them. The cluster prologue is whole-pool by
+///    nature, so *any* applied delta rebuilds the full session —
+///    re-cluster + re-merge, byte-identical to a cold clustered run of
+///    the new pool (MergeServiceStats::ReclusteredFull counts it);
+///    incrementality is traded away while clustering is on.
+///
+/// `MergeServiceOptions::ReelectHost` re-runs the host-policy election
+/// after each delta's bookkeeping refresh, scored over the session's
+/// pristine archive (what a cold run would score after resolution). When
+/// the leader moves, the session rebuilds wholesale on the new host —
+/// proven byte-identical to a cold merge hosted there — and
+/// MergeServiceStats::HostReelected reports it.
+///
+/// v1 limits: SalSSA technique only. Destroy the service before the
+/// modules it serves (the archive keeps operand references into them).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -108,17 +134,27 @@ namespace salssa {
 
 /// Service configuration.
 struct MergeServiceOptions {
-  /// The per-run merge configuration (technique must stay SalSSA;
-  /// HashClustering and DecisionCachePath must stay off). ShardCount
-  /// here only schedules: != 1 runs dirty-class pipelines concurrently
-  /// over the thread pool, 1 runs them serially — outcomes are
-  /// identical either way (the determinism contract).
+  /// The per-run merge configuration (technique must stay SalSSA).
+  /// ShardCount here only schedules: != 1 runs dirty-class pipelines
+  /// concurrently over the thread pool, 1 runs them serially — outcomes
+  /// are identical either way (the determinism contract).
+  /// DecisionCachePath and HashClustering are honoured on full session
+  /// builds (see "Warm paths & host re-election" above); HashClustering
+  /// additionally turns every delta into a counted full rebuild.
   MergeDriverOptions Driver;
   /// Quarantine-ladder strike decay: a function the ladder struck out
   /// re-enters candidacy after this many further epochs (its class
-  /// re-merges with it back in the pool). 0 = strikes never decay (the
-  /// batch sessions' behaviour).
+  /// re-merges with it back in the pool). 0 (the default) = strikes
+  /// never decay (the batch sessions' behaviour). Unit: epochs.
   unsigned QuarantineDecayEpochs = 0;
+  /// Re-run the Driver.Host election after every applied delta, scored
+  /// over the pristine archive; when the score leader moved, rebuild
+  /// the session on the new host (cold-equivalent by construction).
+  /// Default false = the host elected at initialize() is pinned for the
+  /// session's lifetime. Ignored when setHostModule() pinned the host
+  /// explicitly, under HostPolicy::First (the election can never move),
+  /// and on the degraded fault-recovery path.
+  bool ReelectHost = false;
 };
 
 /// One delta batch: functions whose bodies changed, functions the client
@@ -148,8 +184,15 @@ struct MergeServiceStats {
   unsigned QuarantineReleases = 0; ///< ledger entries decayed this epoch
   /// Declared-changed functions whose structural hash did not move
   /// (no-op edits; their class still re-merges — checkout restored it).
+  /// Not computed on full-rebuild epochs (ReclusteredFull below).
   unsigned NoopChanges = 0;
   bool DegradedToFullRemerge = false;
+  /// The host election moved this epoch (MergeServiceOptions::
+  /// ReelectHost): the session rebuilt wholesale on the new leader.
+  bool HostReelected = false;
+  /// HashClustering forced this delta into a full re-cluster + re-merge
+  /// (the cluster prologue is whole-pool; see the file comment).
+  bool ReclusteredFull = false;
   // Work spent this epoch, summed over the dirty classes' runs only:
   uint64_t EpochPairingDistanceCalls = 0;
   uint64_t EpochPairingProbes = 0;
@@ -208,7 +251,8 @@ public:
   // --- Introspection (each takes the session lock; do not call while
   // --- holding an unapplied DeltaBatch) ------------------------------------
   unsigned epoch() const;
-  unsigned fullRemerges() const; ///< cumulative degraded deltas
+  unsigned fullRemerges() const;    ///< cumulative degraded deltas
+  unsigned hostReelections() const; ///< cumulative host moves
   bool isQuarantined(const Function *F) const;
   size_t quarantinedCount() const;
   /// The retained structural hash of a tracked function.
@@ -236,11 +280,24 @@ private:
     std::vector<Function *> NewQuarantine; ///< per-run ladder sink
     std::unique_ptr<Module> Scratch;       ///< live only run -> splice
     MergeDriverOptions RunOptions;         ///< outlives the pipeline's ref
+    /// Serial-commit cache recordings of the last run; only filled on
+    /// warm full-session builds (EpochCache set), drained right after.
+    std::vector<DecisionCacheUpdate> CacheUpdates;
+  };
+
+  /// A function consumed by a HashClustering group: its body is a direct
+  /// thunk onto the committed cluster body, its pristine self lives on
+  /// in the archive (deltas restore it before re-clustering).
+  struct ClusterMember {
+    Function *Archived = nullptr; ///< pristine clone in the archive
+    uint32_t ModuleId = 0;        ///< index into Modules
+    unsigned Baseline = 0;        ///< pristine estimateFunctionSize
   };
 
   void registerFunction(Function *F, uint32_t ModuleId);
   void archiveFunction(Function *F, TrackedFunction &TF);
-  void restoreOriginal(Function *F, const TrackedFunction &TF);
+  void restoreBody(Function *F, const Function *Src);
+  uint32_t moduleIdOf(const Module *M) const;
   /// Un-commits every retained merge of the given classes: restores
   /// archived originals (except functions in \p SkipRestore or
   /// \p Deleted), clears deleted bodies, erases the merged functions
@@ -251,6 +308,28 @@ private:
                        const std::unordered_set<const Function *> &Deleted,
                        MergeServiceStats &Out);
   void eraseDeleted(const std::vector<Function *> &Deleted);
+  /// Restores every cluster member's pristine body from its archive
+  /// clone, except members the client edited or deleted this delta.
+  void
+  restoreClusterMembersExcept(const std::unordered_set<const Function *> &Skip,
+                              const std::unordered_set<const Function *>
+                                  &Deleted);
+  /// Erases the committed cluster bodies (and their bookkeeping) from
+  /// the host; members must have been restored or erased first.
+  void eraseClusterBodies();
+  /// Rebuilds the whole session over the current pool — the shared core
+  /// of initialize(), the degraded path, host re-election and every
+  /// clustering delta. Caller contract: every original body is live and
+  /// pristine in its registered module (thunks restored, merged and
+  /// cluster bodies erased, deletions applied), resolution has run,
+  /// Host is chosen and its unique-name counter sits at the pre-burn
+  /// base. Runs the warm-path prologues (decision-cache load/save,
+  /// pre-clustering), re-registers everything, and merges every class.
+  void rebuildSession(MergeServiceStats &Out);
+  /// The Driver.Host election re-scored from the pristine archive
+  /// (what a cold run scores after resolution); ties to the
+  /// earlier-registered module, exactly like selectHostModule.
+  Module *electHostFromArchive() const;
   /// Runs pipelines for the dirty classes, splices every class's journal
   /// into the host against the global plan, and fills Out.Session.
   void runEpoch(const std::set<Type *> &Dirty, MergeServiceStats &Out);
@@ -273,10 +352,27 @@ private:
   std::unique_ptr<Module> Archive;
   /// Struck-out functions -> the epoch the ladder retired them.
   std::map<const Function *, unsigned> QuarantinedAt;
+  /// HashClustering session state (empty when the flag is off): consumed
+  /// members and the committed bodies in commit order.
+  std::map<Function *, ClusterMember> ClusterMembers;
+  std::vector<Function *> ClusterBodies;
 
   unsigned Epoch = 0;
-  unsigned HostCounterBase = 0; ///< unique-name counter before any burn
+  unsigned HostCounterBase = 0; ///< unique-name counter before splice burns
+  /// Host counter before even the cluster prologue's burns (==
+  /// HostCounterBase when HashClustering is off); full rebuilds restart
+  /// name allocation here.
+  unsigned PreClusterCounterBase = 0;
   unsigned FullRemergeCount = 0;
+  unsigned HostReelectionCount = 0;
+  // Session-level warm-path counters, mirrored into Session.Driver each
+  // epoch (cold sessions set them once per run).
+  uint64_t SessionClusterCommits = 0;
+  uint64_t SessionClusterFaults = 0;
+  uint64_t SessionCacheLoadRejected = 0;
+  /// Warm cache exposed to the class pipelines, non-null only while
+  /// rebuildSession runs a cache-backed full build.
+  const DecisionCache *EpochCache = nullptr;
   SymbolResolutionStats LastResolution;
   FaultInjectionConfig SessionFaults; ///< resolved at initialize()
   MergeServiceStats Last;

@@ -432,6 +432,8 @@ std::unordered_set<const Function *> preClusterIdenticalFunctions(
       BaselineSize[MergedF] = estimateFunctionSize(*MergedF, Arch);
       Pool.insert(MergedF);
       ++Out.ClusterCommits;
+      if (Out.Groups)
+        Out.Groups->push_back({MergedF, Members});
     }
   }
   return Pool;

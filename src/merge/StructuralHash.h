@@ -69,11 +69,23 @@ StructuralHash computeStructuralHash(const Function &F);
 /// types and Context-owned constants).
 bool structurallyEqual(const Function &F1, const Function &F2);
 
+/// One committed cluster: the merged body landed in the host plus the
+/// members whose bodies became direct thunks onto it. A long-lived
+/// session (merge/MergeService.h) keeps these to know which functions a
+/// later delta must restore from its archive before re-clustering.
+struct PreClusterGroup {
+  Function *Merged;               ///< the committed body (lives in Host)
+  std::vector<Function *> Members; ///< now direct thunks, in group order
+};
+
 /// Counters reported by preClusterIdenticalFunctions.
 struct PreClusterStats {
   uint64_t ClusterCommits = 0;    ///< groups committed (one merged body each)
   uint64_t FingerprintFaults = 0; ///< functions skipped by a fired
                                   ///< FaultKind::Fingerprint point
+  /// When non-null, one entry is appended per committed group, in
+  /// commit order.
+  std::vector<PreClusterGroup> *Groups = nullptr;
 };
 
 /// The pre-ranking fast path: hashes every mergeable function of

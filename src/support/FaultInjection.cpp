@@ -77,6 +77,8 @@ const char *kindName(FaultKind K) {
     return "injected fault: candidate ranking";
   case FaultKind::SymbolResolution:
     return "injected fault: symbol resolution";
+  case FaultKind::Protocol:
+    return "injected fault: protocol frame damage";
   }
   return "injected fault";
 }
@@ -136,6 +138,9 @@ FaultInjectionConfig FaultInjectionConfig::parse(const std::string &Spec) {
                 static_cast<uint32_t>(parseNumber(Val, 0)));
     else if (Key == "symres")
       C.setRate(FaultKind::SymbolResolution,
+                static_cast<uint32_t>(parseNumber(Val, 0)));
+    else if (Key == "protocol")
+      C.setRate(FaultKind::Protocol,
                 static_cast<uint32_t>(parseNumber(Val, 0)));
     // Unknown keys: ignored.
   }

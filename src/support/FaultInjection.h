@@ -75,9 +75,16 @@ enum class FaultKind : uint8_t {
   /// Linker-style symbol resolution throws mid-delta: models a broken
   /// cross-module binding pass. Keyed by the session/delta identity.
   SymbolResolution,
+  /// A wire-protocol frame is damaged in flight (service/Protocol.h):
+  /// a fired point truncates the frame, corrupts its checksum, or drops
+  /// the connection mid-request. Keyed by the connection and request
+  /// identity plus the damage flavour ("truncate"/"checksum"/
+  /// "disconnect"). The daemon must answer with a clean per-request
+  /// error — never a wedged session.
+  Protocol,
 };
 
-constexpr unsigned NumFaultKinds = 8;
+constexpr unsigned NumFaultKinds = 9;
 
 /// Per-kind fault rates plus the seed that keys every decision.
 struct FaultInjectionConfig {
@@ -100,8 +107,8 @@ struct FaultInjectionConfig {
   }
 
   /// Parses a "seed=N,align=R,codegen=R,task=R,budget=R,fingerprint=R,
-  /// cacheio=R,ranking=R,symres=R" spec. Unknown keys and malformed
-  /// numbers are ignored (a
+  /// cacheio=R,ranking=R,symres=R,protocol=R" spec. Unknown keys and
+  /// malformed numbers are ignored (a
   /// soak harness must not crash the binary it is soaking); missing
   /// keys keep their defaults.
   static FaultInjectionConfig parse(const std::string &Spec);

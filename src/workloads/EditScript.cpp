@@ -40,7 +40,7 @@ EditScript::EditScript(const std::vector<Module *> &InitialModules,
         static_cast<unsigned>(Population.size() / 2));
     for (unsigned I = 0; I < NumDeletes; ++I) {
       size_t Pick = Rng.nextBelow(Population.size());
-      Plan.Deletes.push_back({Op::Delete, Population[Pick].ModuleIdx,
+      Plan.Deletes.push_back({EditOp::Delete, Population[Pick].ModuleIdx,
                               Population[Pick].Name, Rng.next()});
       Population.erase(Population.begin() +
                        static_cast<ptrdiff_t>(Pick));
@@ -54,7 +54,7 @@ EditScript::EditScript(const std::vector<Module *> &InitialModules,
     for (unsigned I = 0; I < NumChanges; ++I) {
       size_t Pick = Rng.nextBelow(Candidates.size());
       const Member &M = Population[Candidates[Pick]];
-      Plan.Changes.push_back({Op::Change, M.ModuleIdx, M.Name, Rng.next()});
+      Plan.Changes.push_back({EditOp::Change, M.ModuleIdx, M.Name, Rng.next()});
       Candidates.erase(Candidates.begin() + static_cast<ptrdiff_t>(Pick));
     }
     // Adds: fresh names, random target module.
@@ -62,39 +62,56 @@ EditScript::EditScript(const std::vector<Module *> &InitialModules,
       unsigned MI = static_cast<unsigned>(
           Rng.nextBelow(InitialModules.size()));
       std::string Name = "edit_add" + std::to_string(NextAddId++);
-      Plan.Adds.push_back({Op::Add, MI, Name, Rng.next()});
+      Plan.Adds.push_back({EditOp::Add, MI, Name, Rng.next()});
       Population.push_back({MI, Name});
     }
     Steps.push_back(std::move(Plan));
   }
 }
 
-EditScript::AppliedStep
-EditScript::applyStep(const std::vector<Module *> &Modules, unsigned StepIdx,
-                      const std::function<void(Function *)> &PrepareEdit) const {
-  assert(StepIdx < Steps.size() && "edit step out of range");
-  const StepPlan &Plan = Steps[StepIdx];
-  AppliedStep Out;
-  for (const Op &O : Plan.Deletes) {
+AppliedEditStep
+salssa::applyEditStep(const std::vector<Module *> &Modules,
+                      const EditStepSpec &Spec,
+                      const std::function<void(Function *)> &PrepareEdit) {
+  AppliedEditStep Out;
+  for (const EditOp &O : Spec.Deletes) {
     Function *F = Modules[O.ModuleIdx]->getFunction(O.Name);
     assert(F && !F->isDeclaration() && "scripted delete target missing");
     Out.Deleted.push_back(F);
   }
-  for (const Op &O : Plan.Changes) {
+  for (const EditOp &O : Spec.Changes) {
     Function *F = Modules[O.ModuleIdx]->getFunction(O.Name);
     assert(F && !F->isDeclaration() && "scripted change target missing");
     if (PrepareEdit)
       PrepareEdit(F);
     WorkloadEnvironment Env = WorkloadEnvironment::attach(*Modules[O.ModuleIdx]);
     RNG OpRng(O.OpSeed);
-    driftFunctionBody(F, Env, OpRng, Options.Drift);
+    driftFunctionBody(F, Env, OpRng, Spec.Drift);
     Out.Changed.push_back(F);
   }
-  for (const Op &O : Plan.Adds) {
+  for (const EditOp &O : Spec.Adds) {
     WorkloadEnvironment Env = WorkloadEnvironment::attach(*Modules[O.ModuleIdx]);
     RNG OpRng(O.OpSeed);
     Out.Added.push_back(
-        generateRandomFunction(Env, OpRng, O.Name, Options.Generate));
+        generateRandomFunction(Env, OpRng, O.Name, Spec.Generate));
   }
   return Out;
+}
+
+EditStepSpec EditScript::stepSpec(unsigned StepIdx) const {
+  assert(StepIdx < Steps.size() && "edit step out of range");
+  const StepPlan &Plan = Steps[StepIdx];
+  EditStepSpec Spec;
+  Spec.Deletes = Plan.Deletes;
+  Spec.Changes = Plan.Changes;
+  Spec.Adds = Plan.Adds;
+  Spec.Drift = Options.Drift;
+  Spec.Generate = Options.Generate;
+  return Spec;
+}
+
+EditScript::AppliedStep
+EditScript::applyStep(const std::vector<Module *> &Modules, unsigned StepIdx,
+                      const std::function<void(Function *)> &PrepareEdit) const {
+  return applyEditStep(Modules, stepSpec(StepIdx), PrepareEdit);
 }

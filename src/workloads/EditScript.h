@@ -40,6 +40,50 @@
 
 namespace salssa {
 
+/// One name-addressed operation of an edit step. Public (and plain data)
+/// because deltas travel between processes as operation lists: the merge
+/// daemon's wire protocol (service/Protocol.h) ships EditOps instead of
+/// IR — there is no IR text parser, so both ends reconstruct the same
+/// bytes by replaying the same seeded operation against name-identical
+/// module copies.
+struct EditOp {
+  enum Kind : uint8_t { Change, Add, Delete } K;
+  unsigned ModuleIdx;
+  std::string Name;
+  uint64_t OpSeed; ///< seeds the drift / generation RNG
+};
+
+/// One whole step as plain data: the operations plus the knobs their
+/// replay needs. Self-contained — applyEditStep needs nothing else — so
+/// a serialized EditStepSpec is a complete delta description.
+struct EditStepSpec {
+  std::vector<EditOp> Deletes; ///< applied first (frees the names)
+  std::vector<EditOp> Changes;
+  std::vector<EditOp> Adds;
+  DriftOptions Drift;              ///< mutation strength for Changes
+  RandomFunctionOptions Generate;  ///< shape of Adds
+};
+
+/// One step's resolved effect on one group copy.
+struct AppliedEditStep {
+  std::vector<Function *> Changed;
+  std::vector<Function *> Added;
+  std::vector<Function *> Deleted;
+};
+
+/// Replays \p Spec against \p Modules, which must be name-identical to
+/// the population state the spec was planned for. Changed functions are
+/// mutated in place — \p PrepareEdit, when set, runs on each one first
+/// (a service copy passes DeltaBatch::checkoutForEdit there; plain
+/// copies pass nothing). Added functions are generated directly into
+/// their target modules. Deleted functions are *returned but not
+/// erased*: the caller owns the erase (a plain copy calls
+/// Module::eraseFunction immediately; a service erases through the
+/// delta).
+AppliedEditStep
+applyEditStep(const std::vector<Module *> &Modules, const EditStepSpec &Spec,
+              const std::function<void(Function *)> &PrepareEdit = {});
+
 struct EditScriptOptions {
   unsigned NumSteps = 6;
   /// Operation counts per step (clamped when the population runs low).
@@ -65,37 +109,26 @@ public:
 
   unsigned numSteps() const { return static_cast<unsigned>(Steps.size()); }
 
-  /// One step's resolved effect on one group copy.
-  struct AppliedStep {
-    std::vector<Function *> Changed;
-    std::vector<Function *> Added;
-    std::vector<Function *> Deleted;
-  };
+  using AppliedStep = AppliedEditStep;
+
+  /// Step \p StepIdx as self-contained plain data (ops + the script's
+  /// Drift/Generate knobs) — what the daemon client serializes onto the
+  /// wire. applyEditStep(modules, stepSpec(I)) == applyStep(modules, I).
+  EditStepSpec stepSpec(unsigned StepIdx) const;
 
   /// Applies step \p StepIdx to \p Modules, which must be name-identical
   /// to the population state after steps [0, StepIdx) (apply steps in
-  /// order to each copy). Changed functions are mutated in place —
-  /// \p PrepareEdit, when set, runs on each one first (the service copy
-  /// passes Batch.checkoutForEdit there; plain copies pass nothing).
-  /// Added functions are generated directly into their target modules.
-  /// Deleted functions are *returned but not erased*: the caller owns
-  /// the erase (a plain copy calls Module::eraseFunction immediately;
-  /// the service erases through the delta).
+  /// order to each copy). Semantics of PrepareEdit / returned pointers:
+  /// see applyEditStep above, to which this delegates.
   AppliedStep
   applyStep(const std::vector<Module *> &Modules, unsigned StepIdx,
             const std::function<void(Function *)> &PrepareEdit = {}) const;
 
 private:
-  struct Op {
-    enum Kind { Change, Add, Delete } K;
-    unsigned ModuleIdx;
-    std::string Name;
-    uint64_t OpSeed; ///< seeds the drift / generation RNG
-  };
   struct StepPlan {
-    std::vector<Op> Deletes; ///< applied first (frees the names)
-    std::vector<Op> Changes;
-    std::vector<Op> Adds;
+    std::vector<EditOp> Deletes; ///< applied first (frees the names)
+    std::vector<EditOp> Changes;
+    std::vector<EditOp> Adds;
   };
 
   EditScriptOptions Options;

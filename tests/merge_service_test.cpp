@@ -597,4 +597,246 @@ TEST(MergeServiceTest, ConcurrentDeltaBatchesSerializeToTheColdState) {
                     outcomeOf(ColdMods, ColdStats), "racing clients");
 }
 
+//===----------------------------------------------------------------------===//
+// 5. Warm paths: clustering deltas, decision-cache warm starts, host
+//    re-election
+//===----------------------------------------------------------------------===//
+
+BenchmarkProfile clusterProfile() {
+  // Zero family drift: clone families are byte-identical, so the
+  // structural-hash prologue actually commits clusters.
+  BenchmarkProfile P = serviceProfile();
+  P.Name = "incsvc.cluster";
+  P.FamilyDriftPercent = 0;
+  return P;
+}
+
+/// Cold baseline over an arbitrary profile (coldOutcome fixes the
+/// default group).
+Outcome coldOutcomeFor(const BenchmarkProfile &P, const EditScript &Script,
+                       unsigned NumSteps, MergeDriverOptions DO) {
+  Context Ctx;
+  ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+  std::vector<Module *> Mods = modsOf(Group);
+  for (unsigned S = 0; S < NumSteps; ++S)
+    applyStepPlain(Script, Mods, S);
+  DO.ShardCount = 1;
+  CrossModuleMerger Session(DO);
+  for (Module *M : Mods)
+    Session.addModule(*M);
+  CrossModuleStats S = Session.run();
+  return outcomeOf(Mods, S);
+}
+
+TEST(MergeServiceTest, HashClusteringDeltasRebuildToTheColdState) {
+  // Every delta under HashClustering is a whole-session rebuild (the
+  // smallest edit can re-form any group); the contract is the cold
+  // clustered run's bytes, records and counters after every step —
+  // including checkouts and deletes of consumed cluster members.
+  BenchmarkProfile P = clusterProfile();
+  EditScript Script = [&] {
+    Context Ctx;
+    ModuleGroup Group = buildBenchmarkModuleGroup(P, Ctx, 2);
+    return EditScript(modsOf(Group), scriptOptions(81));
+  }();
+  for (unsigned NT : {1u, 4u}) {
+    MergeDriverOptions DO =
+        driverOptions(SelectionStrategy::Distance, NT, NT == 1 ? 1u : 4u);
+    DO.HashClustering = true;
+    std::string Cfg = "clustered threads=" + std::to_string(NT);
+
+    Context SvcCtx, RefCtx;
+    ModuleGroup SvcGroup = buildBenchmarkModuleGroup(P, SvcCtx, 2);
+    ModuleGroup RefGroup = buildBenchmarkModuleGroup(P, RefCtx, 2);
+    std::vector<Module *> SvcMods = modsOf(SvcGroup);
+    std::vector<Module *> RefMods = modsOf(RefGroup);
+
+    MergeServiceOptions SO;
+    SO.Driver = DO;
+    MergeService Svc(SO);
+    for (Module *M : SvcMods)
+      Svc.addModule(*M);
+    MergeServiceStats Init = Svc.initialize();
+    ASSERT_GT(Init.Session.Driver.HashClusterCommits, 0u)
+        << Cfg << ": the zero-drift profile must form clusters";
+    expectSameOutcome(outcomeOf(SvcMods, Init.Session),
+                      coldOutcomeFor(P, Script, 0, DO), Cfg + " epoch 0");
+    groupDifferential(RefMods, SvcMods, 81, Cfg + " epoch 0");
+
+    for (unsigned S = 0; S < Script.numSteps(); ++S) {
+      MergeServiceStats St = applyStepService(Svc, Script, SvcMods, S);
+      applyStepPlain(Script, RefMods, S);
+      std::string Tag = Cfg + " epoch " + std::to_string(S + 1);
+      EXPECT_TRUE(St.ReclusteredFull) << Tag;
+      EXPECT_FALSE(St.DegradedToFullRemerge) << Tag;
+      EXPECT_EQ(St.DirtyClasses, St.TotalClasses) << Tag;
+      groupDifferential(RefMods, SvcMods, 81 + S, Tag);
+      expectSameOutcome(outcomeOf(SvcMods, St.Session),
+                        coldOutcomeFor(P, Script, S + 1, DO), Tag);
+    }
+    EXPECT_EQ(Svc.fullRemerges(), 0u) << Cfg;
+  }
+}
+
+TEST(MergeServiceTest, DecisionCacheWarmStartReplaysByteIdentical) {
+  // Session A builds cold and persists its decisions; session B over a
+  // fresh copy warm-starts from the file. Cache replay skips alignment
+  // work, so Attempts/Records differ by design — the contract is the
+  // module bytes, the committed merges and the size accounting.
+  std::string Path = "salssa_svc_dcache.bin";
+  std::remove(Path.c_str());
+  MergeDriverOptions DO = driverOptions(SelectionStrategy::Distance, 1, 1);
+  DO.DecisionCachePath = Path;
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+
+  Outcome ColdO;
+  {
+    Context Ctx;
+    ModuleGroup Group = buildGroup(Ctx);
+    std::vector<Module *> Mods = modsOf(Group);
+    MergeService Svc(SO);
+    for (Module *M : Mods)
+      Svc.addModule(*M);
+    MergeServiceStats Init = Svc.initialize();
+    EXPECT_EQ(Init.Session.Driver.CacheHits, 0u);
+    EXPECT_EQ(Init.Session.Driver.CacheLoadRejected, 0u);
+    ColdO = outcomeOf(Mods, Init.Session);
+    ASSERT_GT(ColdO.CommittedMerges, 0u);
+  }
+
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  MergeServiceStats Init = Svc.initialize();
+  EXPECT_GT(Init.Session.Driver.CacheHits, 0u) << "warm start missed";
+  EXPECT_EQ(Init.Session.Driver.CacheLoadRejected, 0u);
+  Outcome WarmO = outcomeOf(Mods, Init.Session);
+  EXPECT_TRUE(WarmO.VerifierOk);
+  EXPECT_EQ(WarmO.Prints, ColdO.Prints) << "warm replay changed bytes";
+  EXPECT_EQ(WarmO.CommittedMerges, ColdO.CommittedMerges);
+  EXPECT_EQ(WarmO.CrossModuleMerges, ColdO.CrossModuleMerges);
+  EXPECT_EQ(WarmO.SizeBefore, ColdO.SizeBefore);
+  EXPECT_EQ(WarmO.SizeAfter, ColdO.SizeAfter);
+
+  // Incremental deltas after a warm start stay on the ordinary
+  // (uncached) localized path and keep cold equivalence.
+  EditScript Script = [] {
+    Context SCtx;
+    ModuleGroup SGroup = buildGroup(SCtx);
+    return EditScript(modsOf(SGroup), scriptOptions(82));
+  }();
+  MergeDriverOptions CleanDO = driverOptions(SelectionStrategy::Distance, 1, 1);
+  MergeServiceStats St = applyStepService(Svc, Script, Mods, 0);
+  EXPECT_FALSE(St.DegradedToFullRemerge);
+  Outcome Inc = outcomeOf(Mods, St.Session);
+  Outcome Cold = coldOutcome(Script, 1, CleanDO);
+  // Retained clean classes keep their cache-backed records, so compare
+  // the pool state, not the record stream.
+  EXPECT_TRUE(Inc.VerifierOk);
+  EXPECT_EQ(Inc.Prints, Cold.Prints) << "post-warm delta changed bytes";
+  EXPECT_EQ(Inc.CommittedMerges, Cold.CommittedMerges);
+  EXPECT_EQ(Inc.SizeBefore, Cold.SizeBefore);
+  EXPECT_EQ(Inc.SizeAfter, Cold.SizeAfter);
+  std::remove(Path.c_str());
+}
+
+TEST(MergeServiceTest, BiggestHostReelectionMovesWithTheScoreLeader) {
+  // Grow the non-host module until it outweighs the host: the next
+  // delta must re-elect, rebuild on the new host, and land on the bytes
+  // a cold Biggest run over the same pool produces.
+  MergeDriverOptions DO = driverOptions(SelectionStrategy::Distance, 1, 1);
+  DO.Host = HostPolicy::Biggest;
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+  SO.ReelectHost = true;
+
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  Svc.initialize();
+  const Module *H0 = Svc.hostModule();
+  size_t OtherIdx = (Mods[0] == H0) ? 1 : 0;
+  Module *Other = Mods[OtherIdx];
+
+  RandomFunctionOptions Grow;
+  Grow.TargetSize = 200;
+  Grow.RetTypeVariety = 3;
+  auto growModule = [&Grow](Module &M, const std::string &Prefix) {
+    std::vector<Function *> Added;
+    WorkloadEnvironment Env = WorkloadEnvironment::attach(M);
+    RNG Rng(0xb166e57);
+    for (int I = 0; I < 4; ++I)
+      Added.push_back(generateRandomFunction(
+          Env, Rng, Prefix + std::to_string(I), Grow));
+    return Added;
+  };
+
+  MergeService::DeltaBatch Batch = Svc.beginDelta();
+  MergeDelta D;
+  D.Added = growModule(*Other, "grow");
+  MergeServiceStats St = Batch.apply(D);
+  EXPECT_TRUE(St.HostReelected);
+  EXPECT_FALSE(St.DegradedToFullRemerge);
+  EXPECT_EQ(Svc.hostModule(), Other);
+  EXPECT_EQ(Svc.hostReelections(), 1u);
+
+  // Cold baseline: fresh copy, the same functions grown into the same
+  // module, one from-scratch Biggest run.
+  Context ColdCtx;
+  ModuleGroup ColdGroup = buildGroup(ColdCtx);
+  std::vector<Module *> ColdMods = modsOf(ColdGroup);
+  growModule(*ColdMods[OtherIdx], "grow");
+  CrossModuleMerger Cold(DO);
+  for (Module *M : ColdMods)
+    Cold.addModule(*M);
+  CrossModuleStats ColdStats = Cold.run();
+  expectSameOutcome(outcomeOf(Mods, St.Session),
+                    outcomeOf(ColdMods, ColdStats), "re-elected host");
+
+  // A quiet delta keeps the leader: no move, no rebuild.
+  MergeService::DeltaBatch Batch2 = Svc.beginDelta();
+  MergeServiceStats St2 = Batch2.apply(MergeDelta());
+  EXPECT_FALSE(St2.HostReelected);
+  EXPECT_EQ(Svc.hostReelections(), 1u);
+  EXPECT_EQ(Svc.hostModule(), Other);
+}
+
+TEST(MergeServiceTest, HottestReelectionStaysColdEquivalentOverAScript) {
+  // The Hottest policy re-scores from the pristine archive every delta;
+  // whether or not the leader moves, each epoch must equal the cold
+  // Hottest run over the same pool.
+  EditScript Script = [] {
+    Context Ctx;
+    ModuleGroup Group = buildGroup(Ctx);
+    return EditScript(modsOf(Group), scriptOptions(83));
+  }();
+  MergeDriverOptions DO = driverOptions(SelectionStrategy::Distance, 1, 1);
+  DO.Host = HostPolicy::Hottest;
+  MergeServiceOptions SO;
+  SO.Driver = DO;
+  SO.ReelectHost = true;
+
+  Context Ctx;
+  ModuleGroup Group = buildGroup(Ctx);
+  std::vector<Module *> Mods = modsOf(Group);
+  MergeService Svc(SO);
+  for (Module *M : Mods)
+    Svc.addModule(*M);
+  Svc.initialize();
+  for (unsigned S = 0; S < 2; ++S) {
+    MergeServiceStats St = applyStepService(Svc, Script, Mods, S);
+    EXPECT_FALSE(St.DegradedToFullRemerge) << "step " << S;
+    expectSameOutcome(outcomeOf(Mods, St.Session),
+                      coldOutcome(Script, S + 1, DO),
+                      "hottest step " + std::to_string(S));
+  }
+}
+
 } // namespace

@@ -1,0 +1,304 @@
+//===- tools/salssa_client.cpp - Merge daemon CLI client ----------------------===//
+//
+// Part of the SalSSA reproduction project, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// salssa-client — drive a running salssad (tools/salssad.cpp) from the
+// command line.
+//
+//   salssa-client --socket=PATH stats [--prints]
+//   salssa-client --socket=PATH shutdown
+//   salssa-client --socket=PATH run-script [--steps=N] [--seed=N]
+//                 [--threads=N] [--shards=N] [--verify] [--json]
+//
+// `run-script` is the end-to-end exercise (and the CI daemon smoke):
+// it registers the canonical benchmark session, plans a deterministic
+// edit script, streams each step through ApplyDelta, and — with
+// --verify — replays the identical script against an in-process
+// MergeService, asserting the daemon's module digest matches after
+// every epoch (byte-identity over the wire). --json emits one summary
+// line for the CI stats artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+#include "merge/MergeService.h"
+#include "service/Client.h"
+#include "support/RNG.h"
+#include "workloads/EditScript.h"
+#include "workloads/Suites.h"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace salssa;
+
+namespace {
+
+bool flagValue(const char *Arg, const char *Name, std::string &Out) {
+  size_t N = std::strlen(Name);
+  if (std::strncmp(Arg, Name, N) != 0 || Arg[N] != '=')
+    return false;
+  Out = Arg + N + 1;
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: salssa-client --socket=PATH "
+               "(stats [--prints] | shutdown | run-script [--steps=N] "
+               "[--seed=N] [--threads=N] [--shards=N] [--verify] "
+               "[--json])\n");
+  return 2;
+}
+
+BenchmarkProfile clientProfile() {
+  BenchmarkProfile P;
+  P.Name = "daemon.cli";
+  P.NumFunctions = 26;
+  P.MinSize = 6;
+  P.AvgSize = 36;
+  P.MaxSize = 120;
+  P.CloneFamilyPercent = 55;
+  P.MinFamily = 2;
+  P.MaxFamily = 4;
+  P.FamilyDriftPercent = 10;
+  P.LoopPercent = 50;
+  P.RetTypeVariety = 3;
+  P.Seed = 9001;
+  return P;
+}
+
+EditScriptOptions scriptOptions(uint64_t Seed, unsigned Steps) {
+  EditScriptOptions EO;
+  EO.NumSteps = Steps;
+  EO.ChangesPerStep = 3;
+  EO.AddsPerStep = 1;
+  EO.DeletesPerStep = 1;
+  EO.Generate.TargetSize = 30;
+  EO.Generate.RetTypeVariety = 3;
+  EO.Seed = Seed;
+  return EO;
+}
+
+uint64_t groupDigest(const std::vector<Module *> &Mods) {
+  std::string Prints;
+  for (Module *M : Mods)
+    Prints += printModule(*M);
+  return fnv1a64(reinterpret_cast<const uint8_t *>(Prints.data()),
+                 Prints.size());
+}
+
+int cmdStats(DaemonClient &Client, bool Prints) {
+  QueryStatsResponse Resp;
+  DaemonClient::Result R = Client.queryStats(Prints, Resp);
+  if (!R.TransportOk || R.Status != StatusCode::Ok) {
+    std::fprintf(stderr, "salssa-client: stats failed: %s (%s)\n",
+                 statusCodeName(R.Status), R.ErrorMessage.c_str());
+    return 1;
+  }
+  std::printf("epoch=%u attempts=%llu commits=%llu cross=%llu "
+              "size=%llu->%llu cache_hits=%llu cluster_commits=%llu "
+              "full_remerges=%u reelections=%u digest=%016llx\n",
+              Resp.Stats.Epoch,
+              static_cast<unsigned long long>(Resp.Stats.Attempts),
+              static_cast<unsigned long long>(Resp.Stats.CommittedMerges),
+              static_cast<unsigned long long>(Resp.Stats.CrossModuleMerges),
+              static_cast<unsigned long long>(Resp.Stats.SizeBefore),
+              static_cast<unsigned long long>(Resp.Stats.SizeAfter),
+              static_cast<unsigned long long>(Resp.Stats.CacheHits),
+              static_cast<unsigned long long>(Resp.Stats.HashClusterCommits),
+              Resp.Stats.FullRemerges, Resp.Stats.HostReelections,
+              static_cast<unsigned long long>(Resp.Stats.ModuleDigest));
+  std::printf("daemon: connections=%llu requests=%llu deltas=%llu "
+              "replays=%llu healed=%llu expired=%llu faults=%llu "
+              "errors=%llu\n",
+              static_cast<unsigned long long>(Resp.Daemon.Connections),
+              static_cast<unsigned long long>(Resp.Daemon.RequestsServed),
+              static_cast<unsigned long long>(Resp.Daemon.DeltasApplied),
+              static_cast<unsigned long long>(Resp.Daemon.TokenReplays),
+              static_cast<unsigned long long>(Resp.Daemon.HealedBatches),
+              static_cast<unsigned long long>(Resp.Daemon.DeadlineExpirations),
+              static_cast<unsigned long long>(
+                  Resp.Daemon.ProtocolFaultsInjected),
+              static_cast<unsigned long long>(Resp.Daemon.RequestErrors));
+  if (Prints)
+    std::fwrite(Resp.Prints.data(), 1, Resp.Prints.size(), stdout);
+  return 0;
+}
+
+int cmdRunScript(DaemonClient &Client, unsigned Steps, uint64_t Seed,
+                 unsigned Threads, unsigned Shards, bool Verify, bool Json) {
+  RegisterModulesRequest RM;
+  RM.Profile = clientProfile();
+  RM.NumModules = 2;
+  RM.NumThreads = Threads;
+  RM.ShardCount = Shards;
+  RM.ExplorationThreshold = 3;
+  StatsSnapshot Init;
+  DaemonClient::Result R = Client.registerModules(RM, Init);
+  if (!R.TransportOk || R.Status != StatusCode::Ok) {
+    std::fprintf(stderr, "salssa-client: register failed: %s (%s)\n",
+                 statusCodeName(R.Status), R.ErrorMessage.c_str());
+    return 1;
+  }
+
+  // Plan the script from a local pristine copy of the same spec (the
+  // wire carries name-addressed seeded ops, never IR).
+  Context Ctx;
+  ModuleGroup Group = buildBenchmarkModuleGroup(RM.Profile, Ctx, RM.NumModules);
+  std::vector<Module *> Mods;
+  for (size_t I = 0; I < Group.size(); ++I)
+    Mods.push_back(&Group[I]);
+  EditScript Script(Mods, scriptOptions(Seed, Steps));
+
+  // The in-process mirror the daemon must stay byte-identical to.
+  std::unique_ptr<MergeService> Mirror;
+  if (Verify) {
+    MergeServiceOptions SO;
+    SO.Driver.Selection = RM.Selection;
+    SO.Driver.NumThreads = RM.NumThreads;
+    SO.Driver.ShardCount = RM.ShardCount;
+    SO.Driver.ExplorationThreshold = RM.ExplorationThreshold;
+    Mirror = std::make_unique<MergeService>(SO);
+    for (Module *M : Mods)
+      Mirror->addModule(*M);
+    Mirror->initialize();
+    uint64_t Local = groupDigest(Mods);
+    if (Local != Init.ModuleDigest) {
+      std::fprintf(stderr,
+                   "salssa-client: epoch 0 digest mismatch "
+                   "(daemon %016llx, local %016llx)\n",
+                   static_cast<unsigned long long>(Init.ModuleDigest),
+                   static_cast<unsigned long long>(Local));
+      return 1;
+    }
+  }
+
+  unsigned Verified = Verify ? 1 : 0;
+  for (unsigned S = 0; S < Script.numSteps(); ++S) {
+    EditStepSpec Spec = Script.stepSpec(S);
+    ApplyDeltaResponse Resp;
+    uint64_t Token = mix64(Seed ^ (0x5a11ad00ULL + S));
+    R = Client.applyStep(Spec, Token, Resp);
+    if (!R.TransportOk || R.Status != StatusCode::Ok) {
+      std::fprintf(stderr, "salssa-client: step %u failed: %s (%s)\n", S,
+                   statusCodeName(R.Status), R.ErrorMessage.c_str());
+      return 1;
+    }
+    if (Verify) {
+      // Mirror the step in-process; the daemon's post-delta digest must
+      // equal the mirror's bytes — the wire added nothing and lost
+      // nothing.
+      {
+        MergeService::DeltaBatch Batch = Mirror->beginDelta();
+        AppliedEditStep A = applyEditStep(
+            Mods, Spec, [&](Function *F) { Batch.checkoutForEdit(F); });
+        MergeDelta D;
+        D.Changed = A.Changed;
+        D.Added = A.Added;
+        D.Deleted = A.Deleted;
+        Batch.apply(D);
+      }
+      uint64_t Local = groupDigest(Mods);
+      if (Local != Resp.Stats.ModuleDigest) {
+        std::fprintf(stderr,
+                     "salssa-client: step %u digest mismatch "
+                     "(daemon %016llx, local %016llx)\n",
+                     S, static_cast<unsigned long long>(Resp.Stats.ModuleDigest),
+                     static_cast<unsigned long long>(Local));
+        return 1;
+      }
+      ++Verified;
+    }
+    if (!Json)
+      std::printf("step %u: epoch=%u commits=%llu size=%llu->%llu%s\n", S,
+                  Resp.Stats.Epoch,
+                  static_cast<unsigned long long>(Resp.Stats.CommittedMerges),
+                  static_cast<unsigned long long>(Resp.Stats.SizeBefore),
+                  static_cast<unsigned long long>(Resp.Stats.SizeAfter),
+                  Resp.Replayed ? " (replayed)" : "");
+  }
+
+  QueryStatsResponse Final;
+  R = Client.queryStats(false, Final);
+  if (!R.TransportOk || R.Status != StatusCode::Ok) {
+    std::fprintf(stderr, "salssa-client: final stats failed\n");
+    return 1;
+  }
+  if (Json) {
+    std::printf("{\"bench\": \"service_daemon\", \"steps\": %u, "
+                "\"verified_epochs\": %u, \"commits\": %llu, "
+                "\"size_after\": %llu, \"deltas\": %llu, "
+                "\"token_replays\": %llu, \"client_retries\": %llu, "
+                "\"daemon_errors\": %llu}\n",
+                Script.numSteps(), Verified,
+                static_cast<unsigned long long>(Final.Stats.CommittedMerges),
+                static_cast<unsigned long long>(Final.Stats.SizeAfter),
+                static_cast<unsigned long long>(Final.Daemon.DeltasApplied),
+                static_cast<unsigned long long>(Final.Daemon.TokenReplays),
+                static_cast<unsigned long long>(Client.retriesUsed()),
+                static_cast<unsigned long long>(Final.Daemon.RequestErrors));
+  } else {
+    std::printf("done: %u steps applied%s\n", Script.numSteps(),
+                Verify ? ", every epoch byte-identical to in-process" : "");
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ClientOptions Opts;
+  std::string Command;
+  bool Prints = false, Verify = false, Json = false;
+  unsigned Steps = 3, Threads = 1, Shards = 1;
+  uint64_t Seed = 501;
+  std::string Value;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (flagValue(Arg, "--socket", Value)) {
+      Opts.SocketPath = Value;
+    } else if (flagValue(Arg, "--steps", Value)) {
+      Steps = static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (flagValue(Arg, "--seed", Value)) {
+      Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (flagValue(Arg, "--threads", Value)) {
+      Threads = static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (flagValue(Arg, "--shards", Value)) {
+      Shards = static_cast<unsigned>(std::strtoul(Value.c_str(), nullptr, 10));
+    } else if (std::strcmp(Arg, "--prints") == 0) {
+      Prints = true;
+    } else if (std::strcmp(Arg, "--verify") == 0) {
+      Verify = true;
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      Json = true;
+    } else if (Arg[0] != '-' && Command.empty()) {
+      Command = Arg;
+    } else {
+      std::fprintf(stderr, "salssa-client: unknown argument '%s'\n", Arg);
+      return usage();
+    }
+  }
+  if (Opts.SocketPath.empty() || Command.empty())
+    return usage();
+
+  DaemonClient Client(Opts);
+  if (Command == "stats")
+    return cmdStats(Client, Prints);
+  if (Command == "shutdown") {
+    DaemonClient::Result R = Client.shutdown();
+    if (!R.TransportOk || R.Status != StatusCode::Ok) {
+      std::fprintf(stderr, "salssa-client: shutdown failed: %s\n",
+                   statusCodeName(R.Status));
+      return 1;
+    }
+    std::printf("salssa-client: daemon draining\n");
+    return 0;
+  }
+  if (Command == "run-script")
+    return cmdRunScript(Client, Steps, Seed, Threads, Shards, Verify, Json);
+  return usage();
+}
